@@ -1,0 +1,27 @@
+//! Bench for the Fig. 10/11 pipeline: interaction analysis from the
+//! shared and filtered timing models.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use darco_core::experiments::{fig10, fig11_app, fig11_tol, run_bench, RunConfig};
+use darco_workloads::suites;
+
+fn bench(c: &mut Criterion) {
+    let profile = suites::quicktest_profile();
+    let cfg = RunConfig { scale: 0.05, ..RunConfig::default() };
+    let runs = vec![run_bench(&profile, &cfg)];
+    c.bench_function("fig10_fig11_reduce", |b| {
+        b.iter(|| {
+            let f10 = fig10(&runs);
+            let f11a = fig11_tol(&runs);
+            let f11b = fig11_app(&runs);
+            (f10, f11a, f11b)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

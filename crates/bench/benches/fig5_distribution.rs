@@ -1,0 +1,26 @@
+//! Bench for the Fig. 5 pipeline: full system run plus static/dynamic
+//! mode-distribution reduction on a small workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use darco_core::experiments::{fig5, run_bench, RunConfig};
+use darco_workloads::suites;
+
+fn bench(c: &mut Criterion) {
+    let profile = suites::quicktest_profile();
+    let cfg = RunConfig { scale: 0.05, ..RunConfig::default() };
+    c.bench_function("fig5_run_and_reduce", |b| {
+        b.iter(|| {
+            let runs = vec![run_bench(&profile, &cfg)];
+            let rows = fig5(&runs);
+            assert!((rows[0].dyn_pct.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            rows
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Bench for the Fig. 6 pipeline: execution-time breakdown extraction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use darco_core::experiments::{fig6, fig6_suite_averages, run_bench, RunConfig};
+use darco_workloads::suites;
+
+fn bench(c: &mut Criterion) {
+    let profile = suites::quicktest_profile();
+    let cfg = RunConfig { scale: 0.05, ..RunConfig::default() };
+    let runs = vec![run_bench(&profile, &cfg)];
+    c.bench_function("fig6_reduce", |b| {
+        b.iter(|| {
+            let rows = fig6(&runs);
+            fig6_suite_averages(&rows)
+        })
+    });
+    c.bench_function("fig6_full_run", |b| {
+        b.iter(|| run_bench(&profile, &cfg))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

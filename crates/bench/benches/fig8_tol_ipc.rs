@@ -1,0 +1,25 @@
+//! Bench for the Fig. 8 pipeline: the TOL-only timing model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use darco_core::experiments::{fig8, run_bench, RunConfig};
+use darco_workloads::suites;
+
+fn bench(c: &mut Criterion) {
+    let profile = suites::quicktest_profile();
+    let cfg = RunConfig { scale: 0.05, ..RunConfig::default() };
+    let runs = vec![run_bench(&profile, &cfg)];
+    c.bench_function("fig8_reduce", |b| {
+        b.iter(|| {
+            let rows = fig8(&runs);
+            assert!(rows[0].ipc > 0.0);
+            rows
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Micro-benchmarks of the infrastructure's hot components: guest
+//! decode, basic-block translation, the superblock optimizer, the
+//! timing pipeline and the cache model.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use darco_guest::{decode, encode, Gpr, GuestMem, Inst};
+use darco_host::stream::{int_reg, DynInst};
+use darco_host::{Component, ExecClass};
+use darco_timing::cache::Cache;
+use darco_timing::{Pipeline, TimingConfig};
+use darco_tol::config::TolConfig;
+use darco_tol::opt;
+use darco_tol::translate::{decode_bb, translate_region};
+
+fn guest_block() -> (GuestMem, u32) {
+    use darco_guest::asm::Asm;
+    use darco_guest::{AluOp, MemRef};
+    let mut a = Asm::new(0x1000);
+    for i in 0..20 {
+        a.push(Inst::AluRI { op: AluOp::Add, dst: Gpr::Eax, imm: i });
+        a.push(Inst::Load { dst: Gpr::Edx, addr: MemRef::base(Gpr::Esi, 4 * i) });
+        a.push(Inst::AluRR { op: AluOp::Xor, dst: Gpr::Ebx, src: Gpr::Edx });
+    }
+    a.push(Inst::Ret);
+    let p = a.assemble();
+    let mut mem = GuestMem::new();
+    mem.write_bytes(p.base, &p.bytes);
+    (mem, p.base)
+}
+
+fn bench(c: &mut Criterion) {
+    // Guest decode throughput.
+    let bytes = encode::encode_to_vec(&Inst::AluRI {
+        op: darco_guest::AluOp::Add,
+        dst: Gpr::Eax,
+        imm: 100_000,
+    });
+    let mut g = c.benchmark_group("components");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("guest_decode", |b| b.iter(|| decode(&bytes).unwrap()));
+
+    // Basic-block translation.
+    let (mem, entry) = guest_block();
+    g.bench_function("bb_translate", |b| {
+        b.iter(|| {
+            let bb = decode_bb(&mem, entry).unwrap();
+            translate_region(&bb)
+        })
+    });
+
+    // Superblock optimization.
+    let bb = decode_bb(&mem, entry).unwrap();
+    let ir = translate_region(&bb);
+    let cfg = TolConfig::default();
+    g.bench_function("sbm_optimize", |b| {
+        b.iter(|| opt::optimize(ir.clone(), &cfg).unwrap())
+    });
+
+    // Timing pipeline retire throughput.
+    let insts: Vec<DynInst> = (0..64)
+        .map(|i| {
+            DynInst::plain(i * 4, ExecClass::SimpleInt, Component::AppCode)
+                .with_dst(int_reg((i % 8) as u8 + 1))
+        })
+        .collect();
+    g.throughput(Throughput::Elements(insts.len() as u64));
+    g.bench_function("pipeline_retire", |b| {
+        let mut p = Pipeline::new(TimingConfig::default());
+        b.iter(|| {
+            for d in &insts {
+                p.retire(d);
+            }
+        })
+    });
+
+    // Cache access throughput.
+    g.throughput(Throughput::Elements(64));
+    g.bench_function("cache_access", |b| {
+        let mut cache = Cache::new(TimingConfig::default().l1d);
+        let mut a = 0u64;
+        b.iter(|| {
+            for _ in 0..64 {
+                a = a.wrapping_add(0x40);
+                cache.access(a % (1 << 20));
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,316 @@
+//! `darco` — the controller CLI (the paper's Fig. 2 *Controller*:
+//! "the main interface of DARCO with the user. It provides full control
+//! over the execution of the application, as well as debugging
+//! utilities").
+//!
+//! ```text
+//! darco list                         # the 48-benchmark roster
+//! darco run <benchmark> [opts]      # full system run + report
+//! darco trace <benchmark> [opts]    # guest instruction trace
+//! darco disasm <benchmark> [opts]   # hottest translations, disassembled
+//! darco timeline <benchmark> [opts] # start-up/steady-state windows
+//! darco export-profile <benchmark> <file.json>
+//!                                    # dump a profile for editing
+//! darco run --profile <file.json>   # run a custom edited profile
+//!
+//! options: --scale S   dynamic-length scale (default 0.5)
+//!          --cosim     enable co-simulation checking (run)
+//!          --n N       rows/instructions to print (trace/disasm)
+//!          --json      machine-readable output (run)
+//! ```
+
+use darco_core::{Report, System, SystemConfig};
+use darco_host::{Component, HInst, Owner};
+use darco_tol::codecache::BlockKind;
+use darco_tol::{Tol, TolConfig};
+use darco_workloads::{generate, suites, BenchProfile};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        usage();
+        return;
+    };
+    let rest = &args[1..];
+    match command.as_str() {
+        "list" => list(),
+        "run" => run(rest),
+        "trace" => trace(rest),
+        "disasm" => disasm(rest),
+        "timeline" => timeline(rest),
+        "export-profile" => export_profile(rest),
+        "--help" | "-h" | "help" => usage(),
+        other => {
+            eprintln!("unknown command: {other}");
+            usage();
+            std::process::exit(2);
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "darco <list|run|trace|disasm|timeline|export-profile> [benchmark] \
+         [--profile FILE] [--scale S] [--cosim] [--n N] [--json]"
+    );
+}
+
+struct Opts {
+    profile: BenchProfile,
+    scale: f64,
+    cosim: bool,
+    n: usize,
+    json: bool,
+}
+
+fn parse(rest: &[String]) -> Opts {
+    let mut profile = None;
+    let mut scale = 0.5;
+    let mut cosim = false;
+    let mut n = 20;
+    let mut json = false;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--profile" => {
+                let path = it.next().unwrap_or_else(|| bail("--profile needs a path"));
+                let text = std::fs::read_to_string(path)
+                    .unwrap_or_else(|e| bail(&format!("read {path}: {e}")));
+                let p: BenchProfile = serde_json::from_str(&text)
+                    .unwrap_or_else(|e| bail(&format!("parse {path}: {e}")));
+                p.validate().unwrap_or_else(|e| bail(&format!("invalid profile: {e}")));
+                profile = Some(p);
+            }
+            "--scale" => {
+                scale = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| bail("--scale needs a number"));
+            }
+            "--cosim" => cosim = true,
+            "--json" => json = true,
+            "--n" => {
+                n = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| bail("--n needs a count"));
+            }
+            name if !name.starts_with('-') =>
+
+                profile = Some(suites::by_name(name).unwrap_or_else(|| {
+                    if name == "quicktest" {
+                        suites::quicktest_profile()
+                    } else {
+                        bail(&format!("unknown benchmark {name}; try `darco list`"))
+                    }
+                })),
+            other => bail(&format!("unknown flag {other}")),
+        }
+    }
+    Opts {
+        profile: profile.unwrap_or_else(suites::quicktest_profile),
+        scale,
+        cosim,
+        n,
+        json,
+    }
+}
+
+fn bail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2)
+}
+
+// ----------------------------------------------------------------- list
+
+fn list() {
+    println!(
+        "{:22} {:18} {:>8} {:>12} {:>6} {:>9}",
+        "benchmark", "suite", "static", "dyn (base)", "fp%", "indirect"
+    );
+    for p in suites::all_profiles() {
+        println!(
+            "{:22} {:18} {:>8} {:>12} {:>5.0}% {:>9.5}",
+            p.name,
+            p.suite.label(),
+            p.static_insts,
+            p.dyn_base,
+            p.fp_fraction * 100.0,
+            p.indirect_freq,
+        );
+    }
+    println!("\nplus `quicktest`, a small profile for experiments");
+}
+
+// ------------------------------------------------------------------ run
+
+fn run(rest: &[String]) {
+    let o = parse(rest);
+    eprintln!("running {} at scale {} ...", o.profile.name, o.scale);
+    let cfg = SystemConfig { cosim: o.cosim, ..SystemConfig::default() };
+    let mut sys = System::new(generate(&o.profile, o.scale), cfg);
+    let report = sys.run_to_completion();
+    if o.json {
+        println!("{}", serde_json::to_string_pretty(&report).expect("serialize"));
+        return;
+    }
+    print_report(&report);
+}
+
+fn print_report(r: &Report) {
+    println!("benchmark          : {}", r.name);
+    println!("guest instructions : {}", r.guest_insts);
+    println!("host instructions  : {}", r.timing.total_insts());
+    println!("host cycles        : {}", r.timing.total_cycles);
+    println!("IPC                : {:.3}", r.timing.ipc());
+    println!("TOL overhead       : {:.1}%", r.timing.tol_overhead_share() * 100.0);
+    if r.cosim_checks > 0 {
+        println!("co-sim checks      : {} (all passed)", r.cosim_checks);
+    }
+    println!("\ntime by component:");
+    for c in Component::ALL {
+        println!("  {:14} {:6.2}%", c.label(), r.timing.component_share(c) * 100.0);
+    }
+    println!("\nsoftware layer:");
+    let s = &r.tol;
+    println!("  static  [IM,BBM,SBM]: {:?}", s.static_dist);
+    println!("  dynamic [IM,BBM,SBM]: {:?}", s.dyn_dist);
+    println!(
+        "  translations {} / superblocks {} / chains {} / flushes {}",
+        s.installed, s.counters.sbm_invocations, s.chains, s.flushes
+    );
+    println!(
+        "  indirect branches {} / IBTC {} hits {} misses",
+        s.counters.indirect_branches, s.ibtc_hits, s.ibtc_misses
+    );
+    println!(
+        "\ncaches: APP D$ miss {:.2}%  APP I$ miss {:.2}%  TOL D$ miss {:.2}%  BP miss {:.2}%",
+        r.timing.d_miss_rate(Owner::App) * 100.0,
+        r.timing.i_miss_rate(Owner::App) * 100.0,
+        r.timing.d_miss_rate(Owner::Tol) * 100.0,
+        r.timing.mispredict_rate(Owner::App) * 100.0,
+    );
+}
+
+// ---------------------------------------------------------------- trace
+
+fn trace(rest: &[String]) {
+    let o = parse(rest);
+    let w = generate(&o.profile, o.scale);
+    let mut mem = w.mem.clone();
+    let mut cpu = w.initial.clone();
+    println!("first {} guest instructions of {}:", o.n, w.name);
+    for i in 0..o.n {
+        if cpu.halted {
+            println!("[halted]");
+            break;
+        }
+        let pc = cpu.eip;
+        match darco_guest::exec::step(&mut cpu, &mut mem) {
+            Ok(info) => println!("{i:6}  {pc:#010x}  {}", info.inst),
+            Err(e) => {
+                println!("{i:6}  {pc:#010x}  <decode fault: {e}>");
+                break;
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------- disasm
+
+fn disasm(rest: &[String]) {
+    let o = parse(rest);
+    let w = generate(&o.profile, o.scale);
+    let mut mem = w.mem.clone();
+    let mut tol = Tol::new(TolConfig { bb_sb_threshold: 50, ..TolConfig::default() }, w.entry);
+    tol.set_state(&w.initial);
+    let mut sink = |_: &darco_host::DynInst| {};
+    tol.run(&mut mem, &mut sink, u64::MAX).expect("run");
+
+    // Rank resident translations by execution count.
+    let mut blocks: Vec<u32> = (0..tol.cc.resident() as u32).collect();
+    blocks.sort_by_key(|&b| std::cmp::Reverse(tol.cc.block(b).exec_count));
+    println!(
+        "hottest {} of {} resident translations in {}:",
+        o.n.min(blocks.len()),
+        tol.cc.resident(),
+        w.name
+    );
+    for &b in blocks.iter().take(o.n) {
+        let blk = tol.cc.block(b);
+        let kind = match blk.kind {
+            BlockKind::Bb => "BBM",
+            BlockKind::Sb => "SBM",
+        };
+        println!(
+            "\nblock {b} [{kind}] guest {:#x} ({} guest insts, {} host insts, {} executions)",
+            blk.guest_entry,
+            blk.guest_len,
+            blk.insts.len(),
+            blk.exec_count
+        );
+        for (i, inst) in blk.insts.iter().enumerate() {
+            let marker = if i as u32 == blk.body_len { "  --- exits ---\n" } else { "" };
+            print!("{marker}");
+            println!("  {:#010x}  {}", blk.host_base + 4 * i as u64, inst);
+            if matches!(inst, HInst::Exit(_)) && i as u32 > blk.body_len + blk.stubs_len() {
+                break;
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------- timeline
+
+fn timeline(rest: &[String]) {
+    let o = parse(rest);
+    let cfg = SystemConfig {
+        cosim: false,
+        window_guest_insts: 50_000,
+        ..SystemConfig::default()
+    };
+    let mut sys = System::new(generate(&o.profile, o.scale), cfg);
+    let r = sys.run_to_completion();
+    println!(
+        "{}: per-window (50K guest insts) cycles and TOL share — the start-up transient:",
+        r.name
+    );
+    println!("{:>12} {:>12} {:>10}", "guest insts", "cycles", "TOL share");
+    for w in r.timeline.iter().take(o.n) {
+        println!(
+            "{:>12} {:>12} {:>9.1}%",
+            w.guest_insts,
+            w.cycles,
+            w.overhead_share() * 100.0
+        );
+    }
+}
+
+// A tiny extension trait so disasm can know where stubs end.
+trait StubsLen {
+    fn stubs_len(&self) -> u32;
+}
+
+impl StubsLen for darco_tol::codecache::TranslatedBlock {
+    fn stubs_len(&self) -> u32 {
+        self.stub_guest_counts.len() as u32
+    }
+}
+
+// -------------------------------------------------------- export-profile
+
+fn export_profile(rest: &[String]) {
+    let (Some(name), Some(path)) = (rest.first(), rest.get(1)) else {
+        bail("usage: darco export-profile <benchmark> <file.json>")
+    };
+    let profile = suites::by_name(name).unwrap_or_else(|| {
+        if name == "quicktest" {
+            suites::quicktest_profile()
+        } else {
+            bail(&format!("unknown benchmark {name}"))
+        }
+    });
+    let json = serde_json::to_string_pretty(&profile).expect("serialize profile");
+    std::fs::write(path, json).unwrap_or_else(|e| bail(&format!("write {path}: {e}")));
+    eprintln!("wrote {path}; edit it and run `darco run --profile {path}`");
+}

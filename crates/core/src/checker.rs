@@ -1,0 +1,170 @@
+//! Co-simulation: the authoritative x86 Component and the state checker.
+//!
+//! DARCO keeps two independent executions of the guest program (paper
+//! Fig. 2): the authoritative functional emulator, and the emulated
+//! state maintained by the software layer. The checker advances the
+//! authoritative side by the same number of guest instructions the layer
+//! just retired and compares architectural state — the co-simulation
+//! debugging technique the paper inherits from Transmeta (ref. [15]).
+
+use darco_guest::{exec, CpuState, DecodeError, GuestMem};
+use std::fmt;
+
+/// A detected divergence between the two executions.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// Guest instructions retired when the mismatch was found.
+    pub at_guest_inst: u64,
+    /// The authoritative state.
+    pub authoritative: CpuState,
+    /// The software layer's emulated state.
+    pub emulated: CpuState,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "state divergence after {} guest instructions:\n  authoritative: {}\n  emulated:      {}",
+            self.at_guest_inst, self.authoritative, self.emulated
+        )
+    }
+}
+
+impl std::error::Error for Divergence {}
+
+/// The authoritative emulator plus comparison logic.
+#[derive(Debug, Clone)]
+pub struct StateChecker {
+    cpu: CpuState,
+    mem: GuestMem,
+    retired: u64,
+    checks: u64,
+}
+
+impl StateChecker {
+    /// Creates the authoritative side from the initial program state and
+    /// a *private copy* of guest memory.
+    pub fn new(initial: CpuState, mem: GuestMem) -> StateChecker {
+        StateChecker { cpu: initial, mem, retired: 0, checks: 0 }
+    }
+
+    /// Advances the authoritative emulator by `n` guest instructions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode faults (which the emulated side would hit too).
+    pub fn advance(&mut self, n: u64) -> Result<(), DecodeError> {
+        for _ in 0..n {
+            if self.cpu.halted {
+                break;
+            }
+            exec::step(&mut self.cpu, &mut self.mem)?;
+            self.retired += 1;
+        }
+        Ok(())
+    }
+
+    /// Compares the emulated state against the authoritative one.
+    ///
+    /// # Errors
+    ///
+    /// Returns the full [`Divergence`] on mismatch.
+    pub fn check(&mut self, emulated: &CpuState) -> Result<(), Box<Divergence>> {
+        self.checks += 1;
+        if self.cpu.arch_eq(emulated) {
+            Ok(())
+        } else {
+            Err(Box::new(Divergence {
+                at_guest_inst: self.retired,
+                authoritative: self.cpu.clone(),
+                emulated: emulated.clone(),
+            }))
+        }
+    }
+
+    /// Compares the emulated guest *memory* against the authoritative
+    /// copy (register checks alone can miss diverging stores whose
+    /// values are never reloaded). Costs a full page sweep, so DARCO
+    /// runs it at end-of-run rather than every block.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first differing guest address.
+    pub fn check_memory(&self, emulated: &GuestMem) -> Result<(), u32> {
+        match self.mem.first_difference(emulated) {
+            None => Ok(()),
+            Some(addr) => Err(addr),
+        }
+    }
+
+    /// Authoritative architectural state.
+    pub fn state(&self) -> &CpuState {
+        &self.cpu
+    }
+
+    /// Guest instructions retired on the authoritative side.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Comparisons performed.
+    pub fn checks(&self) -> u64 {
+        self.checks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darco_guest::asm::Asm;
+    use darco_guest::{AluOp, Gpr, Inst};
+
+    fn program() -> (GuestMem, CpuState) {
+        let mut a = Asm::new(0x100);
+        a.push(Inst::MovRI { dst: Gpr::Eax, imm: 1 });
+        a.push(Inst::AluRI { op: AluOp::Add, dst: Gpr::Eax, imm: 2 });
+        a.push(Inst::Halt);
+        let p = a.assemble();
+        let mut mem = GuestMem::new();
+        mem.write_bytes(p.base, &p.bytes);
+        (mem, CpuState::at(p.base))
+    }
+
+    #[test]
+    fn matching_execution_passes() {
+        let (mem, initial) = program();
+        let mut chk = StateChecker::new(initial.clone(), mem.clone());
+
+        // A correct "emulated" run: same emulator.
+        let mut emu = initial;
+        let mut emu_mem = mem;
+        exec::step(&mut emu, &mut emu_mem).unwrap();
+        chk.advance(1).unwrap();
+        chk.check(&emu).unwrap();
+        assert_eq!(chk.retired(), 1);
+        assert_eq!(chk.checks(), 1);
+    }
+
+    #[test]
+    fn divergence_is_reported_with_context() {
+        let (mem, initial) = program();
+        let mut chk = StateChecker::new(initial.clone(), mem);
+        chk.advance(1).unwrap();
+        let mut wrong = initial;
+        wrong.set_gpr(Gpr::Eax, 999);
+        wrong.eip = chk.state().eip;
+        let err = chk.check(&wrong).unwrap_err();
+        assert_eq!(err.at_guest_inst, 1);
+        assert!(err.to_string().contains("divergence"));
+    }
+
+    #[test]
+    fn advance_stops_at_halt() {
+        let (mem, initial) = program();
+        let mut chk = StateChecker::new(initial, mem);
+        chk.advance(100).unwrap();
+        assert!(chk.state().halted);
+        assert_eq!(chk.retired(), 3);
+    }
+}

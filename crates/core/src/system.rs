@@ -1,0 +1,342 @@
+//! The DARCO system driver: software layer + authoritative emulator +
+//! timing pipelines, run in lockstep.
+
+use crate::checker::StateChecker;
+use darco_timing::{Pipeline, Stats, TimingConfig};
+use darco_tol::{RunSummary, Tol, TolConfig};
+use darco_workloads::{generate, BenchProfile, Workload};
+use serde::{Deserialize, Serialize};
+
+/// The paper's TOL configuration with the `BB/SBth` promotion threshold
+/// scaled from 10 000 to 50, matching the ~2000× scaling of dynamic
+/// instruction counts relative to the paper's 4-billion-instruction runs
+/// (DESIGN.md §2). `IM/BBth` stays at 5 — cold code executes an
+/// *absolute* handful of times regardless of run length.
+pub fn scaled_tol_config() -> TolConfig {
+    TolConfig { bb_sb_threshold: 50, ..TolConfig::default() }
+}
+
+/// System configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Software-layer parameters.
+    pub tol: TolConfig,
+    /// Host timing parameters (shared pipeline).
+    pub timing: TimingConfig,
+    /// Run co-simulation (authoritative emulator + state checks). Exact
+    /// but roughly doubles functional work; figure sweeps disable it
+    /// after the test suite has established equivalence.
+    pub cosim: bool,
+    /// Attach a second pipeline fed only application instructions
+    /// (the "w/o interaction" APP run of Fig. 10).
+    pub app_only_pipeline: bool,
+    /// Attach a third pipeline fed only TOL instructions (Fig. 8's
+    /// TOL-in-isolation study and Fig. 10's TOL run).
+    pub tol_only_pipeline: bool,
+    /// Guest-instruction budget per engine step (dispatch granularity of
+    /// co-simulation checks).
+    pub step_budget: u64,
+    /// Hard cap on emulated guest instructions (0 = run to completion).
+    pub max_guest_insts: u64,
+    /// Sample a timeline window every this many guest instructions
+    /// (0 disables). Windows expose the start-up vs steady-state
+    /// transition the paper insists on capturing (Sec. II-B).
+    pub window_guest_insts: u64,
+}
+
+impl Default for SystemConfig {
+    fn default() -> SystemConfig {
+        SystemConfig {
+            tol: scaled_tol_config(),
+            timing: TimingConfig::default(),
+            cosim: true,
+            app_only_pipeline: false,
+            tol_only_pipeline: false,
+            step_budget: 20_000,
+            max_guest_insts: 0,
+            window_guest_insts: 0,
+        }
+    }
+}
+
+/// One timeline window: deltas over a fixed span of guest instructions.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Window {
+    /// Guest instructions retired by the end of this window.
+    pub guest_insts: u64,
+    /// Host cycles spent within the window.
+    pub cycles: u64,
+    /// Application host instructions within the window.
+    pub app_insts: u64,
+    /// Software-layer host instructions within the window.
+    pub tol_insts: u64,
+}
+
+impl Window {
+    /// Software-layer share of the window's host instructions.
+    pub fn overhead_share(&self) -> f64 {
+        let t = self.app_insts + self.tol_insts;
+        if t == 0 { 0.0 } else { self.tol_insts as f64 / t as f64 }
+    }
+}
+
+/// Results of one system run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Report {
+    /// Workload name.
+    pub name: String,
+    /// Timing results of the shared (real) pipeline.
+    pub timing: Stats,
+    /// Timing results of the application-only pipeline, if attached.
+    pub app_only: Option<Stats>,
+    /// Timing results of the TOL-only pipeline, if attached.
+    pub tol_only: Option<Stats>,
+    /// Software-layer summary (mode distributions, counters).
+    pub tol: RunSummary,
+    /// Guest instructions retired.
+    pub guest_insts: u64,
+    /// State-checker comparisons performed (0 when co-sim is off).
+    pub cosim_checks: u64,
+    /// Static guest instructions of the generated program.
+    pub static_insts: u32,
+    /// Timeline windows (empty unless `window_guest_insts` was set).
+    pub timeline: Vec<Window>,
+}
+
+/// A complete DARCO instance for one workload.
+#[derive(Debug)]
+pub struct System {
+    name: String,
+    cfg: SystemConfig,
+    tol: Tol,
+    emu_mem: darco_guest::GuestMem,
+    checker: Option<StateChecker>,
+    shared: Pipeline,
+    app_only: Option<Pipeline>,
+    tol_only: Option<Pipeline>,
+    static_insts: u32,
+    timeline: Vec<Window>,
+    last_window_mark: (u64, u64, u64, u64), // guest, cycles, app, tol
+}
+
+impl System {
+    /// Builds a system for a generated workload.
+    pub fn new(w: Workload, cfg: SystemConfig) -> System {
+        let mut tol = Tol::new(cfg.tol.clone(), w.entry);
+        tol.set_state(&w.initial);
+        let checker = cfg
+            .cosim
+            .then(|| StateChecker::new(w.initial.clone(), w.mem.clone()));
+        System {
+            name: w.name,
+            tol,
+            emu_mem: w.mem,
+            checker,
+            shared: Pipeline::new(cfg.timing.clone()),
+            app_only: cfg
+                .app_only_pipeline
+                .then(|| Pipeline::new(cfg.timing.clone())),
+            tol_only: cfg
+                .tol_only_pipeline
+                .then(|| Pipeline::new(cfg.timing.clone())),
+            static_insts: w.static_insts,
+            timeline: Vec::new(),
+            last_window_mark: (0, 0, 0, 0),
+            cfg,
+        }
+    }
+
+    fn sample_window(&mut self, total_guest: u64) {
+        let s = self.shared.snapshot();
+        let app = s.owner_insts(darco_host::Owner::App);
+        let tol = s.owner_insts(darco_host::Owner::Tol);
+        let (g0, c0, a0, t0) = self.last_window_mark;
+        self.timeline.push(Window {
+            guest_insts: total_guest,
+            cycles: s.total_cycles - c0,
+            app_insts: app - a0,
+            tol_insts: tol - t0,
+        });
+        let _ = g0;
+        self.last_window_mark = (total_guest, s.total_cycles, app, tol);
+    }
+
+    /// Convenience: generates the profile's workload at scale 1.0 and
+    /// builds a system with the default configuration.
+    pub fn from_profile(profile: &BenchProfile) -> System {
+        System::new(generate(profile, 1.0), SystemConfig::default())
+    }
+
+    /// Runs the workload to completion (or the configured cap) and
+    /// returns the report.
+    ///
+    /// # Panics
+    ///
+    /// Panics on guest decode faults or co-simulation divergence — both
+    /// indicate an infrastructure bug, exactly as they would in DARCO.
+    pub fn run_to_completion(&mut self) -> Report {
+        let cap = if self.cfg.max_guest_insts == 0 {
+            u64::MAX
+        } else {
+            self.cfg.max_guest_insts
+        };
+        let mut total = 0u64;
+        while !self.tol.is_done() && total < cap {
+            let budget = self.cfg.step_budget.min(cap - total);
+            let shared = &mut self.shared;
+            let app_only = &mut self.app_only;
+            let tol_only = &mut self.tol_only;
+            let mut sink = |d: &darco_host::DynInst| {
+                shared.retire(d);
+                match d.owner() {
+                    darco_host::Owner::App => {
+                        if let Some(p) = app_only {
+                            p.retire(d);
+                        }
+                    }
+                    darco_host::Owner::Tol => {
+                        if let Some(p) = tol_only {
+                            p.retire(d);
+                        }
+                    }
+                }
+            };
+            let out = self
+                .tol
+                .step(&mut self.emu_mem, &mut sink, budget)
+                .unwrap_or_else(|e| panic!("{}: guest decode fault: {e}", self.name));
+            total += out.guest_insts;
+            if let Some(chk) = &mut self.checker {
+                chk.advance(out.guest_insts)
+                    .unwrap_or_else(|e| panic!("{}: authoritative fault: {e}", self.name));
+                chk.check(&self.tol.emulated_state())
+                    .unwrap_or_else(|e| panic!("{}: co-simulation failed: {e}", self.name));
+            }
+            let w = self.cfg.window_guest_insts;
+            if w > 0 && total >= self.last_window_mark.0 + w {
+                self.sample_window(total);
+            }
+        }
+        if self.cfg.window_guest_insts > 0 && total > self.last_window_mark.0 {
+            self.sample_window(total);
+        }
+        if let Some(chk) = &self.checker {
+            // End-of-run memory co-verification: every store the
+            // translated code performed must match the authoritative
+            // execution byte-for-byte.
+            if let Err(addr) = chk.check_memory(&self.emu_mem) {
+                panic!("{}: memory divergence at guest address {addr:#x}", self.name);
+            }
+        }
+        Report {
+            name: self.name.clone(),
+            timing: self.shared.snapshot(),
+            app_only: self.app_only.as_ref().map(|p| p.snapshot()),
+            tol_only: self.tol_only.as_ref().map(|p| p.snapshot()),
+            tol: self.tol.summary(),
+            guest_insts: total,
+            cosim_checks: self.checker.as_ref().map_or(0, |c| c.checks()),
+            static_insts: self.static_insts,
+            timeline: std::mem::take(&mut self.timeline),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darco_host::{Component, Owner};
+    use darco_workloads::suites;
+
+    fn quick_system(cfg: SystemConfig) -> System {
+        let w = generate(&suites::quicktest_profile(), 0.3);
+        System::new(w, cfg)
+    }
+
+    #[test]
+    fn full_run_with_cosimulation() {
+        let mut sys = quick_system(SystemConfig::default());
+        let r = sys.run_to_completion();
+        assert!(r.guest_insts > 10_000);
+        assert!(r.cosim_checks > 0, "checker must run");
+        assert!(r.timing.total_cycles > 0);
+        assert!(r.tol.dyn_dist.iter().sum::<u64>() == r.guest_insts);
+        // TOL overhead exists but the application dominates.
+        let overhead = r.timing.tol_overhead_share();
+        assert!((0.01..0.95).contains(&overhead), "overhead {overhead}");
+    }
+
+    #[test]
+    fn filtered_pipelines_partition_the_stream() {
+        let cfg = SystemConfig {
+            app_only_pipeline: true,
+            tol_only_pipeline: true,
+            cosim: false,
+            ..SystemConfig::default()
+        };
+        let mut sys = quick_system(cfg);
+        let r = sys.run_to_completion();
+        let app = r.app_only.unwrap();
+        let tol = r.tol_only.unwrap();
+        assert_eq!(app.owner_insts(Owner::Tol), 0);
+        assert_eq!(tol.owner_insts(Owner::App), 0);
+        assert_eq!(
+            app.owner_insts(Owner::App) + tol.owner_insts(Owner::Tol),
+            r.timing.total_insts(),
+            "filtered pipelines partition the shared stream"
+        );
+        // Without contention, each side finishes no slower than its
+        // attributed share of the shared run.
+        assert!(app.total_cycles <= r.timing.total_cycles);
+        assert!(tol.total_cycles <= r.timing.total_cycles);
+    }
+
+    #[test]
+    fn timeline_captures_startup_transient() {
+        let cfg = SystemConfig {
+            window_guest_insts: 10_000,
+            cosim: false,
+            ..SystemConfig::default()
+        };
+        let w = generate(&suites::quicktest_profile(), 1.0);
+        let mut sys = System::new(w, cfg);
+        let r = sys.run_to_completion();
+        assert!(r.timeline.len() >= 5, "windows sampled: {}", r.timeline.len());
+        // Window accounting is exhaustive: instruction deltas sum to the
+        // run totals.
+        let tol: u64 = r.timeline.iter().map(|w| w.tol_insts).sum();
+        let app: u64 = r.timeline.iter().map(|w| w.app_insts).sum();
+        assert_eq!(tol + app, r.timing.total_insts());
+        // The start-up transient (Sec. II-B): the first window is
+        // translation-dominated, the steady state is not.
+        let first = r.timeline.first().unwrap().overhead_share();
+        let last_quarter: Vec<_> = r.timeline.iter().skip(3 * r.timeline.len() / 4).collect();
+        let steady = last_quarter.iter().map(|w| w.overhead_share()).sum::<f64>()
+            / last_quarter.len() as f64;
+        assert!(
+            first > 2.0 * steady,
+            "start-up ({first:.3}) must dwarf steady state ({steady:.3})"
+        );
+    }
+
+    #[test]
+    fn max_guest_insts_caps_the_run() {
+        let cfg = SystemConfig { max_guest_insts: 5_000, cosim: true, ..SystemConfig::default() };
+        let mut sys = quick_system(cfg);
+        let r = sys.run_to_completion();
+        assert!(r.guest_insts >= 5_000, "runs until the cap");
+        assert!(r.guest_insts < 60_000, "stops near the cap, got {}", r.guest_insts);
+    }
+
+    #[test]
+    fn component_times_cover_all_categories_eventually() {
+        let mut sys = quick_system(SystemConfig { cosim: false, ..SystemConfig::default() });
+        let r = sys.run_to_completion();
+        for c in [Component::AppCode, Component::TolIm, Component::TolBbm, Component::TolOthers] {
+            assert!(
+                r.timing.component_insts(c) > 0,
+                "component {c} never executed"
+            );
+        }
+    }
+}

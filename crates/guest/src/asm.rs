@@ -1,0 +1,204 @@
+//! A small two-pass assembler for guest programs.
+//!
+//! Used by the workload generator and by tests to build guest code with
+//! symbolic branch targets. Direct branch targets occupy a fixed four
+//! bytes in the encoding, so label resolution never changes layout: the
+//! assembler records fixup offsets on the first pass and patches them
+//! once all labels are bound.
+
+use crate::encode::encode;
+use crate::inst::{Cond, Inst};
+
+/// A symbolic code location, created by [`Asm::fresh_label`] and bound
+/// with [`Asm::bind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// An assembled guest program.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// Load address of the first byte.
+    pub base: u32,
+    /// Encoded instruction bytes.
+    pub bytes: Vec<u8>,
+    /// Resolved label addresses, indexed by label id.
+    labels: Vec<u32>,
+    /// Byte offset of each instruction, in program order.
+    pub inst_offsets: Vec<u32>,
+}
+
+impl Program {
+    /// Address a label resolved to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was never bound.
+    pub fn label_addr(&self, l: Label) -> u32 {
+        let a = self.labels[l.0];
+        assert_ne!(a, u32::MAX, "label {:?} was never bound", l);
+        a
+    }
+
+    /// Number of static instructions in the program.
+    pub fn static_len(&self) -> usize {
+        self.inst_offsets.len()
+    }
+
+    /// Address one past the last byte.
+    pub fn end(&self) -> u32 {
+        self.base + self.bytes.len() as u32
+    }
+}
+
+/// Builder for guest programs; see the [module docs](self).
+#[derive(Debug)]
+pub struct Asm {
+    base: u32,
+    bytes: Vec<u8>,
+    labels: Vec<u32>,
+    fixups: Vec<(usize, Label)>,
+    inst_offsets: Vec<u32>,
+}
+
+impl Asm {
+    /// Starts a program that will be loaded at `base`.
+    pub fn new(base: u32) -> Asm {
+        Asm {
+            base,
+            bytes: Vec::new(),
+            labels: Vec::new(),
+            fixups: Vec::new(),
+            inst_offsets: Vec::new(),
+        }
+    }
+
+    /// Current emission address.
+    pub fn here(&self) -> u32 {
+        self.base + self.bytes.len() as u32
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn inst_count(&self) -> usize {
+        self.inst_offsets.len()
+    }
+
+    /// Creates an unbound label.
+    pub fn fresh_label(&mut self) -> Label {
+        self.labels.push(u32::MAX);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already bound.
+    pub fn bind(&mut self, label: Label) {
+        assert_eq!(self.labels[label.0], u32::MAX, "label bound twice");
+        self.labels[label.0] = self.here();
+    }
+
+    /// Appends an instruction with fully resolved operands.
+    pub fn push(&mut self, inst: Inst) {
+        self.inst_offsets.push(self.bytes.len() as u32);
+        encode(&inst, &mut self.bytes);
+    }
+
+    fn push_with_target_fixup(&mut self, inst: Inst, label: Label) {
+        self.inst_offsets.push(self.bytes.len() as u32);
+        let start = self.bytes.len();
+        encode(&inst, &mut self.bytes);
+        // Direct targets are always the trailing four bytes.
+        self.fixups.push((self.bytes.len() - 4, label));
+        debug_assert!(self.bytes.len() - start >= 5);
+    }
+
+    /// Appends `jmp label`.
+    pub fn push_jmp(&mut self, label: Label) {
+        self.push_with_target_fixup(Inst::Jmp { target: 0 }, label);
+    }
+
+    /// Appends `jcc label`.
+    pub fn push_jcc(&mut self, cond: Cond, label: Label) {
+        self.push_with_target_fixup(Inst::Jcc { cond, target: 0 }, label);
+    }
+
+    /// Appends `call label`.
+    pub fn push_call(&mut self, label: Label) {
+        self.push_with_target_fixup(Inst::Call { target: 0 }, label);
+    }
+
+    /// Resolves all fixups and returns the finished program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced label was never bound.
+    pub fn assemble(mut self) -> Program {
+        for (offset, label) in &self.fixups {
+            let addr = self.labels[label.0];
+            assert_ne!(addr, u32::MAX, "unbound label {label:?}");
+            self.bytes[*offset..*offset + 4].copy_from_slice(&addr.to_le_bytes());
+        }
+        Program {
+            base: self.base,
+            bytes: self.bytes,
+            labels: self.labels,
+            inst_offsets: self.inst_offsets,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::decode;
+    use crate::inst::Gpr;
+
+    #[test]
+    fn forward_and_backward_labels() {
+        let mut a = Asm::new(0x100);
+        let fwd = a.fresh_label();
+        let back = a.fresh_label();
+        a.bind(back);
+        a.push(Inst::Nop);
+        a.push_jmp(fwd);
+        a.push_jcc(Cond::E, back);
+        a.bind(fwd);
+        a.push(Inst::Halt);
+        let p = a.assemble();
+        assert_eq!(p.label_addr(back), 0x100);
+        // Decode the jmp at offset 1 and check its target.
+        let (inst, _) = decode(&p.bytes[1..]).unwrap();
+        assert_eq!(inst, Inst::Jmp { target: p.label_addr(fwd) });
+    }
+
+    #[test]
+    fn inst_offsets_track_layout() {
+        let mut a = Asm::new(0);
+        a.push(Inst::Nop); // 1 byte
+        a.push(Inst::MovRI { dst: Gpr::Eax, imm: 1 }); // 3 bytes
+        a.push(Inst::Halt);
+        let p = a.assemble();
+        assert_eq!(p.inst_offsets, vec![0, 1, 4]);
+        assert_eq!(p.static_len(), 3);
+        assert_eq!(p.end(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound label")]
+    fn unbound_label_panics() {
+        let mut a = Asm::new(0);
+        let l = a.fresh_label();
+        a.push_jmp(l);
+        let _ = a.assemble();
+    }
+
+    #[test]
+    #[should_panic(expected = "label bound twice")]
+    fn double_bind_panics() {
+        let mut a = Asm::new(0);
+        let l = a.fresh_label();
+        a.bind(l);
+        a.bind(l);
+    }
+}

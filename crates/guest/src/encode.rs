@@ -1,0 +1,375 @@
+//! Binary encoding of guest instructions.
+//!
+//! The format is variable length (1–8 bytes), like real x86: a one-byte
+//! opcode followed by operand bytes. Memory operands and immediates use
+//! short forms when they fit in a byte, so the decoder — and the software
+//! layer's interpreter and translator on top of it — must handle genuinely
+//! variable-length code.
+//!
+//! Layout summary:
+//!
+//! * register pairs pack into one byte (`dst << 4 | src`),
+//! * immediates are 1 byte (sign-extended) or 4 bytes little-endian,
+//!   selected by a size bit in the preceding operand byte,
+//! * memory operands are a flags byte (`has_base`, base, `has_index`,
+//!   `disp32`, scale), an optional index byte, and a 1- or 4-byte
+//!   displacement,
+//! * direct branch targets are absolute 4-byte little-endian addresses.
+
+use crate::inst::{Inst, MemRef};
+
+/// Opcode byte values. Kept in one place so the decoder mirrors it.
+pub(crate) mod op {
+    pub const NOP: u8 = 0x00;
+    pub const HALT: u8 = 0x01;
+    pub const SYSCALL: u8 = 0x02;
+    pub const MOV_RR: u8 = 0x10;
+    pub const MOV_RI: u8 = 0x11;
+    pub const LOAD: u8 = 0x12;
+    pub const STORE: u8 = 0x13;
+    pub const STORE_I: u8 = 0x14;
+    pub const LEA: u8 = 0x15;
+    pub const LOAD_ZX: u8 = 0x16;
+    pub const LOAD_SX: u8 = 0x17;
+    pub const STORE_N: u8 = 0x18;
+    pub const ALU_RR_BASE: u8 = 0x20; // +AluOp (5)
+    pub const ALU_RI_BASE: u8 = 0x28; // +AluOp (5)
+    pub const ALU_RM_BASE: u8 = 0x30; // +AluOp (5)
+    pub const ALU_MR_BASE: u8 = 0x38; // +AluOp (5)
+    pub const CMP_RR: u8 = 0x40;
+    pub const CMP_RI: u8 = 0x41;
+    pub const TEST_RR: u8 = 0x42;
+    pub const SHIFT_BASE: u8 = 0x43; // +ShiftOp (3)
+    pub const SHIFT_CL_BASE: u8 = 0x46; // +ShiftOp (3)
+    pub const IMUL: u8 = 0x49;
+    pub const IDIV: u8 = 0x4A;
+    pub const NEG: u8 = 0x4B;
+    pub const NOT: u8 = 0x4C;
+    pub const PUSH: u8 = 0x50;
+    pub const POP: u8 = 0x51;
+    pub const JCC: u8 = 0x60;
+    pub const JMP: u8 = 0x61;
+    pub const JMP_IND: u8 = 0x62;
+    pub const JMP_MEM: u8 = 0x63;
+    pub const CALL: u8 = 0x64;
+    pub const CALL_IND: u8 = 0x65;
+    pub const RET: u8 = 0x66;
+    pub const FMOV_RR: u8 = 0x70;
+    pub const FLOAD: u8 = 0x71;
+    pub const FSTORE: u8 = 0x72;
+    pub const FARITH_BASE: u8 = 0x73; // +FpOp (4)
+    pub const CVT_IF: u8 = 0x77;
+    pub const CVT_FI: u8 = 0x78;
+}
+
+#[inline]
+fn pack_regs(hi: usize, lo: usize) -> u8 {
+    ((hi as u8) << 4) | lo as u8
+}
+
+fn push_imm(out: &mut Vec<u8>, size_byte_index: usize, imm: i32) {
+    if let Ok(v) = i8::try_from(imm) {
+        out.push(v as u8);
+    } else {
+        out[size_byte_index] |= 0x80;
+        out.extend_from_slice(&imm.to_le_bytes());
+    }
+}
+
+fn push_mem(out: &mut Vec<u8>, m: &MemRef) {
+    let disp32 = i8::try_from(m.disp).is_err();
+    let mut flags = 0u8;
+    if let Some(b) = m.base {
+        flags |= 1 | ((b.index() as u8) << 1);
+    }
+    if m.index.is_some() {
+        flags |= 1 << 4;
+    }
+    if disp32 {
+        flags |= 1 << 5;
+    }
+    flags |= (m.scale as u8) << 6;
+    out.push(flags);
+    if let Some(i) = m.index {
+        out.push(i.index() as u8);
+    }
+    if disp32 {
+        out.extend_from_slice(&m.disp.to_le_bytes());
+    } else {
+        out.push(m.disp as i8 as u8);
+    }
+}
+
+/// Encodes one instruction, appending its bytes to `out`, and returns the
+/// encoded length.
+///
+/// The encoding is canonical: immediates and displacements that fit in a
+/// signed byte always use the short form, so
+/// `decode(encode(i)) == i` and re-encoding a decoded instruction
+/// reproduces the original bytes.
+pub fn encode(inst: &Inst, out: &mut Vec<u8>) -> usize {
+    use Inst::*;
+    let start = out.len();
+    match *inst {
+        Nop => out.push(op::NOP),
+        Halt => out.push(op::HALT),
+        Syscall => out.push(op::SYSCALL),
+        MovRR { dst, src } => {
+            out.push(op::MOV_RR);
+            out.push(pack_regs(dst.index(), src.index()));
+        }
+        MovRI { dst, imm } => {
+            out.push(op::MOV_RI);
+            out.push(dst.index() as u8);
+            let idx = out.len() - 1;
+            push_imm(out, idx, imm);
+        }
+        Load { dst, addr } => {
+            out.push(op::LOAD);
+            out.push(dst.index() as u8);
+            push_mem(out, &addr);
+        }
+        Store { addr, src } => {
+            out.push(op::STORE);
+            out.push(src.index() as u8);
+            push_mem(out, &addr);
+        }
+        StoreI { addr, imm } => {
+            out.push(op::STORE_I);
+            out.push(0);
+            let idx = out.len() - 1;
+            push_mem(out, &addr);
+            push_imm(out, idx, imm);
+        }
+        LoadZx { dst, addr, width } => {
+            out.push(op::LOAD_ZX);
+            out.push(dst.index() as u8 | (width as u8) << 4);
+            push_mem(out, &addr);
+        }
+        LoadSx { dst, addr, width } => {
+            out.push(op::LOAD_SX);
+            out.push(dst.index() as u8 | (width as u8) << 4);
+            push_mem(out, &addr);
+        }
+        StoreN { addr, src, width } => {
+            out.push(op::STORE_N);
+            out.push(src.index() as u8 | (width as u8) << 4);
+            push_mem(out, &addr);
+        }
+        Lea { dst, addr } => {
+            out.push(op::LEA);
+            out.push(dst.index() as u8);
+            push_mem(out, &addr);
+        }
+        AluRR { op: o, dst, src } => {
+            out.push(op::ALU_RR_BASE + o as u8);
+            out.push(pack_regs(dst.index(), src.index()));
+        }
+        AluRI { op: o, dst, imm } => {
+            out.push(op::ALU_RI_BASE + o as u8);
+            out.push(dst.index() as u8);
+            let idx = out.len() - 1;
+            push_imm(out, idx, imm);
+        }
+        AluRM { op: o, dst, addr } => {
+            out.push(op::ALU_RM_BASE + o as u8);
+            out.push(dst.index() as u8);
+            push_mem(out, &addr);
+        }
+        AluMR { op: o, addr, src } => {
+            out.push(op::ALU_MR_BASE + o as u8);
+            out.push(src.index() as u8);
+            push_mem(out, &addr);
+        }
+        CmpRR { a, b } => {
+            out.push(op::CMP_RR);
+            out.push(pack_regs(a.index(), b.index()));
+        }
+        CmpRI { a, imm } => {
+            out.push(op::CMP_RI);
+            out.push(a.index() as u8);
+            let idx = out.len() - 1;
+            push_imm(out, idx, imm);
+        }
+        TestRR { a, b } => {
+            out.push(op::TEST_RR);
+            out.push(pack_regs(a.index(), b.index()));
+        }
+        Shift { op: o, dst, amount } => {
+            out.push(op::SHIFT_BASE + o as u8);
+            out.push(dst.index() as u8 | ((amount & 31) << 3));
+        }
+        ShiftCl { op: o, dst } => {
+            out.push(op::SHIFT_CL_BASE + o as u8);
+            out.push(dst.index() as u8);
+        }
+        Imul { dst, src } => {
+            out.push(op::IMUL);
+            out.push(pack_regs(dst.index(), src.index()));
+        }
+        Idiv { dst, src } => {
+            out.push(op::IDIV);
+            out.push(pack_regs(dst.index(), src.index()));
+        }
+        Neg { dst } => {
+            out.push(op::NEG);
+            out.push(dst.index() as u8);
+        }
+        Not { dst } => {
+            out.push(op::NOT);
+            out.push(dst.index() as u8);
+        }
+        Push { src } => {
+            out.push(op::PUSH);
+            out.push(src.index() as u8);
+        }
+        Pop { dst } => {
+            out.push(op::POP);
+            out.push(dst.index() as u8);
+        }
+        Jcc { cond, target } => {
+            out.push(op::JCC);
+            out.push(cond as u8);
+            out.extend_from_slice(&target.to_le_bytes());
+        }
+        Jmp { target } => {
+            out.push(op::JMP);
+            out.extend_from_slice(&target.to_le_bytes());
+        }
+        JmpInd { reg } => {
+            out.push(op::JMP_IND);
+            out.push(reg.index() as u8);
+        }
+        JmpMem { addr } => {
+            out.push(op::JMP_MEM);
+            push_mem(out, &addr);
+        }
+        Call { target } => {
+            out.push(op::CALL);
+            out.extend_from_slice(&target.to_le_bytes());
+        }
+        CallInd { reg } => {
+            out.push(op::CALL_IND);
+            out.push(reg.index() as u8);
+        }
+        Ret => out.push(op::RET),
+        FMovRR { dst, src } => {
+            out.push(op::FMOV_RR);
+            out.push(pack_regs(dst.index(), src.index()));
+        }
+        FLoad { dst, addr } => {
+            out.push(op::FLOAD);
+            out.push(dst.index() as u8);
+            push_mem(out, &addr);
+        }
+        FStore { addr, src } => {
+            out.push(op::FSTORE);
+            out.push(src.index() as u8);
+            push_mem(out, &addr);
+        }
+        FArith { op: o, dst, src } => {
+            out.push(op::FARITH_BASE + o as u8);
+            out.push(pack_regs(dst.index(), src.index()));
+        }
+        CvtIF { dst, src } => {
+            out.push(op::CVT_IF);
+            out.push(pack_regs(dst.index(), src.index()));
+        }
+        CvtFI { dst, src } => {
+            out.push(op::CVT_FI);
+            out.push(pack_regs(dst.index(), src.index()));
+        }
+    }
+    out.len() - start
+}
+
+/// Convenience: encodes one instruction into a fresh vector.
+pub fn encode_to_vec(inst: &Inst) -> Vec<u8> {
+    let mut v = Vec::with_capacity(8);
+    encode(inst, &mut v);
+    v
+}
+
+// Re-exported constants used by the decoder; keep the two modules in sync.
+pub(crate) use op as opcodes;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{Cond, FpOp, FpReg, Gpr, Scale, ShiftOp};
+
+    #[test]
+    fn one_byte_instructions() {
+        assert_eq!(encode_to_vec(&Inst::Nop), vec![op::NOP]);
+        assert_eq!(encode_to_vec(&Inst::Halt), vec![op::HALT]);
+        assert_eq!(encode_to_vec(&Inst::Ret), vec![op::RET]);
+    }
+
+    #[test]
+    fn short_and_long_immediates() {
+        let short = encode_to_vec(&Inst::MovRI {
+            dst: Gpr::Eax,
+            imm: -5,
+        });
+        assert_eq!(short.len(), 3);
+        let long = encode_to_vec(&Inst::MovRI {
+            dst: Gpr::Eax,
+            imm: 100_000,
+        });
+        assert_eq!(long.len(), 6);
+        assert_eq!(long[1] & 0x80, 0x80);
+    }
+
+    #[test]
+    fn mem_operand_lengths() {
+        let short = encode_to_vec(&Inst::Load {
+            dst: Gpr::Eax,
+            addr: MemRef::base(Gpr::Ebp, -8),
+        });
+        // op + reg + flags + disp8
+        assert_eq!(short.len(), 4);
+        let long = encode_to_vec(&Inst::Load {
+            dst: Gpr::Eax,
+            addr: MemRef::base_index(Gpr::Ebp, Gpr::Esi, Scale::S8, 0x1000),
+        });
+        // op + reg + flags + index + disp32
+        assert_eq!(long.len(), 8);
+    }
+
+    #[test]
+    fn branch_targets_are_absolute_le() {
+        let b = encode_to_vec(&Inst::Jmp { target: 0x1234_5678 });
+        assert_eq!(b, vec![op::JMP, 0x78, 0x56, 0x34, 0x12]);
+        let j = encode_to_vec(&Inst::Jcc {
+            cond: Cond::Ne,
+            target: 0xAABB,
+        });
+        assert_eq!(j.len(), 6);
+        assert_eq!(j[1], Cond::Ne as u8);
+    }
+
+    #[test]
+    fn farith_opcodes_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for o in FpOp::ALL {
+            let v = encode_to_vec(&Inst::FArith {
+                op: o,
+                dst: FpReg(1),
+                src: FpReg(2),
+            });
+            assert!(seen.insert(v[0]));
+        }
+    }
+
+    #[test]
+    fn shift_packs_amount() {
+        let v = encode_to_vec(&Inst::Shift {
+            op: ShiftOp::Shl,
+            dst: Gpr::Edx,
+            amount: 7,
+        });
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[1] & 7, Gpr::Edx.index() as u8);
+        assert_eq!(v[1] >> 3, 7);
+    }
+}

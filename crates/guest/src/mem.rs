@@ -1,0 +1,202 @@
+//! Sparse paged guest memory.
+//!
+//! The guest sees a flat 32-bit address space. Pages (4 KiB) are allocated
+//! lazily on first touch, so programs with large but sparsely-used
+//! footprints stay cheap to model. Reads of untouched memory return zero,
+//! which is also what the workload generator assumes for its data regions.
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+const PAGE_MASK: u32 = (PAGE_SIZE as u32) - 1;
+
+/// Sparse 32-bit guest address space with 4 KiB pages.
+#[derive(Debug, Clone, Default)]
+pub struct GuestMem {
+    pages: std::collections::HashMap<u32, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl GuestMem {
+    /// Creates an empty address space (all bytes read as zero).
+    pub fn new() -> GuestMem {
+        GuestMem::default()
+    }
+
+    /// Number of pages that have been touched by a write.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Reads one byte.
+    #[inline]
+    pub fn read_u8(&self, addr: u32) -> u8 {
+        match self.pages.get(&(addr >> PAGE_SHIFT)) {
+            Some(p) => p[(addr & PAGE_MASK) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte, allocating the page if needed.
+    #[inline]
+    pub fn write_u8(&mut self, addr: u32, val: u8) {
+        let page = self
+            .pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+        page[(addr & PAGE_MASK) as usize] = val;
+    }
+
+    /// Reads a little-endian 16-bit halfword.
+    pub fn read_u16(&self, addr: u32) -> u16 {
+        self.read_u8(addr) as u16 | (self.read_u8(addr.wrapping_add(1)) as u16) << 8
+    }
+
+    /// Writes a little-endian 16-bit halfword.
+    pub fn write_u16(&mut self, addr: u32, val: u16) {
+        self.write_u8(addr, val as u8);
+        self.write_u8(addr.wrapping_add(1), (val >> 8) as u8);
+    }
+
+    /// Reads a little-endian 32-bit word (byte-wise; unaligned is fine,
+    /// wrapping at the top of the address space).
+    pub fn read_u32(&self, addr: u32) -> u32 {
+        let mut v = 0u32;
+        for i in 0..4 {
+            v |= (self.read_u8(addr.wrapping_add(i)) as u32) << (8 * i);
+        }
+        v
+    }
+
+    /// Writes a little-endian 32-bit word.
+    pub fn write_u32(&mut self, addr: u32, val: u32) {
+        for (i, b) in val.to_le_bytes().iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u32), *b);
+        }
+    }
+
+    /// Reads a little-endian 64-bit word.
+    pub fn read_u64(&self, addr: u32) -> u64 {
+        let lo = self.read_u32(addr) as u64;
+        let hi = self.read_u32(addr.wrapping_add(4)) as u64;
+        lo | (hi << 32)
+    }
+
+    /// Writes a little-endian 64-bit word.
+    pub fn write_u64(&mut self, addr: u32, val: u64) {
+        self.write_u32(addr, val as u32);
+        self.write_u32(addr.wrapping_add(4), (val >> 32) as u32);
+    }
+
+    /// Reads an `f64` stored with [`GuestMem::write_f64`].
+    pub fn read_f64(&self, addr: u32) -> f64 {
+        f64::from_bits(self.read_u64(addr))
+    }
+
+    /// Writes an `f64` as its IEEE-754 bit pattern.
+    pub fn write_f64(&mut self, addr: u32, val: f64) {
+        self.write_u64(addr, val.to_bits());
+    }
+
+    /// Copies a byte slice into memory starting at `addr`.
+    pub fn write_bytes(&mut self, addr: u32, bytes: &[u8]) {
+        for (i, b) in bytes.iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u32), *b);
+        }
+    }
+
+    /// Copies `buf.len()` bytes out of memory starting at `addr`.
+    pub fn read_bytes(&self, addr: u32, buf: &mut [u8]) {
+        for (i, b) in buf.iter_mut().enumerate() {
+            *b = self.read_u8(addr.wrapping_add(i as u32));
+        }
+    }
+
+    /// Returns up to `max` bytes starting at `addr` without crossing more
+    /// than one page boundary, for use by the instruction decoder.
+    pub fn window(&self, addr: u32, max: usize) -> Vec<u8> {
+        let mut buf = vec![0u8; max];
+        self.read_bytes(addr, &mut buf);
+        buf
+    }
+
+    /// Compares two address spaces byte-for-byte and returns the address
+    /// of the first difference, treating absent pages as zero-filled.
+    pub fn first_difference(&self, other: &GuestMem) -> Option<u32> {
+        let mut pages: Vec<u32> =
+            self.pages.keys().chain(other.pages.keys()).copied().collect();
+        pages.sort_unstable();
+        pages.dedup();
+        const ZERO: [u8; PAGE_SIZE] = [0; PAGE_SIZE];
+        for p in pages {
+            let a = self.pages.get(&p).map_or(&ZERO, |b| &**b);
+            let b = other.pages.get(&p).map_or(&ZERO, |b| &**b);
+            if a != b {
+                let off = a.iter().zip(b.iter()).position(|(x, y)| x != y).unwrap_or(0);
+                return Some((p << PAGE_SHIFT) + off as u32);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_fill_semantics() {
+        let m = GuestMem::new();
+        assert_eq!(m.read_u8(0), 0);
+        assert_eq!(m.read_u32(0xFFFF_FFFC), 0);
+        assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn rw_roundtrip() {
+        let mut m = GuestMem::new();
+        m.write_u32(0x1000, 0xDEAD_BEEF);
+        assert_eq!(m.read_u32(0x1000), 0xDEAD_BEEF);
+        assert_eq!(m.read_u8(0x1000), 0xEF);
+        assert_eq!(m.read_u8(0x1003), 0xDE);
+        m.write_u64(0x2000, 0x0123_4567_89AB_CDEF);
+        assert_eq!(m.read_u64(0x2000), 0x0123_4567_89AB_CDEF);
+        m.write_f64(0x3000, -1.5);
+        assert_eq!(m.read_f64(0x3000), -1.5);
+    }
+
+    #[test]
+    fn unaligned_cross_page() {
+        let mut m = GuestMem::new();
+        // Straddles the page boundary at 0x1000.
+        m.write_u32(0x0FFE, 0xAABB_CCDD);
+        assert_eq!(m.read_u32(0x0FFE), 0xAABB_CCDD);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn u16_roundtrip() {
+        let mut m = GuestMem::new();
+        m.write_u16(0x7FF, 0xBEEF); // straddles nothing special
+        assert_eq!(m.read_u16(0x7FF), 0xBEEF);
+        assert_eq!(m.read_u8(0x7FF), 0xEF);
+        assert_eq!(m.read_u8(0x800), 0xBE);
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let mut m = GuestMem::new();
+        let data: Vec<u8> = (0..=255).collect();
+        m.write_bytes(0x5000, &data);
+        let mut back = vec![0u8; 256];
+        m.read_bytes(0x5000, &mut back);
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn address_wraparound() {
+        let mut m = GuestMem::new();
+        m.write_u32(u32::MAX - 1, 0x1122_3344);
+        assert_eq!(m.read_u32(u32::MAX - 1), 0x1122_3344);
+        assert_eq!(m.read_u8(0), 0x22);
+        assert_eq!(m.read_u8(1), 0x11);
+    }
+}

@@ -1,0 +1,57 @@
+//! Host physical address map.
+//!
+//! The software layer works with physical addresses (which is why the
+//! modeled TLB exists only for data, paper Sec. II-A-2). The map places
+//! the emulated guest's RAM in the low 4 GiB and the software layer's own
+//! structures above it, so the timing simulator can attribute every
+//! memory access to an owner by address alone.
+
+/// Base of the emulated guest application's memory (identity-mapped
+/// 32-bit space).
+pub const GUEST_BASE: u64 = 0;
+
+/// One past the end of guest memory.
+pub const GUEST_END: u64 = 1 << 32;
+
+/// Base of the software layer's data structures (translation map, IBTC,
+/// profile tables, workspace).
+pub const TOL_DATA_BASE: u64 = 0x1_0000_0000;
+
+/// Base of the code cache (translated guest code lives here).
+pub const CODE_CACHE_BASE: u64 = 0x2_0000_0000;
+
+/// Base of the software layer's own static code (interpreter loop,
+/// translator, optimizer). Its footprint is small, which is why the
+/// paper finds TOL's I$ impact negligible (Sec. III-C).
+pub const TOL_CODE_BASE: u64 = 0x3_0000_0000;
+
+/// Converts a guest address to a host physical address.
+#[inline]
+pub fn guest_to_host(addr: u32) -> u64 {
+    GUEST_BASE + addr as u64
+}
+
+/// Whether a host address belongs to the emulated guest's memory.
+#[inline]
+pub fn is_guest_addr(addr: u64) -> bool {
+    (GUEST_BASE..GUEST_END).contains(&addr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_are_disjoint_and_ordered() {
+        const { assert!(GUEST_END <= TOL_DATA_BASE) };
+        const { assert!(TOL_DATA_BASE < CODE_CACHE_BASE) };
+        const { assert!(CODE_CACHE_BASE < TOL_CODE_BASE) };
+    }
+
+    #[test]
+    fn guest_mapping() {
+        assert_eq!(guest_to_host(0), GUEST_BASE);
+        assert!(is_guest_addr(guest_to_host(u32::MAX)));
+        assert!(!is_guest_addr(TOL_DATA_BASE));
+    }
+}

@@ -1,0 +1,196 @@
+//! Set-associative cache with tree-PLRU replacement.
+//!
+//! One structure serves the L1-I, L1-D and unified L2 of Table I; the
+//! TLBs reuse it at page granularity via [`crate::tlb`].
+
+use crate::config::CacheParams;
+use crate::plru::PlruSet;
+
+/// Result of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lookup {
+    /// The line was present.
+    Hit,
+    /// The line was absent and has been filled (victim possibly evicted).
+    Miss,
+}
+
+#[derive(Debug, Clone)]
+struct Set {
+    tags: Vec<u64>,
+    valid: Vec<bool>,
+    plru: PlruSet,
+}
+
+/// A set-associative, write-allocate cache model (tags only — data lives
+/// in the functional memory).
+#[derive(Debug, Clone)]
+pub struct Cache {
+    sets: Vec<Set>,
+    set_mask: u64,
+    block_shift: u32,
+    ways: u32,
+    accesses: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Builds a cache from its parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if block size, way count or set count is not a power of two.
+    pub fn new(p: CacheParams) -> Cache {
+        let sets = p.sets();
+        assert!(p.block.is_power_of_two(), "block size must be a power of two");
+        assert!(p.ways.is_power_of_two(), "ways must be a power of two");
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        Cache {
+            sets: (0..sets)
+                .map(|_| Set {
+                    tags: vec![0; p.ways as usize],
+                    valid: vec![false; p.ways as usize],
+                    plru: PlruSet::default(),
+                })
+                .collect(),
+            set_mask: (sets - 1) as u64,
+            block_shift: p.block.trailing_zeros(),
+            ways: p.ways,
+            accesses: 0,
+            misses: 0,
+        }
+    }
+
+    #[inline]
+    fn index(&self, addr: u64) -> (usize, u64) {
+        let line = addr >> self.block_shift;
+        ((line & self.set_mask) as usize, line >> self.set_mask.count_ones())
+    }
+
+    /// Accesses `addr`, filling the line on a miss. Counted in the
+    /// hit/miss statistics.
+    pub fn access(&mut self, addr: u64) -> Lookup {
+        self.accesses += 1;
+        let r = self.probe_fill(addr);
+        if r == Lookup::Miss {
+            self.misses += 1;
+        }
+        r
+    }
+
+    /// Fills `addr` without counting statistics (used by the prefetcher,
+    /// whose fills are not demand accesses).
+    pub fn fill(&mut self, addr: u64) {
+        let _ = self.probe_fill(addr);
+    }
+
+    /// Checks for presence without filling or counting.
+    pub fn contains(&self, addr: u64) -> bool {
+        let (set_idx, tag) = self.index(addr);
+        let set = &self.sets[set_idx];
+        (0..self.ways as usize).any(|w| set.valid[w] && set.tags[w] == tag)
+    }
+
+    fn probe_fill(&mut self, addr: u64) -> Lookup {
+        let (set_idx, tag) = self.index(addr);
+        let ways = self.ways;
+        let set = &mut self.sets[set_idx];
+        for w in 0..ways as usize {
+            if set.valid[w] && set.tags[w] == tag {
+                set.plru.touch(w as u32, ways);
+                return Lookup::Hit;
+            }
+        }
+        // Prefer an invalid way, else the PLRU victim.
+        let victim = (0..ways as usize)
+            .find(|&w| !set.valid[w])
+            .unwrap_or_else(|| set.plru.victim(ways) as usize);
+        set.tags[victim] = tag;
+        set.valid[victim] = true;
+        set.plru.touch(victim as u32, ways);
+        Lookup::Miss
+    }
+
+    /// Demand accesses so far.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Demand misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Miss rate over demand accesses (0 if never accessed).
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Line (block) size in bytes.
+    pub fn block_bytes(&self) -> u64 {
+        1 << self.block_shift
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        // 4 sets x 2 ways x 16B blocks = 128 B.
+        Cache::new(CacheParams { size: 128, block: 16, ways: 2, hit_latency: 1 })
+    }
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = small();
+        assert_eq!(c.access(0x40), Lookup::Miss);
+        assert_eq!(c.access(0x40), Lookup::Hit);
+        assert_eq!(c.access(0x4F), Lookup::Hit, "same 16B line");
+        assert_eq!(c.access(0x50), Lookup::Miss, "next line");
+        assert_eq!(c.accesses(), 4);
+        assert_eq!(c.misses(), 2);
+        assert!((c.miss_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eviction_on_conflict() {
+        let mut c = small();
+        // Three lines mapping to set 0 (stride = sets*block = 64).
+        assert_eq!(c.access(0x000), Lookup::Miss);
+        assert_eq!(c.access(0x040), Lookup::Miss);
+        assert_eq!(c.access(0x080), Lookup::Miss); // evicts one of the two
+        // The most recently used (0x040) must survive.
+        assert!(c.contains(0x040));
+        assert!(!c.contains(0x000));
+    }
+
+    #[test]
+    fn prefetch_fill_not_counted() {
+        let mut c = small();
+        c.fill(0x100);
+        assert_eq!(c.accesses(), 0);
+        assert_eq!(c.access(0x100), Lookup::Hit);
+    }
+
+    #[test]
+    fn distinct_tags_same_set() {
+        let mut c = small();
+        c.access(0x000);
+        assert!(c.contains(0x000));
+        assert!(!c.contains(0x040), "different tag, same set");
+    }
+
+    #[test]
+    fn table_i_shapes_construct() {
+        use crate::config::TimingConfig;
+        let cfg = TimingConfig::default();
+        let _ = Cache::new(cfg.l1i);
+        let _ = Cache::new(cfg.l1d);
+        let _ = Cache::new(cfg.l2);
+    }
+}

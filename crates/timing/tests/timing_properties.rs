@@ -1,0 +1,91 @@
+//! Property tests for the timing substrates: caches, PLRU, predictor
+//! and TLB invariants over random access streams.
+
+use darco_host::BranchKind;
+use darco_timing::cache::{Cache, Lookup};
+use darco_timing::config::CacheParams;
+use darco_timing::plru::PlruSet;
+use darco_timing::predictor::Predictor;
+use darco_timing::TimingConfig;
+use proptest::prelude::*;
+
+proptest! {
+    /// A line is always present immediately after being accessed, for
+    /// any legal cache shape.
+    #[test]
+    fn hit_after_access_any_shape(
+        ways_log in 0u32..4,
+        sets_log in 0u32..6,
+        block_log in 4u32..8,
+        addrs in proptest::collection::vec(any::<u32>(), 1..100),
+    ) {
+        let ways = 1 << ways_log;
+        let block = 1 << block_log;
+        let sets = 1u32 << sets_log;
+        let mut c = Cache::new(CacheParams {
+            size: sets * ways * block,
+            block,
+            ways,
+            hit_latency: 1,
+        });
+        for a in addrs {
+            c.access(a as u64);
+            prop_assert_eq!(c.access(a as u64), Lookup::Hit);
+            prop_assert!(c.contains(a as u64));
+        }
+    }
+
+    /// Miss count never exceeds access count, and the rate is in [0, 1].
+    #[test]
+    fn cache_counters_consistent(addrs in proptest::collection::vec(any::<u32>(), 1..300)) {
+        let mut c = Cache::new(TimingConfig::default().l1d);
+        for a in &addrs {
+            c.access(*a as u64);
+        }
+        prop_assert!(c.misses() <= c.accesses());
+        prop_assert_eq!(c.accesses(), addrs.len() as u64);
+        let r = c.miss_rate();
+        prop_assert!((0.0..=1.0).contains(&r));
+    }
+
+    /// The PLRU victim is always a legal way and never the way just
+    /// touched (for associativity >= 2).
+    #[test]
+    fn plru_victim_in_range(
+        ways_log in 1u32..6,
+        touches in proptest::collection::vec(any::<u32>(), 1..200),
+    ) {
+        let ways = 1u32 << ways_log;
+        let mut p = PlruSet::default();
+        for t in touches {
+            let w = t % ways;
+            p.touch(w, ways);
+            let v = p.victim(ways);
+            prop_assert!(v < ways);
+            prop_assert_ne!(v, w, "victim equals the MRU way");
+        }
+    }
+
+    /// The predictor's misprediction count never exceeds its branch
+    /// count, and a perfectly stable direct branch converges to zero
+    /// further mispredictions.
+    #[test]
+    fn predictor_counters_and_convergence(
+        pcs in proptest::collection::vec(0u64..1024, 1..50),
+    ) {
+        let mut p = Predictor::new(12, 1024);
+        for &pc in &pcs {
+            for _ in 0..4 {
+                p.predict_and_update(pc * 4, BranchKind::UncondDirect, true, pc * 8 + 4);
+            }
+        }
+        prop_assert!(p.mispredicts() <= p.branches());
+        // Re-visit every site: all targets cached now (BTB is 1024
+        // entries and pcs < 1024*4 map to distinct slots).
+        let before = p.mispredicts();
+        for &pc in &pcs {
+            p.predict_and_update(pc * 4, BranchKind::UncondDirect, true, pc * 8 + 4);
+        }
+        prop_assert_eq!(p.mispredicts(), before, "stable targets must not mispredict");
+    }
+}

@@ -1,0 +1,284 @@
+//! The code cache: storage for translations, the translation map, and
+//! chaining.
+//!
+//! Translations are bounded by a host-instruction capacity; overflow
+//! flushes the whole cache (the classic bounded-code-cache policy; see
+//! Hazelwood & Smith, cited as [33] in the paper). Chaining patches a
+//! block's direct exit to name its successor block, so steady-state
+//! execution hops from translation to translation without entering the
+//! software layer (Sec. III-B).
+
+use darco_host::layout::CODE_CACHE_BASE;
+use darco_host::{Exit, HInst};
+use std::collections::HashMap;
+
+/// Which mode produced a translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockKind {
+    /// Basic-block translation (BBM): instrumented for edge profiling.
+    Bb,
+    /// Optimized superblock (SBM).
+    Sb,
+}
+
+/// One installed translation.
+#[derive(Debug, Clone)]
+pub struct TranslatedBlock {
+    /// Guest address this translation starts at.
+    pub guest_entry: u32,
+    /// Host address of the first instruction (for I-cache modeling).
+    pub host_base: u64,
+    /// The translated host code: body, then fall-through exit, then
+    /// side-exit stubs.
+    pub insts: Vec<HInst>,
+    /// Producing mode.
+    pub kind: BlockKind,
+    /// Host-instruction index of the fall-through exit (= body length).
+    pub body_len: u32,
+    /// Guest instructions retired when leaving via stub `i` (the exit at
+    /// host index `body_len + 1 + i`).
+    pub stub_guest_counts: Vec<u32>,
+    /// Guest instructions retired on the fall-through exit.
+    pub guest_len: u32,
+    /// Guest addresses covered (for static-mode accounting).
+    pub guest_pcs: Vec<u32>,
+    /// Executions observed (drives SBM promotion of BBM blocks).
+    pub exec_count: u64,
+    /// Set once this BBM block has been promoted to a superblock.
+    pub promoted: bool,
+    /// When promoted, the block's entry is patched with a jump to the
+    /// replacing superblock, so stale chain links reach the new code.
+    pub redirect: Option<u32>,
+}
+
+/// Statistics the code cache keeps.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CodeCacheStats {
+    /// Translations installed over the run (including re-translations
+    /// after flushes).
+    pub installed: u64,
+    /// Whole-cache flushes.
+    pub flushes: u64,
+    /// Chain links patched.
+    pub chains: u64,
+}
+
+/// The bounded code cache and translation map.
+#[derive(Debug)]
+pub struct CodeCache {
+    blocks: Vec<TranslatedBlock>,
+    map: HashMap<u32, u32>,
+    capacity: u32,
+    used: u32,
+    next_host_base: u64,
+    scattered: bool,
+    stats: CodeCacheStats,
+}
+
+impl CodeCache {
+    /// Creates a cache bounded to `capacity` host instructions, packing
+    /// translations sequentially in emission order.
+    pub fn new(capacity: u32) -> CodeCache {
+        CodeCache {
+            blocks: Vec::new(),
+            map: HashMap::new(),
+            capacity,
+            used: 0,
+            next_host_base: CODE_CACHE_BASE,
+            scattered: false,
+            stats: CodeCacheStats::default(),
+        }
+    }
+
+    /// Creates a cache with page-aligned ("scattered") placement: every
+    /// translation starts on a 4 KiB boundary, so block heads pile onto
+    /// the same I-cache sets and lines are underused — the bad placement
+    /// policy the paper's code-placement recommendation (Sec. III-E)
+    /// implicitly argues against.
+    pub fn new_scattered(capacity: u32) -> CodeCache {
+        CodeCache { scattered: true, ..CodeCache::new(capacity) }
+    }
+
+    /// Looks up the translation covering guest address `pc` (entry match).
+    pub fn lookup(&self, pc: u32) -> Option<u32> {
+        self.map.get(&pc).copied()
+    }
+
+    /// Installs a translation; flushes first if it would not fit.
+    ///
+    /// Returns the new block id and whether a flush happened. A
+    /// same-entry translation (e.g. an SBM block replacing a BBM block)
+    /// takes over the map entry; the old block stays allocated until the
+    /// next flush, as in a real code cache.
+    #[allow(clippy::too_many_arguments)]
+    pub fn install(
+        &mut self,
+        guest_entry: u32,
+        insts: Vec<HInst>,
+        kind: BlockKind,
+        body_len: u32,
+        stub_guest_counts: Vec<u32>,
+        guest_len: u32,
+        guest_pcs: Vec<u32>,
+    ) -> (u32, bool) {
+        let mut flushed = false;
+        if self.used + insts.len() as u32 > self.capacity {
+            self.flush();
+            flushed = true;
+        }
+        if self.scattered {
+            self.next_host_base = (self.next_host_base + 0xFFF) & !0xFFF;
+        }
+        let host_base = self.next_host_base;
+        self.next_host_base += (insts.len() as u64) * 4;
+        self.used += insts.len() as u32;
+        self.stats.installed += 1;
+        let id = self.blocks.len() as u32;
+        self.blocks.push(TranslatedBlock {
+            guest_entry,
+            host_base,
+            insts,
+            kind,
+            body_len,
+            stub_guest_counts,
+            guest_len,
+            guest_pcs,
+            exec_count: 0,
+            promoted: false,
+            redirect: None,
+        });
+        self.map.insert(guest_entry, id);
+        (id, flushed)
+    }
+
+    /// Drops every translation (bounded-cache overflow policy).
+    pub fn flush(&mut self) {
+        self.blocks.clear();
+        self.map.clear();
+        self.used = 0;
+        self.next_host_base = CODE_CACHE_BASE;
+        self.stats.flushes += 1;
+    }
+
+    /// Accesses a block by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is stale (from before a flush).
+    pub fn block(&self, id: u32) -> &TranslatedBlock {
+        &self.blocks[id as usize]
+    }
+
+    /// Mutable access to a block (profiling counters, promotion flag).
+    pub fn block_mut(&mut self, id: u32) -> &mut TranslatedBlock {
+        &mut self.blocks[id as usize]
+    }
+
+    /// Patches the direct exit at host-instruction index `exit_idx` of
+    /// block `from` to link directly to block `to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instruction at `exit_idx` is not a direct exit.
+    pub fn chain(&mut self, from: u32, exit_idx: usize, to: u32) {
+        let inst = &mut self.blocks[from as usize].insts[exit_idx];
+        match inst {
+            HInst::Exit(Exit::Direct { link, .. }) => {
+                *link = Some(to);
+                self.stats.chains += 1;
+            }
+            other => panic!("chaining a non-direct exit: {other:?}"),
+        }
+    }
+
+    /// Host instructions currently resident.
+    pub fn used(&self) -> u32 {
+        self.used
+    }
+
+    /// Lifetime statistics.
+    pub fn stats(&self) -> CodeCacheStats {
+        self.stats
+    }
+
+    /// Number of currently resident translations.
+    pub fn resident(&self) -> usize {
+        self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_block() -> Vec<HInst> {
+        vec![
+            HInst::Nop,
+            HInst::Exit(Exit::Direct { guest_target: 0x200, link: None }),
+        ]
+    }
+
+    #[test]
+    fn install_and_lookup() {
+        let mut cc = CodeCache::new(100);
+        let (id, flushed) = cc.install(0x100, tiny_block(), BlockKind::Bb, 1, vec![], 3, vec![0x100]);
+        assert!(!flushed);
+        assert_eq!(cc.lookup(0x100), Some(id));
+        assert_eq!(cc.lookup(0x104), None);
+        assert_eq!(cc.block(id).guest_len, 3);
+        assert_eq!(cc.used(), 2);
+    }
+
+    #[test]
+    fn sbm_replaces_map_entry() {
+        let mut cc = CodeCache::new(100);
+        let (bb, _) = cc.install(0x100, tiny_block(), BlockKind::Bb, 1, vec![], 3, vec![]);
+        let (sb, _) = cc.install(0x100, tiny_block(), BlockKind::Sb, 1, vec![], 9, vec![]);
+        assert_ne!(bb, sb);
+        assert_eq!(cc.lookup(0x100), Some(sb));
+    }
+
+    #[test]
+    fn overflow_flushes() {
+        let mut cc = CodeCache::new(5);
+        cc.install(0x100, tiny_block(), BlockKind::Bb, 1, vec![], 1, vec![]);
+        cc.install(0x200, tiny_block(), BlockKind::Bb, 1, vec![], 1, vec![]);
+        // Third block exceeds 5 instructions: flush, then install.
+        let (_, flushed) = cc.install(0x300, tiny_block(), BlockKind::Bb, 1, vec![], 1, vec![]);
+        assert!(flushed);
+        assert_eq!(cc.stats().flushes, 1);
+        assert_eq!(cc.lookup(0x100), None, "flushed");
+        assert_eq!(cc.resident(), 1);
+    }
+
+    #[test]
+    fn chaining_patches_direct_exits() {
+        let mut cc = CodeCache::new(100);
+        let (a, _) = cc.install(0x100, tiny_block(), BlockKind::Bb, 1, vec![], 1, vec![]);
+        let (b, _) = cc.install(0x200, tiny_block(), BlockKind::Bb, 1, vec![], 1, vec![]);
+        cc.chain(a, 1, b);
+        match cc.block(a).insts[1] {
+            HInst::Exit(Exit::Direct { link, .. }) => assert_eq!(link, Some(b)),
+            ref o => panic!("unexpected {o:?}"),
+        }
+        assert_eq!(cc.stats().chains, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-direct exit")]
+    fn chaining_wrong_instruction_panics() {
+        let mut cc = CodeCache::new(100);
+        let (a, _) = cc.install(0x100, tiny_block(), BlockKind::Bb, 1, vec![], 1, vec![]);
+        cc.chain(a, 0, a); // index 0 is a Nop
+    }
+
+    #[test]
+    fn host_bases_are_disjoint() {
+        let mut cc = CodeCache::new(100);
+        let (a, _) = cc.install(0x100, tiny_block(), BlockKind::Bb, 1, vec![], 1, vec![]);
+        let (b, _) = cc.install(0x200, tiny_block(), BlockKind::Bb, 1, vec![], 1, vec![]);
+        let ba = cc.block(a);
+        let bb = cc.block(b);
+        assert!(bb.host_base >= ba.host_base + 4 * ba.insts.len() as u64);
+    }
+}

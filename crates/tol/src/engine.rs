@@ -1,0 +1,974 @@
+//! The software layer's main execution engine (the paper's Fig. 3 flow).
+//!
+//! `code cache hit? → execute translation (chained) ;
+//!  miss → count; over IM/BBth? → translate BB ; else interpret ;
+//!  BB over BB/SBth? → form + optimize superblock`
+//!
+//! [`Tol::step`] advances the emulated guest by (at least) one dispatch
+//! unit — one interpreted basic block or one run of chained translations
+//! bounded by a budget — emitting every retired host instruction to the
+//! caller's sink. The caller (DARCO's controller) feeds those to the
+//! timing simulator and co-simulates against the authoritative
+//! functional emulator between steps.
+
+use crate::codecache::{BlockKind, CodeCache};
+use crate::config::TolConfig;
+use crate::emission::Emitter;
+use crate::ibtc::Ibtc;
+use crate::ir::{self, lower, RegMap, EXIT_TARGET_REG, FLAGS_REG};
+use crate::profile::{Profiler, StaticMode};
+use crate::superblock::form_region;
+use crate::translate::{decode_bb, translate_region, RegionInst};
+use crate::{interp, opt};
+use darco_guest::{CpuState, DecodeError, Flags, FpReg, Gpr, GuestMem};
+use darco_host::layout::{guest_to_host, TOL_CODE_BASE};
+use darco_host::stream::{fp_reg, int_reg, NO_REG};
+use darco_host::{
+    exec_inst, BranchKind, DynInst, Exit, HFreg, HInst, HostState, Outcome,
+};
+use serde::{Deserialize, Serialize};
+
+/// Execution mode (re-export of the profiler's mode classification).
+pub type Mode = StaticMode;
+
+/// Counters the engine maintains across a run.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct TolCounters {
+    /// Guest instructions emulated (all modes).
+    pub guest_insts: u64,
+    /// Superblocks formed (the paper's "SBM invocations", Fig. 6).
+    pub sbm_invocations: u64,
+    /// Dynamic guest indirect branches (incl. returns), Fig. 7 overlay.
+    pub indirect_branches: u64,
+    /// Transitions from translated code into the software layer.
+    pub tol_entries: u64,
+    /// Superblocks whose optimization bailed (register pressure).
+    pub opt_bailouts: u64,
+    /// Speculative indirect-branch resolutions that hit (optional
+    /// feature, Sec. III-E).
+    pub spec_hits: u64,
+    /// Speculative resolutions that missed (compensation taken).
+    pub spec_misses: u64,
+}
+
+/// What one [`Tol::step`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepOutcome {
+    /// Guest instructions retired during this step.
+    pub guest_insts: u64,
+    /// Whether the guest program has halted.
+    pub done: bool,
+    /// Mode the step (mostly) executed in.
+    pub mode: Mode,
+}
+
+/// End-of-run summary used by the experiment drivers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Engine counters.
+    pub counters: TolCounters,
+    /// Static guest instructions per final mode `[IM, BBM, SBM]`.
+    pub static_dist: [u64; 3],
+    /// Dynamic guest instructions per mode `[IM, BBM, SBM]`.
+    pub dyn_dist: [u64; 3],
+    /// Translations installed / flushes / chains.
+    pub installed: u64,
+    /// Code cache flushes.
+    pub flushes: u64,
+    /// Chain links created.
+    pub chains: u64,
+    /// IBTC hits.
+    pub ibtc_hits: u64,
+    /// IBTC misses.
+    pub ibtc_misses: u64,
+    /// Host instructions emitted per component (engine-side counts).
+    pub emitted: [u64; 7],
+}
+
+/// The Translation Optimization Layer engine.
+#[derive(Debug)]
+pub struct Tol {
+    cfg: TolConfig,
+    /// The code cache (public for inspection by experiments).
+    pub cc: CodeCache,
+    /// The indirect-branch translation cache.
+    pub ibtc: Ibtc,
+    /// The profiler.
+    pub prof: Profiler,
+    /// The cost-model emitter.
+    pub em: Emitter,
+    host: HostState,
+    guest_pc: u32,
+    halted: bool,
+    counters: TolCounters,
+    /// Set when a step ended mid-translated-run purely for budget
+    /// reasons, so the next entry does not re-charge a transition.
+    resume_translated: bool,
+    /// Last observed target per indirect exit site, for the optional
+    /// speculative-resolution feature: `(block, exit) -> (guest, block)`.
+    spec_targets: std::collections::HashMap<(u32, u32), (u32, u32)>,
+}
+
+impl Tol {
+    /// Creates the layer with the emulated guest starting at `entry`.
+    pub fn new(cfg: TolConfig, entry: u32) -> Tol {
+        let cc = if cfg.codecache_scattered {
+            CodeCache::new_scattered(cfg.code_cache_capacity)
+        } else {
+            CodeCache::new(cfg.code_cache_capacity)
+        };
+        let mut tol = Tol {
+            cc,
+            ibtc: Ibtc::new(cfg.ibtc_entries),
+            prof: Profiler::new(),
+            em: Emitter::new(),
+            host: HostState::new(),
+            guest_pc: entry,
+            halted: false,
+            counters: TolCounters::default(),
+            resume_translated: false,
+            spec_targets: std::collections::HashMap::new(),
+            cfg,
+        };
+        tol.store_cpu(&CpuState::at(entry));
+        tol
+    }
+
+    /// Seeds the emulated guest state (e.g. initial stack pointer).
+    pub fn set_state(&mut self, cpu: &CpuState) {
+        self.guest_pc = cpu.eip;
+        self.halted = cpu.halted;
+        self.store_cpu(cpu);
+    }
+
+    /// Materializes the emulated guest state from the pinned host
+    /// registers (the *Emulated x86 Register State* of the paper's
+    /// Fig. 2), for the state checker.
+    pub fn emulated_state(&self) -> CpuState {
+        let mut cpu = CpuState::at(self.guest_pc);
+        for (i, r) in Gpr::ALL.iter().enumerate() {
+            cpu.set_gpr(*r, self.host.reg(ir::guest_gpr_reg(i)));
+        }
+        cpu.flags = Flags::from_word(self.host.reg(FLAGS_REG));
+        for i in 0..8 {
+            cpu.set_fpr(FpReg(i), self.host.freg(HFreg(i)));
+        }
+        cpu.halted = self.halted;
+        cpu
+    }
+
+    fn store_cpu(&mut self, cpu: &CpuState) {
+        for (i, r) in Gpr::ALL.iter().enumerate() {
+            self.host.set_reg(ir::guest_gpr_reg(i), cpu.gpr(*r));
+        }
+        self.host.set_reg(FLAGS_REG, cpu.flags.to_word());
+        for i in 0..8 {
+            self.host.set_freg(HFreg(i), cpu.fpr(FpReg(i)));
+        }
+    }
+
+    /// Engine counters so far.
+    pub fn counters(&self) -> TolCounters {
+        self.counters
+    }
+
+    /// Whether the guest has halted.
+    pub fn is_done(&self) -> bool {
+        self.halted
+    }
+
+    /// Current guest program counter.
+    pub fn guest_pc(&self) -> u32 {
+        self.guest_pc
+    }
+
+    /// Builds the end-of-run summary.
+    pub fn summary(&self) -> RunSummary {
+        let s = self.cc.stats();
+        RunSummary {
+            counters: self.counters,
+            static_dist: self.prof.static_distribution(),
+            dyn_dist: self.prof.dyn_insts,
+            installed: s.installed,
+            flushes: s.flushes,
+            chains: s.chains,
+            ibtc_hits: self.ibtc.hits(),
+            ibtc_misses: self.ibtc.misses(),
+            emitted: self.em.emitted,
+        }
+    }
+
+    /// Advances the emulated guest by one dispatch unit, or up to
+    /// `budget` guest instructions of chained translated execution.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] if the guest jumps into undecodable
+    /// bytes.
+    pub fn step<F: FnMut(&DynInst)>(
+        &mut self,
+        mem: &mut GuestMem,
+        sink: &mut F,
+        budget: u64,
+    ) -> Result<StepOutcome, DecodeError> {
+        if self.halted {
+            return Ok(StepOutcome { guest_insts: 0, done: true, mode: Mode::Im });
+        }
+        let pc = self.guest_pc;
+        if self.cc.lookup(pc).is_some() {
+            let n = self.run_translated(mem, sink, budget)?;
+            return Ok(StepOutcome { guest_insts: n, done: self.halted, mode: Mode::Sbm });
+        }
+
+        // Miss: the dispatcher decides between interpretation and
+        // translation (Fig. 3, left vs. middle path).
+        let count = self.prof.bump_target(pc);
+        self.em.dispatch(sink, if count > self.cfg.im_bb_threshold { Mode::Bbm } else { Mode::Im });
+        self.em.map_lookup(sink, pc, false);
+
+        if count > self.cfg.im_bb_threshold {
+            let region = decode_bb(mem, pc)?;
+            self.install_bb(pc, &region, sink);
+            let n = self.run_translated(mem, sink, budget)?;
+            Ok(StepOutcome { guest_insts: n, done: self.halted, mode: Mode::Bbm })
+        } else {
+            let n = self.interpret_bb(mem, sink)?;
+            Ok(StepOutcome { guest_insts: n, done: self.halted, mode: Mode::Im })
+        }
+    }
+
+    /// Runs the program to completion (or `max_guest_insts`), returning
+    /// total guest instructions executed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates guest decode errors.
+    pub fn run<F: FnMut(&DynInst)>(
+        &mut self,
+        mem: &mut GuestMem,
+        sink: &mut F,
+        max_guest_insts: u64,
+    ) -> Result<u64, DecodeError> {
+        let mut total = 0;
+        while !self.halted && total < max_guest_insts {
+            total += self.step(mem, sink, max_guest_insts - total)?.guest_insts;
+        }
+        Ok(total)
+    }
+
+    fn interpret_bb<F: FnMut(&DynInst)>(
+        &mut self,
+        mem: &mut GuestMem,
+        sink: &mut F,
+    ) -> Result<u64, DecodeError> {
+        let mut cpu = self.emulated_state();
+        let mut n = 0u64;
+        loop {
+            let gpc = cpu.eip;
+            self.prof.mark_static([gpc], StaticMode::Im);
+            let info = interp::step(&mut cpu, mem, &mut self.em, sink)?;
+            n += 1;
+            if info.inst.is_indirect() {
+                self.counters.indirect_branches += 1;
+            }
+            if cpu.halted || info.inst.is_block_end() {
+                break;
+            }
+        }
+        self.prof.count_dynamic(StaticMode::Im, n);
+        self.counters.guest_insts += n;
+        self.guest_pc = cpu.eip;
+        self.halted = cpu.halted;
+        self.store_cpu(&cpu);
+        Ok(n)
+    }
+
+    /// Translates and installs the basic block at `entry` (BBM).
+    fn install_bb<F: FnMut(&DynInst)>(
+        &mut self,
+        entry: u32,
+        region: &[RegionInst],
+        sink: &mut F,
+    ) -> u32 {
+        let mut block = translate_region(region);
+        if self.cfg.bbm_peephole {
+            opt::constprop::run(&mut block, true);
+            opt::dce::run(&mut block);
+        }
+        let map = bbm_allocate(&block);
+        let insts = lower(&block, &map);
+        let body_len = insts.len() as u32 - 1 - block.stubs.len() as u32;
+        self.em.bb_translate(
+            sink,
+            entry,
+            &region.iter().map(|r| (r.pc, r.inst)).collect::<Vec<_>>(),
+            insts.len(),
+        );
+        let pcs: Vec<u32> = region.iter().map(|r| r.pc).collect();
+        self.prof.mark_static(pcs.iter().copied(), StaticMode::Bbm);
+        let (id, flushed) = self.cc.install(
+            entry,
+            insts,
+            BlockKind::Bb,
+            body_len,
+            block.stub_guest_counts.clone(),
+            block.guest_len,
+            pcs,
+        );
+        if flushed {
+            self.ibtc.clear();
+            self.spec_targets.clear();
+        }
+        id
+    }
+
+    /// Forms, optimizes and installs a superblock rooted at `entry`.
+    fn install_sb<F: FnMut(&DynInst)>(
+        &mut self,
+        entry: u32,
+        mem: &GuestMem,
+        sink: &mut F,
+    ) -> Result<(u32, bool), DecodeError> {
+        let (region, bbs) = form_region(mem, entry, &self.prof, &self.cfg)?;
+        let block = translate_region(&region);
+        let ir_len = block.ops.len();
+        let (block, map) = match opt::optimize(block.clone(), &self.cfg) {
+            Ok(done) => done,
+            Err(opt::OptError::OutOfRegisters) => {
+                self.counters.opt_bailouts += 1;
+                let map = bbm_allocate(&block);
+                (block, map)
+            }
+        };
+        let insts = lower(&block, &map);
+        let body_len = insts.len() as u32 - 1 - block.stubs.len() as u32;
+        self.em.sb_optimize(sink, bbs as usize, ir_len, insts.len());
+        self.counters.sbm_invocations += 1;
+        let pcs: Vec<u32> = region.iter().map(|r| r.pc).collect();
+        self.prof.mark_static(pcs.iter().copied(), StaticMode::Sbm);
+        let (id, flushed) = self.cc.install(
+            entry,
+            insts,
+            BlockKind::Sb,
+            body_len,
+            block.stub_guest_counts.clone(),
+            block.guest_len,
+            pcs,
+        );
+        if flushed {
+            self.ibtc.clear();
+            self.spec_targets.clear();
+        }
+        Ok((id, flushed))
+    }
+
+    /// Follows promotion redirects (the patched entry jump of a promoted
+    /// BBM block), charging one application-side jump per hop.
+    fn resolve_redirects<F: FnMut(&DynInst)>(&mut self, mut bid: u32, sink: &mut F) -> u32 {
+        while let Some(r) = self.cc.block(bid).redirect {
+            let pc = self.cc.block(bid).host_base;
+            let target = self.cc.block(r).host_base;
+            sink(&DynInst::plain(pc, darco_host::ExecClass::Jump, darco_host::Component::AppCode)
+                .with_branch(BranchKind::UncondDirect, target, true));
+            self.em.emitted[0] += 1;
+            bid = r;
+        }
+        bid
+    }
+
+    /// Executes chained translations starting at the current guest pc
+    /// (which must be translated), until control returns to the software
+    /// layer, the program halts, or the budget expires.
+    fn run_translated<F: FnMut(&DynInst)>(
+        &mut self,
+        mem: &mut GuestMem,
+        sink: &mut F,
+        budget: u64,
+    ) -> Result<u64, DecodeError> {
+        if !self.resume_translated {
+            self.em.transition(sink); // context restore, TOL -> app
+        }
+        self.resume_translated = false;
+        let mut executed = 0u64;
+        let mut bid = self.cc.lookup(self.guest_pc).expect("caller checked lookup");
+
+        loop {
+            let (exit, exit_idx, guest_n, cond_taken) = self.exec_block(bid, mem, sink);
+            executed += guest_n;
+            self.counters.guest_insts += guest_n;
+
+            // Per-execution bookkeeping of BBM blocks: instrumentation
+            // cost, execution counting, edge profiling.
+            let (kind, entry, host_base, exec_count, promoted) = {
+                let b = self.cc.block_mut(bid);
+                b.exec_count += 1;
+                (b.kind, b.guest_entry, b.host_base, b.exec_count, b.promoted)
+            };
+            let mode = if kind == BlockKind::Bb { StaticMode::Bbm } else { StaticMode::Sbm };
+            self.prof.count_dynamic(mode, guest_n);
+            if kind == BlockKind::Bb {
+                self.em.bbm_instrumentation(sink, host_base + 4 * exit_idx as u64, entry);
+                if let Some(taken) = cond_taken {
+                    self.prof.record_edge(entry, taken);
+                }
+            }
+
+            // Decide where control goes next (possibly through the
+            // software layer), before any promotion can invalidate ids.
+            let mut next: Option<u32> = match exit {
+                Exit::Halt => {
+                    self.halted = true;
+                    self.em.transition(sink);
+                    return Ok(executed);
+                }
+                Exit::Direct { guest_target, link } => {
+                    self.guest_pc = guest_target;
+                    if let Some(to) = link {
+                        Some(to)
+                    } else if let Some(to) = self.cc.lookup(guest_target) {
+                        // One trip into the layer either way: to patch
+                        // the exit (chaining) or just to re-dispatch.
+                        self.counters.tol_entries += 1;
+                        self.em.transition(sink);
+                        if self.cfg.chaining {
+                            self.em.chain(sink, host_base + 4 * exit_idx as u64);
+                            self.cc.chain(bid, exit_idx, to);
+                        } else {
+                            self.em.dispatch(sink, mode);
+                            self.em.map_lookup(sink, guest_target, true);
+                        }
+                        self.em.transition(sink);
+                        Some(to)
+                    } else {
+                        // Unknown target: back to the dispatcher.
+                        self.counters.tol_entries += 1;
+                        self.em.transition(sink);
+                        return Ok(executed);
+                    }
+                }
+                Exit::Indirect { reg } => {
+                    debug_assert_eq!(reg, EXIT_TARGET_REG);
+                    let target = self.host.reg(reg);
+                    self.guest_pc = target;
+                    self.counters.indirect_branches += 1;
+                    let site_pc = host_base + 4 * exit_idx as u64;
+                    // Optional speculative resolution (Sec. III-E): the
+                    // exit inlines a compare against its last observed
+                    // target and jumps straight to the cached translation
+                    // on a match, skipping even the IBTC probe.
+                    let spec_key = (bid, exit_idx as u32);
+                    let mut speculated = None;
+                    if self.cfg.speculate_indirect {
+                        if let Some(&(t, to)) = self.spec_targets.get(&spec_key) {
+                            let hit = t == target;
+                            let to_base = self.cc.block(to).host_base;
+                            self.em.spec_check(sink, site_pc, hit, to_base);
+                            if hit {
+                                self.counters.spec_hits += 1;
+                                speculated = Some(to);
+                            } else {
+                                self.counters.spec_misses += 1;
+                            }
+                        }
+                    }
+                    if let Some(to) = speculated {
+                        Some(to)
+                    } else {
+                    let slot = self.ibtc.slot(target);
+                    let resolved = match self.ibtc.lookup(target) {
+                        Some(to) => {
+                            let to_base = self.cc.block(to).host_base;
+                            self.em.ibtc_probe_inline(sink, site_pc, slot, true, to_base);
+                            Some(to)
+                        }
+                        None => {
+                            self.em.ibtc_probe_inline(sink, site_pc, slot, false, 0);
+                            self.counters.tol_entries += 1;
+                            self.em.transition(sink);
+                            let found = self.cc.lookup(target);
+                            self.em.map_lookup(sink, target, found.is_some());
+                            match found {
+                                Some(to) => {
+                                    self.ibtc.update(target, to);
+                                    self.em.ibtc_update(sink, slot);
+                                    self.em.transition(sink);
+                                    Some(to)
+                                }
+                                None => return Ok(executed),
+                            }
+                        }
+                    };
+                    // Remember this site's target for next time.
+                    if self.cfg.speculate_indirect {
+                        if let Some(to) = resolved {
+                            self.spec_targets.insert(spec_key, (target, to));
+                        }
+                    }
+                    resolved
+                    }
+                }
+            };
+
+            // SBM promotion of the block just executed (Fig. 3, right
+            // path): install the superblock and patch the old entry.
+            if kind == BlockKind::Bb
+                && exec_count >= self.cfg.bb_sb_threshold as u64
+                && !promoted
+                // Blocks already swallowed into an existing superblock
+                // (reached through its side exits) are not re-optimized
+                // at the normal threshold — that would spawn an avalanche
+                // of overlapping superblocks. But a covered block that
+                // *keeps* being entered at its own address (a loop head
+                // reached by a back edge, while the covering superblock
+                // was rooted at the function entry) earns its own
+                // superblock at 4x the threshold.
+                && (self.prof.static_mode(entry) != Some(StaticMode::Sbm)
+                    || exec_count >= 4 * self.cfg.bb_sb_threshold as u64)
+            {
+                self.cc.block_mut(bid).promoted = true;
+                self.counters.tol_entries += 1;
+                self.em.transition(sink);
+                let (sb, flushed) = self.install_sb(entry, mem, sink)?;
+                if flushed {
+                    // Every id (including `next` and chain links) is
+                    // stale; re-enter through the dispatcher.
+                    self.em.transition(sink);
+                    let _ = sb;
+                    next = self.cc.lookup(self.guest_pc);
+                    if next.is_none() {
+                        return Ok(executed);
+                    }
+                } else {
+                    self.cc.block_mut(bid).redirect = Some(sb);
+                    self.em.transition(sink);
+                }
+            }
+
+            bid = self.resolve_redirects(next.expect("next block decided"), sink);
+
+            if executed >= budget {
+                // Budget pause (simulation artifact): no transition cost.
+                self.resume_translated = true;
+                return Ok(executed);
+            }
+        }
+    }
+
+    /// Executes one translated block functionally, emitting its dynamic
+    /// host instructions. Returns the exit, the host index of the exit
+    /// instruction, guest instructions retired, and — when the block ends
+    /// in a conditional branch — whether it was taken.
+    fn exec_block<F: FnMut(&DynInst)>(
+        &mut self,
+        bid: u32,
+        mem: &mut GuestMem,
+        sink: &mut F,
+    ) -> (Exit, usize, u64, Option<bool>) {
+        let block = self.cc.block(bid);
+        let host_base = block.host_base;
+        let body_len = block.body_len as usize;
+        let mut idx = 0usize;
+        let mut app_insts = 0u64;
+        loop {
+            let inst = &block.insts[idx];
+            let pc = host_base + 4 * idx as u64;
+
+            // Pre-compute the memory event (operand registers may change).
+            let mem_event = match *inst {
+                HInst::Prefetch { base, off } => Some((
+                    guest_to_host(self.host.reg(base).wrapping_add(off as u32)),
+                    64,
+                    false,
+                )),
+                HInst::Ld { base, off, width, .. } => Some((
+                    guest_to_host(self.host.reg(base).wrapping_add(off as u32)),
+                    width.bytes(),
+                    false,
+                )),
+                HInst::St { base, off, width, .. } => Some((
+                    guest_to_host(self.host.reg(base).wrapping_add(off as u32)),
+                    width.bytes(),
+                    true,
+                )),
+                HInst::FLd { base, off, .. } => Some((
+                    guest_to_host(self.host.reg(base).wrapping_add(off as u32)),
+                    8,
+                    false,
+                )),
+                HInst::FSt { base, off, .. } => Some((
+                    guest_to_host(self.host.reg(base).wrapping_add(off as u32)),
+                    8,
+                    true,
+                )),
+                _ => None,
+            };
+
+            let outcome = exec_inst(&mut self.host, inst, mem);
+
+            // Build the DynInst record.
+            let mut d = DynInst::plain(pc, inst.class(), darco_host::Component::AppCode);
+            if let Some((addr, size, is_store)) = mem_event {
+                if matches!(inst, HInst::Prefetch { .. }) {
+                    d = d.with_prefetch(addr);
+                } else {
+                    d = d.with_mem(addr, size, is_store);
+                }
+            }
+            if let Some(r) = inst.dst() {
+                d.dst = int_reg(r.0);
+            } else if let Some(f) = inst.fdst() {
+                d.dst = fp_reg(f.0);
+            }
+            let mut srcs = [NO_REG; 2];
+            let mut si = 0;
+            for s in inst.srcs().into_iter().flatten() {
+                if si < 2 {
+                    srcs[si] = int_reg(s.0);
+                    si += 1;
+                }
+            }
+            for s in inst.fsrcs().into_iter().flatten() {
+                if si < 2 {
+                    srcs[si] = fp_reg(s.0);
+                    si += 1;
+                }
+            }
+            d.srcs = srcs;
+            match (*inst, outcome) {
+                (HInst::Br { target, .. }, out) | (HInst::BrFlags { target, .. }, out) => {
+                    let taken = matches!(out, Outcome::Taken(_));
+                    d = d.with_branch(
+                        BranchKind::CondDirect,
+                        host_base + 4 * target as u64,
+                        taken,
+                    );
+                }
+                (HInst::Jump { target }, _) => {
+                    d = d.with_branch(BranchKind::UncondDirect, host_base + 4 * target as u64, true);
+                }
+                (HInst::Exit(Exit::Direct { link, .. }), _) => {
+                    // Chained exits jump block-to-block; unchained ones
+                    // jump into the dispatcher.
+                    let t = match link {
+                        Some(to) => self.cc.block(to).host_base,
+                        None => TOL_CODE_BASE,
+                    };
+                    d = d.with_branch(BranchKind::UncondDirect, t, true);
+                }
+                _ => {}
+            }
+            app_insts += 1;
+            sink(&d);
+
+            match outcome {
+                Outcome::Next => idx += 1,
+                Outcome::Taken(t) => idx = t as usize,
+                Outcome::Exited(e) => {
+                    let block = self.cc.block(bid);
+                    let guest_n = if idx == body_len {
+                        block.guest_len as u64
+                    } else {
+                        block.stub_guest_counts[idx - body_len - 1] as u64
+                    };
+                    // Edge direction for a BBM block whose last guest
+                    // instruction is a conditional branch: exiting via a
+                    // stub means taken, via fall-through means not taken.
+                    let cond_taken = if block.kind == BlockKind::Bb && !block.stub_guest_counts.is_empty()
+                    {
+                        Some(idx != body_len)
+                    } else {
+                        None
+                    };
+                    self.em.emitted[0] += app_insts; // AppCode counter
+                    return (e, idx, guest_n, cond_taken);
+                }
+            }
+        }
+    }
+}
+
+/// BBM register allocation: temporaries never live across guest
+/// instruction boundaries, so a per-guest-instruction round-robin over
+/// the scratch file suffices (and can never run out).
+fn bbm_allocate(block: &crate::ir::IrBlock) -> RegMap {
+    use crate::ir::{IrFreg, IrReg, FSCRATCH_BASE, SCRATCH_BASE};
+    let mut map = RegMap::default();
+    let mut gi = u32::MAX;
+    let mut next_int = SCRATCH_BASE;
+    let mut next_fp = FSCRATCH_BASE;
+    for op in &block.ops {
+        if op.guest_idx != gi {
+            gi = op.guest_idx;
+            next_int = SCRATCH_BASE;
+            next_fp = FSCRATCH_BASE;
+        }
+        let alloc_int = |v: u32, map: &mut RegMap, next: &mut u8| {
+            map.int.entry(v).or_insert_with(|| {
+                let r = darco_host::HReg(*next);
+                *next += 1;
+                assert!(*next <= crate::ir::SCRATCH_END, "BBM scratch overflow");
+                r
+            });
+        };
+        for s in op.inst.srcs().into_iter().flatten() {
+            if let IrReg::Virt(v) = s {
+                alloc_int(v, &mut map, &mut next_int);
+            }
+        }
+        if let Some(IrReg::Virt(v)) = op.inst.dst() {
+            alloc_int(v, &mut map, &mut next_int);
+        }
+        let alloc_fp = |v: u32, map: &mut RegMap, next: &mut u8| {
+            map.fp.entry(v).or_insert_with(|| {
+                let r = HFreg(*next);
+                *next += 1;
+                assert!(*next <= crate::ir::FSCRATCH_END, "BBM FP scratch overflow");
+                r
+            });
+        };
+        for s in op.inst.fsrcs().into_iter().flatten() {
+            if let IrFreg::Virt(v) = s {
+                alloc_fp(v, &mut map, &mut next_fp);
+            }
+        }
+        if let Some(IrFreg::Virt(v)) = op.inst.fdst() {
+            alloc_fp(v, &mut map, &mut next_fp);
+        }
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darco_guest::asm::Asm;
+    use darco_guest::{AluOp, Cond, Inst};
+
+    /// A counting loop plus a function call per iteration.
+    fn loop_program(iters: i32) -> (GuestMem, u32) {
+        let mut a = Asm::new(0x1000);
+        let top = a.fresh_label();
+        let func = a.fresh_label();
+        let start = a.fresh_label();
+        a.push_jmp(start);
+        a.bind(func);
+        a.push(Inst::AluRI { op: AluOp::Add, dst: Gpr::Ebx, imm: 3 });
+        a.push(Inst::Ret);
+        a.bind(start);
+        a.push(Inst::MovRI { dst: Gpr::Eax, imm: 0 });
+        a.push(Inst::MovRI { dst: Gpr::Ebx, imm: 0 });
+        a.bind(top);
+        a.push(Inst::AluRI { op: AluOp::Add, dst: Gpr::Eax, imm: 1 });
+        a.push_call(func);
+        a.push(Inst::CmpRI { a: Gpr::Eax, imm: iters });
+        a.push_jcc(Cond::Ne, top);
+        a.push(Inst::Halt);
+        let p = a.assemble();
+        let mut mem = GuestMem::new();
+        mem.write_bytes(p.base, &p.bytes);
+        (mem, p.base)
+    }
+
+    fn run_tol(mem: &mut GuestMem, entry: u32, cfg: TolConfig) -> (Tol, u64) {
+        let mut tol = Tol::new(cfg, entry);
+        let mut cpu = CpuState::at(entry);
+        cpu.set_gpr(Gpr::Esp, 0x10_0000);
+        tol.set_state(&cpu);
+        let mut count = 0u64;
+        let mut sink = |_: &DynInst| count += 1;
+        tol.run(mem, &mut sink, 50_000_000).unwrap();
+        (tol, count)
+    }
+
+    /// Runs the same program on the authoritative emulator.
+    fn run_reference(mem: &mut GuestMem, entry: u32) -> (CpuState, u64) {
+        let mut cpu = CpuState::at(entry);
+        cpu.set_gpr(Gpr::Esp, 0x10_0000);
+        let mut n = 0u64;
+        while !cpu.halted {
+            darco_guest::exec::step(&mut cpu, mem).unwrap();
+            n += 1;
+        }
+        (cpu, n)
+    }
+
+    #[test]
+    fn emulation_is_architecturally_exact() {
+        let (mem0, entry) = loop_program(2_000);
+        let mut mem_ref = mem0.clone();
+        let (ref_cpu, ref_n) = run_reference(&mut mem_ref, entry);
+
+        let mut mem = mem0.clone();
+        let (tol, _) = run_tol(&mut mem, entry, TolConfig::default());
+        let emu = tol.emulated_state();
+        assert!(
+            ref_cpu.arch_eq(&emu),
+            "state diverged:\nref: {ref_cpu}\nemu: {emu}"
+        );
+        assert_eq!(tol.counters().guest_insts, ref_n);
+    }
+
+    #[test]
+    fn modes_progress_im_bbm_sbm() {
+        let (mut mem, entry) = loop_program(30_000);
+        let (tol, _) = run_tol(&mut mem, entry, TolConfig::default());
+        let s = tol.summary();
+        assert!(s.dyn_dist[0] > 0, "some interpretation");
+        assert!(s.dyn_dist[1] > 0, "some BBM execution");
+        assert!(s.dyn_dist[2] > 0, "SBM dominates eventually: {:?}", s.dyn_dist);
+        assert!(s.counters.sbm_invocations >= 1);
+        // With a 10K threshold and 30K iterations, the overwhelming share
+        // of dynamic instructions comes from SBM (paper Fig. 5b shape).
+        let total: u64 = s.dyn_dist.iter().sum();
+        assert!(
+            s.dyn_dist[2] as f64 / total as f64 > 0.5,
+            "SBM share too low: {:?}",
+            s.dyn_dist
+        );
+    }
+
+    #[test]
+    fn low_threshold_skips_interpretation_quickly() {
+        let (mut mem, entry) = loop_program(1_000);
+        let cfg = TolConfig { im_bb_threshold: 1, ..TolConfig::default() };
+        let (tol, _) = run_tol(&mut mem, entry, cfg);
+        let s = tol.summary();
+        assert!(s.dyn_dist[0] < 20, "threshold 1 interprets each target once");
+    }
+
+    #[test]
+    fn returns_go_through_the_ibtc() {
+        let (mut mem, entry) = loop_program(5_000);
+        let (tol, _) = run_tol(&mut mem, entry, TolConfig::default());
+        let s = tol.summary();
+        assert!(s.counters.indirect_branches >= 4_000, "one return per iteration");
+        assert!(s.ibtc_hits > s.ibtc_misses, "stable return target must hit");
+    }
+
+    #[test]
+    fn chaining_collapses_tol_entries() {
+        let (mut mem_a, entry) = loop_program(20_000);
+        let (with_chain, _) = run_tol(&mut mem_a, entry, TolConfig::default());
+        let (mut mem_b, _) = loop_program(20_000);
+        let cfg = TolConfig { chaining: false, ..TolConfig::default() };
+        let (without, _) = run_tol(&mut mem_b, entry, cfg);
+        assert!(
+            with_chain.counters().tol_entries * 10 < without.counters().tol_entries,
+            "chaining must collapse dispatcher entries: {} vs {}",
+            with_chain.counters().tol_entries,
+            without.counters().tol_entries
+        );
+    }
+
+    #[test]
+    fn step_budget_pauses_and_resumes_consistently() {
+        let (mem0, entry) = loop_program(3_000);
+        let mut mem_ref = mem0.clone();
+        let (ref_cpu, _) = run_reference(&mut mem_ref, entry);
+
+        let mut mem = mem0.clone();
+        let mut tol = Tol::new(TolConfig::default(), entry);
+        let mut cpu = CpuState::at(entry);
+        cpu.set_gpr(Gpr::Esp, 0x10_0000);
+        tol.set_state(&cpu);
+        let mut sink = |_: &DynInst| {};
+        // Tiny budgets force many pauses inside translated execution.
+        while !tol.is_done() {
+            tol.step(&mut mem, &mut sink, 7).unwrap();
+        }
+        assert!(ref_cpu.arch_eq(&tol.emulated_state()));
+    }
+
+    #[test]
+    fn speculative_indirect_resolution_is_exact_and_hits() {
+        let (mem0, entry) = loop_program(5_000);
+        let mut mem_ref = mem0.clone();
+        let (ref_cpu, _) = run_reference(&mut mem_ref, entry);
+
+        let mut mem = mem0.clone();
+        let cfg = TolConfig { speculate_indirect: true, ..TolConfig::default() };
+        let (tol, _) = run_tol(&mut mem, entry, cfg);
+        assert!(ref_cpu.arch_eq(&tol.emulated_state()), "speculation must be transparent");
+        let c = tol.counters();
+        assert!(c.spec_hits > 0, "the stable return target must speculate successfully");
+        assert!(
+            c.spec_hits > 10 * c.spec_misses,
+            "single-target site: hits {} misses {}",
+            c.spec_hits,
+            c.spec_misses
+        );
+    }
+
+    #[test]
+    fn software_prefetching_is_transparent_and_emits_prefetches() {
+        // A memory-streaming loop: load, accumulate, advance, repeat.
+        let mut a = Asm::new(0x1000);
+        let top = a.fresh_label();
+        a.push(Inst::MovRI { dst: Gpr::Esi, imm: 0x4000 });
+        a.push(Inst::MovRI { dst: Gpr::Eax, imm: 0 });
+        a.bind(top);
+        a.push(Inst::AluRM {
+            op: AluOp::Add,
+            dst: Gpr::Ebx,
+            addr: darco_guest::MemRef::base(Gpr::Esi, 0),
+        });
+        a.push(Inst::AluRI { op: AluOp::Add, dst: Gpr::Esi, imm: 4 });
+        a.push(Inst::AluRI { op: AluOp::And, dst: Gpr::Esi, imm: 0x7FFC });
+        a.push(Inst::MovRR { dst: Gpr::Edx, src: Gpr::Ebx });
+        a.push(Inst::Shift { op: darco_guest::ShiftOp::Sar, dst: Gpr::Edx, amount: 3 });
+        a.push(Inst::AluRR { op: AluOp::Xor, dst: Gpr::Ecx, src: Gpr::Edx });
+        a.push(Inst::AluRI { op: AluOp::Add, dst: Gpr::Eax, imm: 1 });
+        a.push(Inst::CmpRI { a: Gpr::Eax, imm: 50_000 });
+        a.push_jcc(Cond::Ne, top);
+        a.push(Inst::Halt);
+        let p = a.assemble();
+        let mut mem0 = GuestMem::new();
+        mem0.write_bytes(p.base, &p.bytes);
+        let entry = p.base;
+
+        let mut mem_ref = mem0.clone();
+        let (ref_cpu, _) = run_reference(&mut mem_ref, entry);
+
+        let mut mem = mem0.clone();
+        let mut tol = Tol::new(
+            TolConfig { opt_sw_prefetch: true, ..TolConfig::default() },
+            entry,
+        );
+        let mut cpu = CpuState::at(entry);
+        cpu.set_gpr(Gpr::Esp, 0x10_0000);
+        tol.set_state(&cpu);
+        let mut prefetches = 0u64;
+        let mut sink = |d: &DynInst| {
+            if d.mem.is_some_and(|m| m.is_prefetch) {
+                prefetches += 1;
+            }
+        };
+        tol.run(&mut mem, &mut sink, 50_000_000).unwrap();
+        assert!(ref_cpu.arch_eq(&tol.emulated_state()), "prefetching must be transparent");
+        assert!(prefetches > 0, "superblocks with loads must carry prefetches");
+    }
+
+    #[test]
+    fn scattered_placement_spreads_host_bases() {
+        let (mut mem, entry) = loop_program(2_000);
+        let cfg = TolConfig { codecache_scattered: true, ..TolConfig::default() };
+        let (tol, _) = run_tol(&mut mem, entry, cfg);
+        // Every resident block starts page-aligned.
+        for id in 0..tol.cc.resident() as u32 {
+            assert_eq!(tol.cc.block(id).host_base & 0xFFF, 0);
+        }
+    }
+
+    #[test]
+    fn overhead_share_is_plausible() {
+        let (mut mem, entry) = loop_program(100_000);
+        let (tol, total_host) = run_tol(&mut mem, entry, TolConfig::default());
+        let s = tol.summary();
+        let app = s.emitted[0];
+        let tol_side: u64 = s.emitted[1..].iter().sum();
+        assert_eq!(app + tol_side, total_host);
+        let overhead = tol_side as f64 / total_host as f64;
+        // A hot loop amortizes overhead to a small share.
+        assert!(overhead < 0.30, "overhead share {overhead}");
+    }
+}

@@ -1,0 +1,120 @@
+//! The SBM optimization pipeline.
+//!
+//! The paper lists the passes the software layer applies to superblocks
+//! (Sec. II-A-1): copy/constant propagation, constant folding, common
+//! subexpression elimination, dead code elimination, register allocation
+//! and instruction scheduling. Each lives in its own module here and
+//! operates on the linear [`IrBlock`](crate::ir::IrBlock) form — no join
+//! points, side exits observe the pinned guest state.
+//!
+//! [`optimize`] runs the pipeline in the canonical order; individual
+//! passes can be switched off through [`TolConfig`](crate::TolConfig)
+//! for the ablation experiments.
+
+pub mod constprop;
+pub mod cse;
+pub mod dce;
+pub mod regalloc;
+pub mod schedule;
+pub mod swprefetch;
+
+use crate::config::TolConfig;
+use crate::ir::{IrBlock, RegMap};
+
+/// Why optimization could not complete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OptError {
+    /// Register pressure exceeded the scratch register file; the caller
+    /// falls back to unoptimized lowering (the optimizer bails, which
+    /// real dynamic optimizers also do under pressure).
+    OutOfRegisters,
+}
+
+impl std::fmt::Display for OptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OptError::OutOfRegisters => write!(f, "register pressure exceeds scratch file"),
+        }
+    }
+}
+
+impl std::error::Error for OptError {}
+
+/// Runs the enabled passes over `block` and allocates registers.
+///
+/// Returns the optimized block and the virtual-register assignment.
+///
+/// # Errors
+///
+/// [`OptError::OutOfRegisters`] if allocation fails; the block is
+/// unusable in that case and the caller should lower the unoptimized IR.
+pub fn optimize(mut block: IrBlock, cfg: &TolConfig) -> Result<(IrBlock, RegMap), OptError> {
+    if cfg.opt_const_prop || cfg.opt_const_fold {
+        constprop::run(&mut block, cfg.opt_const_fold);
+    }
+    if cfg.opt_cse {
+        cse::run(&mut block);
+        // CSE introduces copies; clean them up.
+        constprop::run(&mut block, cfg.opt_const_fold);
+    }
+    if cfg.opt_dce {
+        dce::run(&mut block);
+    }
+    if cfg.opt_sw_prefetch {
+        swprefetch::run(&mut block);
+    }
+    if cfg.opt_schedule {
+        schedule::run(&mut block);
+    }
+    let map = regalloc::run(&block)?;
+    Ok((block, map))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{IrInst, IrOp, IrReg};
+    use darco_host::{Exit, HAluOp, HReg};
+
+    fn block(ops: Vec<IrInst>) -> IrBlock {
+        IrBlock {
+            ops: ops
+                .into_iter()
+                .enumerate()
+                .map(|(i, inst)| IrOp { inst, guest_idx: i as u32 })
+                .collect(),
+            stubs: vec![],
+            stub_guest_counts: vec![],
+            fallthrough: Exit::Halt,
+            guest_len: 1,
+        }
+    }
+
+    #[test]
+    fn full_pipeline_shrinks_redundant_code() {
+        // li t0, 5 ; add r1 <- r1 + t0 ; li t1, 5 ; add r2 <- r2 + t1
+        // After const prop + DCE the two `li`s fold into AluI and vanish.
+        let b = block(vec![
+            IrInst::Li { rd: IrReg::Virt(0), imm: 5 },
+            IrInst::Alu { op: HAluOp::Add, rd: IrReg::Phys(HReg(1)), ra: IrReg::Phys(HReg(1)), rb: IrReg::Virt(0) },
+            IrInst::Li { rd: IrReg::Virt(1), imm: 5 },
+            IrInst::Alu { op: HAluOp::Add, rd: IrReg::Phys(HReg(2)), ra: IrReg::Phys(HReg(2)), rb: IrReg::Virt(1) },
+        ]);
+        let (opt, map) = optimize(b, &TolConfig::default()).unwrap();
+        let live: Vec<_> = opt.ops.iter().filter(|o| o.inst != IrInst::Nop).collect();
+        assert_eq!(live.len(), 2, "only the two AluIs remain: {live:?}");
+        assert!(map.int.is_empty(), "no virtuals survive");
+    }
+
+    #[test]
+    fn disabled_passes_preserve_block() {
+        let b = block(vec![
+            IrInst::Li { rd: IrReg::Virt(0), imm: 5 },
+            IrInst::Alu { op: HAluOp::Add, rd: IrReg::Phys(HReg(1)), ra: IrReg::Phys(HReg(1)), rb: IrReg::Virt(0) },
+        ]);
+        let cfg = TolConfig::no_optimization();
+        let (opt, map) = optimize(b.clone(), &cfg).unwrap();
+        assert_eq!(opt.ops.len(), b.ops.len());
+        assert_eq!(map.int.len(), 1);
+    }
+}

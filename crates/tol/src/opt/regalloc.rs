@@ -1,0 +1,179 @@
+//! Linear-scan register allocation for virtual temporaries.
+//!
+//! Virtuals are single-assignment and live ranges in linear code are
+//! simple `[def, last_use]` intervals, so a classic linear scan over the
+//! scratch half of the application register file (integer `r11`–`r31`,
+//! FP `f8`–`f15`) suffices. There is no spilling: spills would have to
+//! go through guest memory (which translated code must not touch beyond
+//! the guest's own accesses), so exhaustion is reported and the caller
+//! falls back to unoptimized lowering.
+
+use crate::ir::{IrBlock, IrFreg, IrReg, RegMap, FSCRATCH_BASE, FSCRATCH_END, SCRATCH_BASE, SCRATCH_END};
+use crate::opt::OptError;
+use darco_host::{HFreg, HReg};
+use std::collections::HashMap;
+
+#[derive(Debug, Clone, Copy)]
+struct Interval {
+    start: usize,
+    end: usize,
+}
+
+fn intervals<T: Copy + Eq + std::hash::Hash>(
+    defs_uses: impl Iterator<Item = (usize, T, bool)>, // (pos, reg, is_def)
+) -> Vec<(T, Interval)> {
+    let mut map: HashMap<T, Interval> = HashMap::new();
+    let mut order: Vec<T> = Vec::new();
+    for (pos, reg, _is_def) in defs_uses {
+        map.entry(reg)
+            .and_modify(|iv| iv.end = pos)
+            .or_insert_with(|| {
+                order.push(reg);
+                Interval { start: pos, end: pos }
+            });
+    }
+    order.into_iter().map(|r| (r, map[&r])).collect()
+}
+
+fn scan<T: Copy + Eq + std::hash::Hash, P: Copy>(
+    ivs: Vec<(T, Interval)>,
+    pool: Vec<P>,
+) -> Result<HashMap<T, P>, OptError> {
+    let mut free = pool;
+    let mut active: Vec<(usize, P)> = Vec::new(); // (end, reg)
+    let mut out = HashMap::new();
+    for (v, iv) in ivs {
+        // Expire finished intervals.
+        active.retain(|&(end, p)| {
+            if end < iv.start {
+                free.push(p);
+                false
+            } else {
+                true
+            }
+        });
+        let p = free.pop().ok_or(OptError::OutOfRegisters)?;
+        active.push((iv.end, p));
+        out.insert(v, p);
+    }
+    Ok(out)
+}
+
+/// Allocates every virtual register in `block` to a scratch physical.
+///
+/// # Errors
+///
+/// [`OptError::OutOfRegisters`] when live virtuals exceed the scratch
+/// file at some point.
+pub fn run(block: &IrBlock) -> Result<RegMap, OptError> {
+    let mut int_events = Vec::new();
+    let mut fp_events = Vec::new();
+    for (pos, op) in block.ops.iter().enumerate() {
+        for s in op.inst.srcs().into_iter().flatten() {
+            if let IrReg::Virt(v) = s {
+                int_events.push((pos, v, false));
+            }
+        }
+        if let Some(IrReg::Virt(v)) = op.inst.dst() {
+            int_events.push((pos, v, true));
+        }
+        for s in op.inst.fsrcs().into_iter().flatten() {
+            if let IrFreg::Virt(v) = s {
+                fp_events.push((pos, v, false));
+            }
+        }
+        if let Some(IrFreg::Virt(v)) = op.inst.fdst() {
+            fp_events.push((pos, v, true));
+        }
+    }
+    let int_pool: Vec<HReg> = (SCRATCH_BASE..SCRATCH_END).rev().map(HReg).collect();
+    let fp_pool: Vec<HFreg> = (FSCRATCH_BASE..FSCRATCH_END).rev().map(HFreg).collect();
+    let int = scan(intervals(int_events.into_iter()), int_pool)?;
+    let fp = scan(intervals(fp_events.into_iter()), fp_pool)?;
+    Ok(RegMap { int, fp })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{IrInst, IrOp};
+    use darco_host::{Exit, HAluOp};
+
+    fn block(ops: Vec<IrInst>) -> IrBlock {
+        IrBlock {
+            ops: ops.into_iter().map(|inst| IrOp { inst, guest_idx: 0 }).collect(),
+            stubs: vec![],
+            stub_guest_counts: vec![],
+            fallthrough: Exit::Halt,
+            guest_len: 1,
+        }
+    }
+
+    #[test]
+    fn disjoint_lifetimes_share_a_register() {
+        // t0 dies before t1 is born: same physical register.
+        let b = block(vec![
+            IrInst::Li { rd: IrReg::Virt(0), imm: 1 },
+            IrInst::Alu { op: HAluOp::Add, rd: IrReg::Phys(HReg(1)), ra: IrReg::Phys(HReg(1)), rb: IrReg::Virt(0) },
+            IrInst::Li { rd: IrReg::Virt(1), imm: 2 },
+            IrInst::Alu { op: HAluOp::Add, rd: IrReg::Phys(HReg(2)), ra: IrReg::Phys(HReg(2)), rb: IrReg::Virt(1) },
+        ]);
+        let m = run(&b).unwrap();
+        assert_eq!(m.int[&0], m.int[&1]);
+    }
+
+    #[test]
+    fn overlapping_lifetimes_get_distinct_registers() {
+        let b = block(vec![
+            IrInst::Li { rd: IrReg::Virt(0), imm: 1 },
+            IrInst::Li { rd: IrReg::Virt(1), imm: 2 },
+            IrInst::Alu { op: HAluOp::Add, rd: IrReg::Phys(HReg(1)), ra: IrReg::Virt(0), rb: IrReg::Virt(1) },
+        ]);
+        let m = run(&b).unwrap();
+        assert_ne!(m.int[&0], m.int[&1]);
+    }
+
+    #[test]
+    fn allocations_stay_in_scratch_range() {
+        let b = block(vec![
+            IrInst::Li { rd: IrReg::Virt(0), imm: 1 },
+            IrInst::Alu { op: HAluOp::Add, rd: IrReg::Phys(HReg(1)), ra: IrReg::Phys(HReg(1)), rb: IrReg::Virt(0) },
+        ]);
+        let m = run(&b).unwrap();
+        let r = m.int[&0];
+        assert!((SCRATCH_BASE..SCRATCH_END).contains(&r.0));
+        assert!(!r.is_tol(), "allocation must stay in the application half");
+    }
+
+    #[test]
+    fn exhaustion_reports_out_of_registers() {
+        // 22 simultaneously-live virtuals exceed the 21-register pool.
+        let n = (SCRATCH_END - SCRATCH_BASE) as u32 + 1;
+        let mut ops: Vec<IrInst> = (0..n)
+            .map(|v| IrInst::Li { rd: IrReg::Virt(v), imm: v as i64 })
+            .collect();
+        // One instruction using them all pairwise keeps them live to the end.
+        for v in 0..n {
+            ops.push(IrInst::Alu {
+                op: HAluOp::Add,
+                rd: IrReg::Phys(HReg(1)),
+                ra: IrReg::Virt(v),
+                rb: IrReg::Virt((v + 1) % n),
+            });
+        }
+        let b = block(ops);
+        assert!(matches!(run(&b), Err(OptError::OutOfRegisters)));
+    }
+
+    #[test]
+    fn fp_virtuals_allocated_separately() {
+        use crate::ir::IrFreg;
+        let b = block(vec![
+            IrInst::FMov { fd: IrFreg::Virt(0), fa: IrFreg::Phys(HFreg(0)) },
+            IrInst::FMov { fd: IrFreg::Phys(HFreg(1)), fa: IrFreg::Virt(0) },
+        ]);
+        let m = run(&b).unwrap();
+        let f = m.fp[&0];
+        assert!((FSCRATCH_BASE..FSCRATCH_END).contains(&f.0));
+    }
+}

@@ -1,0 +1,266 @@
+//! List scheduling for the 2-issue in-order back-end.
+//!
+//! Reorders instructions inside *windows* delimited by side exits
+//! (`BrFlags`), since moving code across an exit would require
+//! compensation code (noted as future work in the paper's Sec. III-E).
+//! Within a window, a greedy list scheduler fills two issue slots per
+//! virtual cycle, prioritizing by critical-path height, respecting:
+//!
+//! * register RAW/WAR/WAW dependences (physical and virtual),
+//! * memory order: stores are ordered with all other memory operations;
+//!   loads may reorder among themselves (the software layer has no
+//!   disambiguation — listed in Sec. III-E as an opportunity).
+
+use crate::ir::{IrBlock, IrInst, IrOp};
+use std::collections::HashMap;
+
+/// Approximate result latency used for priority (matches Table I).
+fn latency(inst: &IrInst) -> u32 {
+    use IrInst::*;
+    match inst {
+        Ld { .. } | FLd { .. } => 3, // optimistic L1 hit + use delay
+        Mul { .. } | Div { .. } | FlagsArith { .. } => 2,
+        FArith { op, .. } => match op {
+            darco_guest::FpOp::Add | darco_guest::FpOp::Sub => 2,
+            _ => 5,
+        },
+        _ => 1,
+    }
+}
+
+/// Runs the scheduler in place.
+pub fn run(block: &mut IrBlock) {
+    let ops = std::mem::take(&mut block.ops);
+    let mut out = Vec::with_capacity(ops.len());
+    let mut window = Vec::new();
+    for op in ops {
+        if op.inst == IrInst::Nop {
+            continue; // drop tombstones while we are re-laying out
+        }
+        let is_barrier = op.inst.is_branch();
+        if is_barrier {
+            schedule_window(&mut window, &mut out);
+            out.push(op); // the barrier keeps its position
+        } else {
+            window.push(op);
+        }
+    }
+    schedule_window(&mut window, &mut out);
+    block.ops = out;
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Res {
+    Int(crate::ir::IrReg),
+    Fp(crate::ir::IrFreg),
+}
+
+fn schedule_window(window: &mut Vec<IrOp>, out: &mut Vec<IrOp>) {
+    if window.len() <= 2 {
+        out.append(window);
+        return;
+    }
+    let n = window.len();
+    // Build the dependence DAG.
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut preds: Vec<u32> = vec![0; n];
+    let mut last_def: HashMap<Res, usize> = HashMap::new();
+    let mut uses_since_def: HashMap<Res, Vec<usize>> = HashMap::new();
+    let mut last_store: Option<usize> = None;
+    let mut loads_since_store: Vec<usize> = Vec::new();
+
+    let add_edge = |succs: &mut Vec<Vec<usize>>, preds: &mut Vec<u32>, a: usize, b: usize| {
+        if a != b && !succs[a].contains(&b) {
+            succs[a].push(b);
+            preds[b] += 1;
+        }
+    };
+
+    for (i, op) in window.iter().enumerate() {
+        let srcs: Vec<Res> = op
+            .inst
+            .srcs()
+            .into_iter()
+            .flatten()
+            .map(Res::Int)
+            .chain(op.inst.fsrcs().into_iter().flatten().map(Res::Fp))
+            .collect();
+        let dsts: Vec<Res> = op
+            .inst
+            .dst()
+            .map(Res::Int)
+            .into_iter()
+            .chain(op.inst.fdst().map(Res::Fp))
+            .collect();
+
+        // RAW: this use depends on the last def.
+        for s in &srcs {
+            if let Some(&d) = last_def.get(s) {
+                add_edge(&mut succs, &mut preds, d, i);
+            }
+            uses_since_def.entry(*s).or_default().push(i);
+        }
+        for d in &dsts {
+            // WAW on the previous def.
+            if let Some(&p) = last_def.get(d) {
+                add_edge(&mut succs, &mut preds, p, i);
+            }
+            // WAR on uses since that def.
+            if let Some(us) = uses_since_def.get(d) {
+                for &u in us {
+                    add_edge(&mut succs, &mut preds, u, i);
+                }
+            }
+            last_def.insert(*d, i);
+            uses_since_def.insert(*d, Vec::new());
+        }
+        // Memory order (prefetches order like loads).
+        if op.inst.is_load() || matches!(op.inst, IrInst::Prefetch { .. }) {
+            if let Some(s) = last_store {
+                add_edge(&mut succs, &mut preds, s, i);
+            }
+            loads_since_store.push(i);
+        } else if op.inst.is_store() {
+            if let Some(s) = last_store {
+                add_edge(&mut succs, &mut preds, s, i);
+            }
+            for &l in &loads_since_store {
+                add_edge(&mut succs, &mut preds, l, i);
+            }
+            loads_since_store.clear();
+            last_store = Some(i);
+        }
+    }
+
+    // Critical-path heights.
+    let mut height = vec![0u32; n];
+    for i in (0..n).rev() {
+        let h = succs[i].iter().map(|&s| height[s]).max().unwrap_or(0);
+        height[i] = h + latency(&window[i].inst);
+    }
+
+    // Greedy list schedule, two slots per cycle.
+    let mut ready: Vec<usize> = (0..n).filter(|&i| preds[i] == 0).collect();
+    let mut emitted = 0usize;
+    let mut order = Vec::with_capacity(n);
+    while emitted < n {
+        // Pick up to 2 from the ready list by (height desc, index asc).
+        ready.sort_by_key(|&i| (std::cmp::Reverse(height[i]), i));
+        let take = ready.len().min(2);
+        let picked: Vec<usize> = ready.drain(..take).collect();
+        debug_assert!(!picked.is_empty(), "cyclic dependence graph");
+        for i in picked {
+            order.push(i);
+            emitted += 1;
+            for &s in &succs[i] {
+                preds[s] -= 1;
+                if preds[s] == 0 {
+                    ready.push(s);
+                }
+            }
+        }
+    }
+    out.extend(order.into_iter().map(|i| window[i]));
+    window.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{IrBlock, IrReg};
+    use darco_host::{Exit, HAluOp, HReg, Width};
+
+    fn phys(i: u8) -> IrReg {
+        IrReg::Phys(HReg(i))
+    }
+
+    fn block(ops: Vec<IrInst>) -> IrBlock {
+        IrBlock {
+            ops: ops.into_iter().map(|inst| IrOp { inst, guest_idx: 0 }).collect(),
+            stubs: vec![Exit::Halt],
+            stub_guest_counts: vec![1],
+            fallthrough: Exit::Halt,
+            guest_len: 1,
+        }
+    }
+
+    fn positions(b: &IrBlock) -> HashMap<IrInst, usize> {
+        b.ops.iter().enumerate().map(|(i, o)| (o.inst, i)).collect()
+    }
+
+    #[test]
+    fn independent_work_fills_load_shadow() {
+        // ld t0 ; use t0 ; three independent adds — the adds should move
+        // between the load and its user.
+        let ld = IrInst::Ld { rd: IrReg::Virt(0), base: phys(2), off: 0, width: Width::W4 };
+        let use_it = IrInst::Alu { op: HAluOp::Add, rd: phys(1), ra: phys(1), rb: IrReg::Virt(0) };
+        let indep = |i: u8| IrInst::AluI { op: HAluOp::Add, rd: phys(3 + i), ra: phys(3 + i), imm: 1 };
+        let mut b = block(vec![ld, use_it, indep(0), indep(1), indep(2)]);
+        run(&mut b);
+        let pos = positions(&b);
+        assert!(pos[&ld] < pos[&use_it]);
+        assert!(
+            pos[&use_it] > pos[&indep(0)] || pos[&use_it] > pos[&indep(1)],
+            "independent work should fill the load-use gap: {:?}",
+            b.ops
+        );
+    }
+
+    #[test]
+    fn raw_dependences_preserved() {
+        let a = IrInst::Li { rd: IrReg::Virt(0), imm: 1 };
+        let b_i = IrInst::Alu { op: HAluOp::Add, rd: IrReg::Virt(1), ra: IrReg::Virt(0), rb: IrReg::Virt(0) };
+        let c = IrInst::Alu { op: HAluOp::Add, rd: phys(1), ra: phys(1), rb: IrReg::Virt(1) };
+        let mut blk = block(vec![a, b_i, c]);
+        run(&mut blk);
+        let pos = positions(&blk);
+        assert!(pos[&a] < pos[&b_i] && pos[&b_i] < pos[&c]);
+    }
+
+    #[test]
+    fn stores_keep_order_loads_may_pass_loads() {
+        let st1 = IrInst::St { rs: phys(1), base: phys(2), off: 0, width: Width::W4 };
+        let st2 = IrInst::St { rs: phys(1), base: phys(2), off: 4, width: Width::W4 };
+        let mut blk = block(vec![st1, st2]);
+        run(&mut blk);
+        let pos = positions(&blk);
+        assert!(pos[&st1] < pos[&st2]);
+    }
+
+    #[test]
+    fn load_never_crosses_prior_store() {
+        let st = IrInst::St { rs: phys(1), base: phys(2), off: 0, width: Width::W4 };
+        let ld = IrInst::Ld { rd: IrReg::Virt(0), base: phys(3), off: 0, width: Width::W4 };
+        let sink = IrInst::Alu { op: HAluOp::Add, rd: phys(4), ra: phys(4), rb: IrReg::Virt(0) };
+        let mut blk = block(vec![st, ld, sink]);
+        run(&mut blk);
+        let pos = positions(&blk);
+        assert!(pos[&st] < pos[&ld], "no memory disambiguation modeled");
+    }
+
+    #[test]
+    fn branches_are_barriers() {
+        use darco_guest::Cond;
+        let before = IrInst::AluI { op: HAluOp::Add, rd: phys(1), ra: phys(1), imm: 1 };
+        let br = IrInst::BrFlags { cond: Cond::E, flags: phys(9), stub: 0 };
+        let after = IrInst::AluI { op: HAluOp::Add, rd: phys(2), ra: phys(2), imm: 1 };
+        let mut blk = block(vec![before, br, after]);
+        run(&mut blk);
+        let pos = positions(&blk);
+        assert!(pos[&before] < pos[&br]);
+        assert!(pos[&br] < pos[&after]);
+    }
+
+    #[test]
+    fn war_and_waw_preserved() {
+        // use r5 then redefine r5: order must hold.
+        let use_r5 = IrInst::Alu { op: HAluOp::Add, rd: phys(1), ra: phys(5), rb: phys(1) };
+        let def_r5 = IrInst::Li { rd: phys(5), imm: 9 };
+        let def_r5_again = IrInst::Li { rd: phys(5), imm: 10 };
+        let mut blk = block(vec![use_r5, def_r5, def_r5_again]);
+        run(&mut blk);
+        let pos = positions(&blk);
+        assert!(pos[&use_r5] < pos[&def_r5]);
+        assert!(pos[&def_r5] < pos[&def_r5_again]);
+    }
+}

@@ -1,0 +1,161 @@
+//! Property tests for the software layer's compilation pipeline:
+//! lowering shape, register-allocation validity and optimizer
+//! semantic preservation on random basic blocks.
+
+use darco_guest::asm::Asm;
+use darco_guest::{AluOp, CpuState, Gpr, GuestMem, Inst, MemRef, MemWidth, ShiftOp};
+use darco_host::{exec_inst, HostState, Outcome};
+use darco_tol::config::TolConfig;
+use darco_tol::ir::{self, lower};
+use darco_tol::opt;
+use darco_tol::translate::{decode_bb, translate_region};
+use proptest::prelude::*;
+
+fn gpr() -> impl Strategy<Value = Gpr> {
+    prop_oneof![
+        Just(Gpr::Eax),
+        Just(Gpr::Ecx),
+        Just(Gpr::Edx),
+        Just(Gpr::Ebx),
+        Just(Gpr::Esi),
+        Just(Gpr::Edi),
+    ]
+}
+
+fn straightline() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        (gpr(), gpr()).prop_map(|(dst, src)| Inst::MovRR { dst, src }),
+        (gpr(), any::<i16>()).prop_map(|(dst, imm)| Inst::MovRI { dst, imm: imm as i32 }),
+        (gpr(), gpr()).prop_map(|(dst, src)| Inst::AluRR { op: AluOp::Add, dst, src }),
+        (gpr(), -100i32..100).prop_map(|(dst, imm)| Inst::AluRI { op: AluOp::Xor, dst, imm }),
+        (gpr(), 0u8..31).prop_map(|(dst, amount)| Inst::Shift { op: ShiftOp::Shr, dst, amount }),
+        (gpr(), 0i32..0x1000).prop_map(|(dst, off)| Inst::Load {
+            dst,
+            addr: MemRef { base: None, index: None, scale: darco_guest::Scale::S1, disp: 0x4_0000 + off },
+        }),
+        (gpr(), 0i32..0x1000).prop_map(|(src, off)| Inst::Store {
+            addr: MemRef { base: None, index: None, scale: darco_guest::Scale::S1, disp: 0x4_0000 + off },
+            src,
+        }),
+        (gpr(), gpr()).prop_map(|(dst, src)| Inst::Imul { dst, src }),
+        (gpr(), 0i32..0x1000, any::<bool>()).prop_map(|(dst, off, w)| Inst::LoadSx {
+            dst,
+            addr: MemRef { base: None, index: None, scale: darco_guest::Scale::S1, disp: 0x4_0000 + off },
+            width: if w { MemWidth::B2 } else { MemWidth::B1 },
+        }),
+        (gpr(), 0i32..0x1000, any::<bool>()).prop_map(|(src, off, w)| Inst::StoreN {
+            addr: MemRef { base: None, index: None, scale: darco_guest::Scale::S1, disp: 0x4_0000 + off },
+            src,
+            width: if w { MemWidth::B2 } else { MemWidth::B1 },
+        }),
+        gpr().prop_map(|dst| Inst::Neg { dst }),
+    ]
+}
+
+/// Assembles `body` + `halt` into guest memory and returns the decoded
+/// basic block region.
+fn make_bb(body: &[Inst]) -> (GuestMem, u32, Vec<darco_tol::translate::RegionInst>) {
+    let mut a = Asm::new(0x1000);
+    for i in body {
+        a.push(*i);
+    }
+    a.push(Inst::Halt);
+    let p = a.assemble();
+    let mut mem = GuestMem::new();
+    mem.write_bytes(p.base, &p.bytes);
+    let bb = decode_bb(&mem, p.base).expect("decode");
+    (mem, p.base, bb)
+}
+
+/// Runs lowered host code for a one-exit block, returning the final
+/// host state.
+fn run_lowered(host: &[darco_host::HInst], mem: &mut GuestMem, init: &CpuState) -> HostState {
+    let mut st = HostState::new();
+    for (i, g) in darco_guest::Gpr::ALL.iter().enumerate() {
+        st.set_reg(ir::guest_gpr_reg(i), init.gpr(*g));
+    }
+    st.set_reg(ir::FLAGS_REG, init.flags.to_word());
+    let mut idx = 0usize;
+    loop {
+        match exec_inst(&mut st, &host[idx], mem) {
+            Outcome::Next => idx += 1,
+            Outcome::Taken(t) => idx = t as usize,
+            Outcome::Exited(_) => return st,
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// The optimizer never changes what a basic block computes: the
+    /// unoptimized and fully optimized lowerings finish in identical
+    /// pinned guest state and identical memory.
+    #[test]
+    fn optimizer_preserves_block_semantics(
+        body in proptest::collection::vec(straightline(), 1..25),
+        seed in any::<u32>(),
+    ) {
+        let (mem0, _, bb) = make_bb(&body);
+        let ir_block = translate_region(&bb);
+
+        // Baseline: no passes, trivial allocation via the optimizer with
+        // everything off.
+        let off = TolConfig::no_optimization();
+        let (plain_block, plain_map) = opt::optimize(ir_block.clone(), &off).expect("alloc");
+        let plain = lower(&plain_block, &plain_map);
+
+        // Full pipeline (including the software-prefetch pass).
+        let on = TolConfig { opt_sw_prefetch: true, ..TolConfig::default() };
+        let (opt_block, opt_map) = opt::optimize(ir_block, &on).expect("alloc");
+        let optimized = lower(&opt_block, &opt_map);
+
+        let mut init = CpuState::at(0x1000);
+        let mut x = seed | 1;
+        for g in darco_guest::Gpr::ALL {
+            x = x.wrapping_mul(2654435761).wrapping_add(12345);
+            if g != Gpr::Esp {
+                init.set_gpr(g, x);
+            }
+        }
+        init.set_gpr(Gpr::Esp, 0x8_0000);
+
+        let mut mem_a = mem0.clone();
+        let sa = run_lowered(&plain, &mut mem_a, &init);
+        let mut mem_b = mem0.clone();
+        let sb = run_lowered(&optimized, &mut mem_b, &init);
+
+        for i in 0..8 {
+            prop_assert_eq!(
+                sa.reg(ir::guest_gpr_reg(i)),
+                sb.reg(ir::guest_gpr_reg(i)),
+                "guest register {} differs", i
+            );
+        }
+        prop_assert_eq!(
+            sa.reg(ir::FLAGS_REG),
+            sb.reg(ir::FLAGS_REG),
+            "flags differ"
+        );
+        prop_assert_eq!(mem_a.first_difference(&mem_b), None, "memory differs");
+    }
+
+    /// Register allocation keeps every assignment inside the scratch
+    /// window of the application register half.
+    #[test]
+    fn regalloc_stays_in_scratch_range(body in proptest::collection::vec(straightline(), 1..25)) {
+        let (_, _, bb) = make_bb(&body);
+        let block = translate_region(&bb);
+        let (block, map) = opt::optimize(block, &TolConfig::default()).expect("alloc");
+        for r in map.int.values() {
+            prop_assert!((ir::SCRATCH_BASE..ir::SCRATCH_END).contains(&r.0));
+        }
+        for f in map.fp.values() {
+            prop_assert!((ir::FSCRATCH_BASE..ir::FSCRATCH_END).contains(&f.0));
+        }
+        // Lowering covers the whole block: body + fallthrough + stubs.
+        let host = lower(&block, &map);
+        let live_ops = block.ops.iter().filter(|o| o.inst != darco_tol::ir::IrInst::Nop).count();
+        prop_assert_eq!(host.len(), live_ops + 1 + block.stubs.len());
+    }
+}

@@ -1,0 +1,40 @@
+//! # darco-workloads — benchmark profiles and program generator
+//!
+//! The paper characterizes the software layer with SPEC CPU2006 (INT and
+//! FP), Mediabench and Physicsbench (Sec. II-B). Those binaries are not
+//! redistributable and their x86 builds would not run on the g86 guest
+//! ISA anyway, so this crate provides the substitution described in
+//! DESIGN.md §2: a deterministic, seeded **program generator**
+//! ([`gen::generate`]) driven by per-benchmark [`profile::BenchProfile`]s
+//! that encode exactly the aggregate properties the paper's analysis
+//! attributes its observations to —
+//!
+//! * static code footprint and its hot/warm/cold split (Fig. 5),
+//! * dynamic/static instruction ratio (Fig. 6's overlay),
+//! * indirect-branch density (Fig. 7's overlay, the perlbench effect),
+//! * floating-point fraction (SPEC FP's low TOL activity),
+//! * memory footprint and streaming-vs-random access mix (D$ behavior),
+//! * conditional-branch entropy (predictor behavior).
+//!
+//! [`suites::all_profiles`] lists the 48 benchmarks of the paper's
+//! figures with parameters calibrated to the clues the paper gives
+//! (e.g. 400.perlbench's 22.7M indirect branches per 4B instructions,
+//! 462.libquantum's 385K dynamic/static ratio, the similar ~15K-
+//! instruction footprints of cjpeg/djpeg/milc).
+//!
+//! ```
+//! use darco_workloads::{generate, suites};
+//!
+//! let profile = suites::by_name("462.libquantum").expect("known benchmark");
+//! let workload = generate(&profile, 0.01); // 1% of the default length
+//! assert!(workload.static_insts > 500);
+//! assert_eq!(workload.initial.eip, workload.entry);
+//! assert_eq!(suites::all_profiles().len(), 48);
+//! ```
+
+pub mod gen;
+pub mod profile;
+pub mod suites;
+
+pub use gen::{generate, Workload};
+pub use profile::{BenchProfile, Suite};

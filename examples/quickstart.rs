@@ -1,0 +1,48 @@
+//! Quickstart: run one workload through the full DARCO stack and print
+//! the headline numbers the paper's evaluation is built from.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use darco::core::{Report, System};
+use darco::host::Component;
+use darco::workloads::suites;
+
+fn main() {
+    // A small synthetic workload (see `darco_workloads::suites` for the
+    // paper's full 48-benchmark roster).
+    let profile = suites::quicktest_profile();
+    println!("benchmark: {} ({} target static instructions)", profile.name, profile.static_insts);
+
+    // A System couples the software layer (TOL), the authoritative
+    // functional emulator (co-simulation) and the cycle-level host
+    // timing model.
+    let mut system = System::from_profile(&profile);
+    let report: Report = system.run_to_completion();
+
+    println!("guest instructions retired : {}", report.guest_insts);
+    println!("host instructions executed : {}", report.timing.total_insts());
+    println!("host cycles                : {}", report.timing.total_cycles);
+    println!("overall IPC                : {:.3}", report.timing.ipc());
+    println!("co-simulation checks       : {} (all passed)", report.cosim_checks);
+
+    println!("\nexecution-time breakdown (the paper's Fig. 6/7 view):");
+    for c in Component::ALL {
+        println!(
+            "  {:14} {:6.2}%  ({} instructions)",
+            c.label(),
+            report.timing.component_share(c) * 100.0,
+            report.timing.component_insts(c)
+        );
+    }
+
+    let s = &report.tol;
+    println!("\nguest code distribution (the paper's Fig. 5 view):");
+    println!("  static [IM, BBM, SBM]  : {:?}", s.static_dist);
+    println!("  dynamic [IM, BBM, SBM] : {:?}", s.dyn_dist);
+    println!(
+        "\nsoftware layer: {} superblocks, {} chains, {} IBTC hits / {} misses, {} flushes",
+        s.counters.sbm_invocations, s.chains, s.ibtc_hits, s.ibtc_misses, s.flushes
+    );
+}

@@ -1,0 +1,35 @@
+//! # darco — umbrella crate for the DARCO reproduction
+//!
+//! A from-scratch Rust reproduction of the system behind *"Quantitative
+//! Characterization of the Software Layer of a HW/SW Co-Designed
+//! Processor"* (IISWC 2016): a DARCO-style simulation infrastructure with
+//! a guest ISA, a Translation Optimization Layer (TOL), a cycle-level
+//! in-order host timing model, and the paper's workloads and experiments.
+//!
+//! This crate simply re-exports the workspace members under one roof so
+//! examples and downstream users can depend on a single crate:
+//!
+//! * [`guest`] — the x86-like guest ISA and functional emulator,
+//! * [`host`] — the RISC host ISA and functional executor,
+//! * [`tol`] — the software layer (the paper's subject),
+//! * [`timing`] — the host pipeline timing model,
+//! * [`workloads`] — benchmark profiles and the program generator,
+//! * [`core`] — the DARCO controller, co-simulation and experiments.
+//!
+//! ```
+//! use darco::core::System;
+//! use darco::workloads::suites;
+//!
+//! // Run a tiny workload end to end and look at the execution breakdown.
+//! let profile = suites::quicktest_profile();
+//! let mut system = System::from_profile(&profile);
+//! let report = system.run_to_completion();
+//! assert!(report.timing.total_cycles > 0);
+//! ```
+
+pub use darco_core as core;
+pub use darco_guest as guest;
+pub use darco_host as host;
+pub use darco_timing as timing;
+pub use darco_tol as tol;
+pub use darco_workloads as workloads;

@@ -1,0 +1,323 @@
+//! Property-based tests on the core invariants of the infrastructure.
+//!
+//! The heavyweight property here mirrors DARCO's reason for existing:
+//! *any* guest program must execute identically under the functional
+//! reference, the interpreter, plain BBM translation, and the full SBM
+//! optimization pipeline.
+
+use darco::guest::asm::Asm;
+use darco::guest::{exec, AluOp, Cond, CpuState, FpOp, FpReg, Gpr, GuestMem, Inst, MemRef, MemWidth, Scale, ShiftOp};
+use darco::host::DynInst;
+use darco::tol::{Tol, TolConfig};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------- strategies
+
+fn gpr() -> impl Strategy<Value = Gpr> {
+    prop_oneof![
+        Just(Gpr::Eax),
+        Just(Gpr::Ecx),
+        Just(Gpr::Edx),
+        Just(Gpr::Ebx),
+        Just(Gpr::Ebp),
+        Just(Gpr::Esi),
+        Just(Gpr::Edi),
+    ]
+}
+
+fn fpr() -> impl Strategy<Value = FpReg> {
+    (0u8..8).prop_map(FpReg)
+}
+
+fn memref() -> impl Strategy<Value = MemRef> {
+    // Data region: within a 64 KiB window at 0x40000 so accesses never
+    // touch code or stack.
+    (gpr().prop_map(Some), any::<bool>(), 0u8..4, 0i32..0x4000).prop_map(|(base, idx, sc, disp)| {
+        MemRef {
+            base: None,
+            index: if idx { base } else { None },
+            scale: Scale::from_bits(sc),
+            disp: 0x4_0000 + disp,
+        }
+    })
+}
+
+fn alu_op() -> impl Strategy<Value = AluOp> {
+    prop_oneof![Just(AluOp::Add), Just(AluOp::Sub), Just(AluOp::And), Just(AluOp::Or), Just(AluOp::Xor)]
+}
+
+fn shift_op() -> impl Strategy<Value = ShiftOp> {
+    prop_oneof![Just(ShiftOp::Shl), Just(ShiftOp::Shr), Just(ShiftOp::Sar)]
+}
+
+fn fp_op() -> impl Strategy<Value = FpOp> {
+    prop_oneof![Just(FpOp::Add), Just(FpOp::Sub), Just(FpOp::Mul)]
+}
+
+/// Straight-line (non-control-flow) instructions.
+fn straightline_inst() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        (gpr(), gpr()).prop_map(|(dst, src)| Inst::MovRR { dst, src }),
+        (gpr(), any::<i32>()).prop_map(|(dst, imm)| Inst::MovRI { dst, imm }),
+        (alu_op(), gpr(), gpr()).prop_map(|(op, dst, src)| Inst::AluRR { op, dst, src }),
+        (alu_op(), gpr(), -1000i32..1000).prop_map(|(op, dst, imm)| Inst::AluRI { op, dst, imm }),
+        (gpr(), memref()).prop_map(|(dst, addr)| Inst::Load { dst, addr }),
+        (memref(), gpr()).prop_map(|(addr, src)| Inst::Store { addr, src }),
+        (alu_op(), gpr(), memref()).prop_map(|(op, dst, addr)| Inst::AluRM { op, dst, addr }),
+        (alu_op(), memref(), gpr()).prop_map(|(op, addr, src)| Inst::AluMR { op, addr, src }),
+        (gpr(), memref()).prop_map(|(dst, addr)| Inst::Lea { dst, addr }),
+        (gpr(), memref(), any::<bool>()).prop_map(|(dst, addr, w)| Inst::LoadZx {
+            dst,
+            addr,
+            width: if w { MemWidth::B2 } else { MemWidth::B1 },
+        }),
+        (gpr(), memref(), any::<bool>()).prop_map(|(dst, addr, w)| Inst::LoadSx {
+            dst,
+            addr,
+            width: if w { MemWidth::B2 } else { MemWidth::B1 },
+        }),
+        (memref(), gpr(), any::<bool>()).prop_map(|(addr, src, w)| Inst::StoreN {
+            addr,
+            src,
+            width: if w { MemWidth::B2 } else { MemWidth::B1 },
+        }),
+        (gpr(), gpr()).prop_map(|(a, b)| Inst::CmpRR { a, b }),
+        (gpr(), any::<i32>()).prop_map(|(a, imm)| Inst::CmpRI { a, imm }),
+        (gpr(), gpr()).prop_map(|(a, b)| Inst::TestRR { a, b }),
+        (shift_op(), gpr(), 0u8..32).prop_map(|(op, dst, amount)| Inst::Shift { op, dst, amount }),
+        (shift_op(), gpr()).prop_map(|(op, dst)| Inst::ShiftCl { op, dst }),
+        (gpr(), gpr()).prop_map(|(dst, src)| Inst::Imul { dst, src }),
+        (gpr(), gpr()).prop_map(|(dst, src)| Inst::Idiv { dst, src }),
+        gpr().prop_map(|dst| Inst::Neg { dst }),
+        gpr().prop_map(|dst| Inst::Not { dst }),
+        gpr().prop_map(|src| Inst::Push { src }),
+        gpr().prop_map(|dst| Inst::Pop { dst }),
+        (fpr(), fpr()).prop_map(|(dst, src)| Inst::FMovRR { dst, src }),
+        (fpr(), memref()).prop_map(|(dst, addr)| Inst::FLoad { dst, addr }),
+        (memref(), fpr()).prop_map(|(addr, src)| Inst::FStore { addr, src }),
+        (fp_op(), fpr(), fpr()).prop_map(|(op, dst, src)| Inst::FArith { op, dst, src }),
+        (fpr(), gpr()).prop_map(|(dst, src)| Inst::CvtIF { dst, src }),
+        (gpr(), fpr()).prop_map(|(dst, src)| Inst::CvtFI { dst, src }),
+        Just(Inst::Nop),
+    ]
+}
+
+/// Any instruction, including control flow with bounded targets.
+fn any_inst() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        8 => straightline_inst(),
+        1 => (0u8..12, 0u32..64).prop_map(|(c, _t)| Inst::Jcc {
+            cond: Cond::from_bits(c).unwrap(),
+            target: 0, // patched by the program builder
+        }),
+    ]
+}
+
+/// Builds a runnable program: a counted loop whose body is the random
+/// instruction sequence (conditional branches become short forward
+/// skips), so it always terminates and exercises IM, BBM and SBM.
+fn build_program(body: &[Inst], iters: i32) -> (GuestMem, CpuState) {
+    let mut a = Asm::new(0x1000);
+    let top = a.fresh_label();
+    a.push(Inst::MovRI { dst: Gpr::Ebp, imm: iters });
+    a.bind(top);
+    let mut i = 0;
+    while i < body.len() {
+        match body[i] {
+            Inst::Jcc { cond, .. } => {
+                let skip = a.fresh_label();
+                a.push_jcc(cond, skip);
+                // Up to two skipped instructions (must be straight-line).
+                let mut skipped = 0;
+                while skipped < 2 && i + 1 + skipped < body.len() {
+                    if let Inst::Jcc { .. } = body[i + 1 + skipped] {
+                        break;
+                    }
+                    a.push(sanitize_ebp(body[i + 1 + skipped]));
+                    skipped += 1;
+                }
+                a.bind(skip);
+                i += 1 + skipped;
+            }
+            // ebp is the loop counter: redirect writes away from it.
+            inst => {
+                a.push(sanitize_ebp(inst));
+                i += 1;
+            }
+        }
+    }
+    a.push(Inst::AluRI { op: AluOp::Sub, dst: Gpr::Ebp, imm: 1 });
+    a.push_jcc(Cond::Ne, top);
+    a.push(Inst::Halt);
+    let p = a.assemble();
+    let mut mem = GuestMem::new();
+    mem.write_bytes(p.base, &p.bytes);
+    // Seed the data window with nonzero values.
+    for w in (0..0x8000u32).step_by(4) {
+        mem.write_u32(0x4_0000 + w, w.wrapping_mul(2654435761));
+    }
+    let mut cpu = CpuState::at(p.base);
+    cpu.set_gpr(Gpr::Esp, 0x9_0000);
+    (mem, cpu)
+}
+
+/// Replaces writes to `ebp` (the harness loop counter) with `edx`.
+fn sanitize_ebp(inst: Inst) -> Inst {
+    let fix = |r: Gpr| if r == Gpr::Ebp { Gpr::Edx } else { r };
+    use Inst::*;
+    match inst {
+        MovRR { dst, src } => MovRR { dst: fix(dst), src },
+        MovRI { dst, imm } => MovRI { dst: fix(dst), imm },
+        Load { dst, addr } => Load { dst: fix(dst), addr },
+        LoadZx { dst, addr, width } => LoadZx { dst: fix(dst), addr, width },
+        LoadSx { dst, addr, width } => LoadSx { dst: fix(dst), addr, width },
+        Lea { dst, addr } => Lea { dst: fix(dst), addr },
+        AluRR { op, dst, src } => AluRR { op, dst: fix(dst), src },
+        AluRI { op, dst, imm } => AluRI { op, dst: fix(dst), imm },
+        AluRM { op, dst, addr } => AluRM { op, dst: fix(dst), addr },
+        Shift { op, dst, amount } => Shift { op, dst: fix(dst), amount },
+        ShiftCl { op, dst } => ShiftCl { op, dst: fix(dst) },
+        Imul { dst, src } => Imul { dst: fix(dst), src },
+        Idiv { dst, src } => Idiv { dst: fix(dst), src },
+        Neg { dst } => Neg { dst: fix(dst) },
+        Not { dst } => Not { dst: fix(dst) },
+        Pop { dst } => Pop { dst: fix(dst) },
+        CvtFI { dst, src } => CvtFI { dst: fix(dst), src },
+        other => other,
+    }
+}
+
+fn run_reference(mem: &GuestMem, cpu: &CpuState) -> (CpuState, u64) {
+    let mut mem = mem.clone();
+    let mut cpu = cpu.clone();
+    let mut n = 0;
+    while !cpu.halted {
+        exec::step(&mut cpu, &mut mem).expect("reference decode");
+        n += 1;
+        assert!(n < 10_000_000, "reference runaway");
+    }
+    (cpu, n)
+}
+
+fn run_tol(mem: &GuestMem, cpu: &CpuState, cfg: TolConfig) -> (CpuState, u64) {
+    let mut mem = mem.clone();
+    let mut tol = Tol::new(cfg, cpu.eip);
+    tol.set_state(cpu);
+    let mut sink = |_: &DynInst| {};
+    let n = tol.run(&mut mem, &mut sink, 10_000_000).expect("tol run");
+    (tol.emulated_state(), n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// The co-simulation invariant, as a property over random programs:
+    /// interpreter-only, BBM-only and full-SBM executions all match the
+    /// functional reference bit-for-bit, at every threshold setting.
+    #[test]
+    fn translation_preserves_architecture(
+        body in proptest::collection::vec(any_inst(), 4..40),
+        iters in 3i32..40,
+    ) {
+        let (mem, cpu) = build_program(&body, iters);
+        let (ref_cpu, ref_n) = run_reference(&mem, &cpu);
+
+        for cfg in [
+            // Interpreter only (promotion unreachable).
+            TolConfig { im_bb_threshold: u32::MAX, ..TolConfig::default() },
+            // BBM only.
+            TolConfig { im_bb_threshold: 1, bb_sb_threshold: u32::MAX, ..TolConfig::default() },
+            // Aggressive SBM.
+            TolConfig { im_bb_threshold: 1, bb_sb_threshold: 2, ..TolConfig::default() },
+            // SBM with no optimization passes.
+            TolConfig { im_bb_threshold: 1, bb_sb_threshold: 2, ..TolConfig::no_optimization() },
+        ] {
+            let (emu_cpu, emu_n) = run_tol(&mem, &cpu, cfg.clone());
+            prop_assert_eq!(emu_n, ref_n, "instruction count under {:?}", cfg);
+            prop_assert!(
+                ref_cpu.arch_eq(&emu_cpu),
+                "state mismatch\nref: {}\nemu: {}",
+                ref_cpu,
+                emu_cpu
+            );
+        }
+    }
+
+    /// Decoder round-trip on random straight-line instructions.
+    #[test]
+    fn encode_decode_roundtrip(inst in straightline_inst()) {
+        let bytes = darco::guest::encode::encode_to_vec(&inst);
+        let (back, len) = darco::guest::decode(&bytes).expect("decode");
+        prop_assert_eq!(back, inst);
+        prop_assert_eq!(len, bytes.len());
+    }
+
+    /// The decoder never panics on arbitrary bytes and never reads past
+    /// the declared instruction length.
+    #[test]
+    fn decoder_is_total(bytes in proptest::collection::vec(any::<u8>(), 1..16)) {
+        if let Ok((_, len)) = darco::guest::decode(&bytes) {
+            prop_assert!(len <= bytes.len());
+            prop_assert!(len <= darco::guest::exec::MAX_INST_LEN);
+        }
+    }
+
+    /// Flag algebra matches two's-complement arithmetic.
+    #[test]
+    fn flag_semantics(a in any::<u32>(), b in any::<u32>()) {
+        use darco::guest::Flags;
+        let add = Flags::add(a, b);
+        prop_assert_eq!(add.zf, a.wrapping_add(b) == 0);
+        prop_assert_eq!(add.cf, a.checked_add(b).is_none());
+        prop_assert_eq!(add.sf, (a.wrapping_add(b) as i32) < 0);
+        prop_assert_eq!(add.of, (a as i32).checked_add(b as i32).is_none());
+        let sub = Flags::sub(a, b);
+        prop_assert_eq!(sub.zf, a == b);
+        prop_assert_eq!(sub.cf, a < b);
+        prop_assert_eq!(sub.of, (a as i32).checked_sub(b as i32).is_none());
+    }
+
+    /// Caches: an access immediately after an access to the same line is
+    /// always a hit, regardless of history.
+    #[test]
+    fn cache_hit_after_fill(addrs in proptest::collection::vec(0u64..(1 << 22), 1..200)) {
+        use darco::timing::cache::{Cache, Lookup};
+        let mut c = Cache::new(darco::timing::TimingConfig::default().l1d);
+        for a in addrs {
+            c.access(a);
+            prop_assert_eq!(c.access(a), Lookup::Hit);
+        }
+    }
+
+    /// Timing monotonicity: extending an instruction stream never
+    /// reduces total cycles, and cycles always cover insts/width.
+    #[test]
+    fn pipeline_monotone(n in 1usize..400, seed in any::<u64>()) {
+        use darco::host::stream::{int_reg, DynInst};
+        use darco::host::{Component, ExecClass};
+        use darco::timing::{Pipeline, TimingConfig};
+        let mut p = Pipeline::new(TimingConfig::default());
+        let mut x = seed | 1;
+        let mut prev = 0;
+        for i in 0..n {
+            x ^= x << 13;
+            x ^= x >> 7;
+            let d = if x & 3 == 0 {
+                DynInst::plain(i as u64 * 4, ExecClass::Load, Component::AppCode)
+                    .with_dst(int_reg(2))
+                    .with_mem((x >> 8) % (1 << 20), 4, false)
+            } else {
+                DynInst::plain(i as u64 * 4, ExecClass::SimpleInt, Component::AppCode)
+                    .with_dst(int_reg(3))
+                    .with_srcs(int_reg(2), u8::MAX)
+            };
+            p.retire(&d);
+            let s = p.snapshot();
+            prop_assert!(s.total_cycles >= prev, "cycles must be monotone");
+            prev = s.total_cycles;
+        }
+        let s = p.snapshot();
+        prop_assert!(s.total_cycles as f64 >= n as f64 / 2.0);
+        prop_assert_eq!(s.total_insts(), n as u64);
+    }
+}
