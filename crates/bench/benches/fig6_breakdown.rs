@@ -14,9 +14,7 @@ fn bench(c: &mut Criterion) {
             fig6_suite_averages(&rows)
         })
     });
-    c.bench_function("fig6_full_run", |b| {
-        b.iter(|| run_bench(&profile, &cfg))
-    });
+    c.bench_function("fig6_full_run", |b| b.iter(|| run_bench(&profile, &cfg)));
 }
 
 criterion_group! {

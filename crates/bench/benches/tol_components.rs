@@ -52,9 +52,7 @@ fn bench(c: &mut Criterion) {
     let bb = decode_bb(&mem, entry).unwrap();
     let ir = translate_region(&bb);
     let cfg = TolConfig::default();
-    g.bench_function("sbm_optimize", |b| {
-        b.iter(|| opt::optimize(ir.clone(), &cfg).unwrap())
-    });
+    g.bench_function("sbm_optimize", |b| b.iter(|| opt::optimize(ir.clone(), &cfg).unwrap()));
 
     // Timing pipeline retire throughput.
     let insts: Vec<DynInst> = (0..64)

@@ -75,11 +75,7 @@ fn main() {
         _ => {}
     }
 
-    eprintln!(
-        "running {} benchmarks at scale {} ...",
-        suites::all_profiles().len(),
-        cfg.scale
-    );
+    eprintln!("running {} benchmarks at scale {} ...", suites::all_profiles().len(), cfg.scale);
     let runs = run_all(&cfg);
     if let Some(path) = &json_path {
         let json = serde_json::to_string_pretty(&runs).expect("serialize runs");
@@ -138,12 +134,7 @@ fn fig5a(runs: &[BenchRun]) {
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
-            vec![
-                r.name.clone(),
-                pct(r.static_pct[0]),
-                pct(r.static_pct[1]),
-                pct(r.static_pct[2]),
-            ]
+            vec![r.name.clone(), pct(r.static_pct[0]), pct(r.static_pct[1]), pct(r.static_pct[2])]
         })
         .collect();
     println!("{}", render_table(&["benchmark", "IM", "BBM", "SBM"], &table));
@@ -160,9 +151,7 @@ fn fig5b(runs: &[BenchRun]) {
     let rows = experiments::fig5(runs);
     let table: Vec<Vec<String>> = rows
         .iter()
-        .map(|r| {
-            vec![r.name.clone(), pct(r.dyn_pct[0]), pct(r.dyn_pct[1]), pct(r.dyn_pct[2])]
-        })
+        .map(|r| vec![r.name.clone(), pct(r.dyn_pct[0]), pct(r.dyn_pct[1]), pct(r.dyn_pct[2])])
         .collect();
     println!("{}", render_table(&["benchmark", "IM", "BBM", "SBM"], &table));
     let avg: Vec<Vec<String>> = experiments::fig5_suite_averages(&rows)
@@ -222,7 +211,16 @@ fn fig7(runs: &[BenchRun]) {
     println!(
         "{}",
         render_table(
-            &["benchmark", "TOL others", "IM", "BBM", "SBM", "Chaining", "Code$ look-up", "indirect branches"],
+            &[
+                "benchmark",
+                "TOL others",
+                "IM",
+                "BBM",
+                "SBM",
+                "Chaining",
+                "Code$ look-up",
+                "indirect branches"
+            ],
             &table
         )
     );
@@ -248,14 +246,9 @@ fn fig8(runs: &[BenchRun]) {
         .collect();
     println!(
         "{}",
-        render_table(
-            &["benchmark", "TOL IPC", "D$ miss", "I$ miss", "BP miss"],
-            &table
-        )
+        render_table(&["benchmark", "TOL IPC", "D$ miss", "I$ miss", "BP miss"], &table)
     );
-    let (lo, hi) = rows
-        .iter()
-        .fold((f64::MAX, 0f64), |(lo, hi), r| (lo.min(r.ipc), hi.max(r.ipc)));
+    let (lo, hi) = rows.iter().fold((f64::MAX, 0f64), |(lo, hi), r| (lo.min(r.ipc), hi.max(r.ipc)));
     println!("TOL IPC range: {lo:.2} .. {hi:.2} (paper: 0.85 for 445.gobmk .. 1.48 for 433.milc)");
 }
 
@@ -275,8 +268,17 @@ fn fig9(runs: &[BenchRun]) {
     let mut rows = experiments::fig9(&outs);
     rows.extend(experiments::fig9_suite_averages(runs));
     let headers = [
-        "bar", "TOL D$", "APP D$", "TOL I$", "APP I$", "TOL br", "APP br", "TOL sched",
-        "APP sched", "TOL insts", "APP insts",
+        "bar",
+        "TOL D$",
+        "APP D$",
+        "TOL I$",
+        "APP I$",
+        "TOL br",
+        "APP br",
+        "TOL sched",
+        "APP sched",
+        "TOL insts",
+        "APP insts",
     ];
     let table: Vec<Vec<String>> = rows
         .iter()
@@ -329,7 +331,9 @@ fn fig10(runs: &[BenchRun]) {
         "{}",
         render_table(&["bar", "APP w/o / w/", "TOL w/o / w/", "interaction penalty"], &table)
     );
-    println!("paper anchors: SPEC INT ~10% degradation, SPEC FP ~3%, 400.perlbench ~20%, 470.lbm ~0%");
+    println!(
+        "paper anchors: SPEC INT ~10% degradation, SPEC FP ~3%, 400.perlbench ~20%, 470.lbm ~0%"
+    );
 }
 
 // ------------------------------------------------------------------ Fig 11
@@ -352,10 +356,7 @@ fn fig11(runs: &[BenchRun]) {
             .collect();
         println!(
             "{}",
-            render_table(
-                &["benchmark", "D$ miss", "I$ miss", "scheduling", "branch"],
-                &table
-            )
+            render_table(&["benchmark", "D$ miss", "I$ miss", "scheduling", "branch"], &table)
         );
     }
     println!("paper anchor: the data cache is the component with the largest potential gain");
@@ -371,7 +372,10 @@ fn ablation_profiles() -> Vec<darco_workloads::BenchProfile> {
         .collect()
 }
 
-fn overhead_of(cfg: &RunConfig, profiles: &[darco_workloads::BenchProfile]) -> BTreeMap<String, f64> {
+fn overhead_of(
+    cfg: &RunConfig,
+    profiles: &[darco_workloads::BenchProfile],
+) -> BTreeMap<String, f64> {
     profiles
         .iter()
         .map(|p| {
@@ -382,7 +386,9 @@ fn overhead_of(cfg: &RunConfig, profiles: &[darco_workloads::BenchProfile]) -> B
 }
 
 fn ablate_thresholds(base: &RunConfig) {
-    heading("Ablation: promotion thresholds (the paper assumes IM/BBth=5, BB/SBth=10K scaled to 50)");
+    heading(
+        "Ablation: promotion thresholds (the paper assumes IM/BBth=5, BB/SBth=10K scaled to 50)",
+    );
     let mut table = Vec::new();
     for (im, sb) in [(2u32, 50u32), (5, 50), (20, 50), (5, 10), (5, 200), (5, 1000)] {
         let cfg = RunConfig {
@@ -416,7 +422,10 @@ fn ablate_ibtc(base: &RunConfig) {
             ]);
         }
     }
-    println!("{}", render_table(&["IBTC entries", "benchmark", "overhead", "IBTC hit rate"], &table));
+    println!(
+        "{}",
+        render_table(&["IBTC entries", "benchmark", "overhead", "IBTC hit rate"], &table)
+    );
 }
 
 fn ablate_passes(base: &RunConfig) {
@@ -425,17 +434,23 @@ fn ablate_passes(base: &RunConfig) {
         ("all passes", base.tol.clone()),
         ("no scheduling", TolConfig { opt_schedule: false, ..base.tol.clone() }),
         ("no CSE", TolConfig { opt_cse: false, ..base.tol.clone() }),
-        ("no const prop/fold", TolConfig { opt_const_prop: false, opt_const_fold: false, ..base.tol.clone() }),
+        (
+            "no const prop/fold",
+            TolConfig { opt_const_prop: false, opt_const_fold: false, ..base.tol.clone() },
+        ),
         ("no DCE", TolConfig { opt_dce: false, ..base.tol.clone() }),
-        ("none (translate only)", TolConfig {
-            opt_schedule: false,
-            opt_cse: false,
-            opt_const_prop: false,
-            opt_const_fold: false,
-            opt_dce: false,
-            bbm_peephole: false,
-            ..base.tol.clone()
-        }),
+        (
+            "none (translate only)",
+            TolConfig {
+                opt_schedule: false,
+                opt_cse: false,
+                opt_const_prop: false,
+                opt_const_fold: false,
+                opt_dce: false,
+                bbm_peephole: false,
+                ..base.tol.clone()
+            },
+        ),
     ];
     let mut table = Vec::new();
     for (label, tol) in variants {
@@ -534,12 +549,22 @@ fn ablate_future(base: &RunConfig) {
     println!(
         "{}",
         render_table(
-            &["variant", "benchmark", "cycles", "IPC", "APP D$ miss", "APP I$ miss", "spec hit/miss"],
+            &[
+                "variant",
+                "benchmark",
+                "cycles",
+                "IPC",
+                "APP D$ miss",
+                "APP I$ miss",
+                "spec hit/miss"
+            ],
             &table
         )
     );
-    println!("expected: prefetching trims D$ misses; speculation pays off for stable indirect\n\
-              targets; scattered placement inflates I$ misses (why code placement matters).");
+    println!(
+        "expected: prefetching trims D$ misses; speculation pays off for stable indirect\n\
+              targets; scattered placement inflates I$ misses (why code placement matters)."
+    );
 }
 
 fn table1(cfg: &RunConfig) {
@@ -548,14 +573,30 @@ fn table1(cfg: &RunConfig) {
     let rows: Vec<Vec<String>> = vec![
         vec!["General".into(), "Issue width".into(), t.issue_width.to_string()],
         vec!["Instruction queue".into(), "Size".into(), t.iq_size.to_string()],
-        vec!["Branch predictor".into(), "Size of history register".into(), t.bp_history_bits.to_string()],
+        vec![
+            "Branch predictor".into(),
+            "Size of history register".into(),
+            t.bp_history_bits.to_string(),
+        ],
         vec!["L1 I-Cache / D-Cache".into(), "Size".into(), format!("{}KB", t.l1i.size / 1024)],
-        vec!["".into(), "Block size/Associativity".into(), format!("{}B/{}", t.l1i.block, t.l1i.ways)],
+        vec![
+            "".into(),
+            "Block size/Associativity".into(),
+            format!("{}B/{}", t.l1i.block, t.l1i.ways),
+        ],
         vec!["".into(), "Replacement policy".into(), "PLRU".into()],
         vec!["".into(), "Hit latency".into(), t.l1i.hit_latency.to_string()],
-        vec!["Stride prefetcher".into(), "Number of entries".into(), t.prefetcher_entries.to_string()],
+        vec![
+            "Stride prefetcher".into(),
+            "Number of entries".into(),
+            t.prefetcher_entries.to_string(),
+        ],
         vec!["L2 U-Cache".into(), "Size".into(), format!("{}KB", t.l2.size / 1024)],
-        vec!["".into(), "Block size/Associativity".into(), format!("{}B/{}", t.l2.block, t.l2.ways)],
+        vec![
+            "".into(),
+            "Block size/Associativity".into(),
+            format!("{}B/{}", t.l2.block, t.l2.ways),
+        ],
         vec!["".into(), "Replacement policy".into(), "PLRU".into()],
         vec!["".into(), "Hit latency".into(), t.l2.hit_latency.to_string()],
         vec!["Main memory".into(), "Hit latency".into(), t.mem_latency.to_string()],

@@ -17,11 +17,7 @@ use darco_workloads::suites;
 /// shared across the Criterion benches.
 pub fn quick_runs(n: usize) -> Vec<BenchRun> {
     let cfg = RunConfig::quick();
-    suites::all_profiles()
-        .into_iter()
-        .take(n)
-        .map(|p| run_bench(&p, &cfg))
-        .collect()
+    suites::all_profiles().into_iter().take(n).map(|p| run_bench(&p, &cfg)).collect()
 }
 
 #[cfg(test)]

@@ -6,6 +6,7 @@
 //! ```text
 //! darco list                         # the 48-benchmark roster
 //! darco run <benchmark> [opts]      # full system run + report
+//! darco verify <benchmark> [opts]   # run with the IR verifier forced on
 //! darco trace <benchmark> [opts]    # guest instruction trace
 //! darco disasm <benchmark> [opts]   # hottest translations, disassembled
 //! darco timeline <benchmark> [opts] # start-up/steady-state windows
@@ -35,6 +36,7 @@ fn main() {
     match command.as_str() {
         "list" => list(),
         "run" => run(rest),
+        "verify" => verify(rest),
         "trace" => trace(rest),
         "disasm" => disasm(rest),
         "timeline" => timeline(rest),
@@ -50,7 +52,7 @@ fn main() {
 
 fn usage() {
     eprintln!(
-        "darco <list|run|trace|disasm|timeline|export-profile> [benchmark] \
+        "darco <list|run|verify|trace|disasm|timeline|export-profile> [benchmark] \
          [--profile FILE] [--scale S] [--cosim] [--n N] [--json]"
     );
 }
@@ -95,25 +97,19 @@ fn parse(rest: &[String]) -> Opts {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| bail("--n needs a count"));
             }
-            name if !name.starts_with('-') =>
-
+            name if !name.starts_with('-') => {
                 profile = Some(suites::by_name(name).unwrap_or_else(|| {
                     if name == "quicktest" {
                         suites::quicktest_profile()
                     } else {
                         bail(&format!("unknown benchmark {name}; try `darco list`"))
                     }
-                })),
+                }))
+            }
             other => bail(&format!("unknown flag {other}")),
         }
     }
-    Opts {
-        profile: profile.unwrap_or_else(suites::quicktest_profile),
-        scale,
-        cosim,
-        n,
-        json,
-    }
+    Opts { profile: profile.unwrap_or_else(suites::quicktest_profile), scale, cosim, n, json }
 }
 
 fn bail(msg: &str) -> ! {
@@ -157,6 +153,39 @@ fn run(rest: &[String]) {
     print_report(&report);
 }
 
+// --------------------------------------------------------------- verify
+
+/// `darco verify`: a full run with co-simulation on and the IR verifier
+/// forced on (structural invariants plus translation validation after
+/// every optimization pass), even in release builds. Exits nonzero if
+/// any superblock failed verification.
+fn verify(rest: &[String]) {
+    let o = parse(rest);
+    eprintln!("verifying {} at scale {} ...", o.profile.name, o.scale);
+    let mut cfg = SystemConfig { cosim: true, ..SystemConfig::default() };
+    cfg.tol.verify = true;
+    let mut sys = System::new(generate(&o.profile, o.scale), cfg);
+    let report = sys.run_to_completion();
+    if o.json {
+        println!("{}", serde_json::to_string_pretty(&report).expect("serialize"));
+    } else {
+        print_report(&report);
+    }
+    let c = &report.tol.counters;
+    if c.verify_failures > 0 {
+        eprintln!(
+            "verify: FAIL — {} superblock(s) rejected by the verifier \
+             (miscompiling pass reported above)",
+            c.verify_failures
+        );
+        std::process::exit(1);
+    }
+    eprintln!(
+        "verify: OK — {} superblock(s) verified, {} co-sim checks passed",
+        c.verified_blocks, report.cosim_checks
+    );
+}
+
 fn print_report(r: &Report) {
     println!("benchmark          : {}", r.name);
     println!("guest instructions : {}", r.guest_insts);
@@ -183,6 +212,12 @@ fn print_report(r: &Report) {
         "  indirect branches {} / IBTC {} hits {} misses",
         s.counters.indirect_branches, s.ibtc_hits, s.ibtc_misses
     );
+    if s.counters.verified_blocks > 0 || s.counters.verify_failures > 0 {
+        println!(
+            "  verifier: {} blocks verified / {} differential fallbacks / {} failures",
+            s.counters.verified_blocks, s.counters.tv_differential, s.counters.verify_failures
+        );
+    }
     println!(
         "\ncaches: APP D$ miss {:.2}%  APP I$ miss {:.2}%  TOL D$ miss {:.2}%  BP miss {:.2}%",
         r.timing.d_miss_rate(Owner::App) * 100.0,
@@ -264,11 +299,7 @@ fn disasm(rest: &[String]) {
 
 fn timeline(rest: &[String]) {
     let o = parse(rest);
-    let cfg = SystemConfig {
-        cosim: false,
-        window_guest_insts: 50_000,
-        ..SystemConfig::default()
-    };
+    let cfg = SystemConfig { cosim: false, window_guest_insts: 50_000, ..SystemConfig::default() };
     let mut sys = System::new(generate(&o.profile, o.scale), cfg);
     let r = sys.run_to_completion();
     println!(
@@ -277,12 +308,7 @@ fn timeline(rest: &[String]) {
     );
     println!("{:>12} {:>12} {:>10}", "guest insts", "cycles", "TOL share");
     for w in r.timeline.iter().take(o.n) {
-        println!(
-            "{:>12} {:>12} {:>9.1}%",
-            w.guest_insts,
-            w.cycles,
-            w.overhead_share() * 100.0
-        );
+        println!("{:>12} {:>12} {:>9.1}%", w.guest_insts, w.cycles, w.overhead_share() * 100.0);
     }
 }
 

@@ -25,7 +25,9 @@ impl fmt::Display for Divergence {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "state divergence after {} guest instructions:\n  authoritative: {}\n  emulated:      {}",
+            "state divergence after {} guest instructions:\n  authoritative: {}\n  emulated:      {}\n  \
+             hint: run `darco verify <benchmark>` to check every optimization pass\n  \
+             (structural invariants + translation validation) and localize a miscompile",
             self.at_guest_inst, self.authoritative, self.emulated
         )
     }

@@ -99,8 +99,7 @@ pub fn run_set_parallel(
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Mutex;
     let next = AtomicUsize::new(0);
-    let results: Vec<Mutex<Option<BenchRun>>> =
-        profiles.iter().map(|_| Mutex::new(None)).collect();
+    let results: Vec<Mutex<Option<BenchRun>>> = profiles.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|s| {
         for _ in 0..threads.max(1) {
             s.spawn(|| loop {
@@ -224,8 +223,7 @@ pub fn fig6_suite_averages(rows: &[Fig6Row]) -> Vec<(Suite, f64)> {
     Suite::ALL
         .iter()
         .filter_map(|s| {
-            let sel: Vec<f64> =
-                rows.iter().filter(|r| r.suite == *s).map(|r| r.overhead).collect();
+            let sel: Vec<f64> = rows.iter().filter(|r| r.suite == *s).map(|r| r.overhead).collect();
             (!sel.is_empty()).then(|| (*s, sel.iter().sum::<f64>() / sel.len() as f64))
         })
         .collect()
@@ -357,10 +355,7 @@ fn fig9_categories(s: &Stats) -> [f64; 10] {
 /// and/or whole suites).
 pub fn fig9(runs: &[BenchRun]) -> Vec<Fig9Row> {
     runs.iter()
-        .map(|r| Fig9Row {
-            label: r.name.clone(),
-            categories: fig9_categories(&r.report.timing),
-        })
+        .map(|r| Fig9Row { label: r.name.clone(), categories: fig9_categories(&r.report.timing) })
         .collect()
 }
 
@@ -608,8 +603,8 @@ mod tests {
         let f10 = fig10(&runs);
         // Isolation helps on average; at the tiny test scale the
         // attribution split is noisy, so allow a margin.
-        let mean: f64 = f10.iter().map(|r| (r.app_rel + r.tol_rel) / 2.0).sum::<f64>()
-            / f10.len() as f64;
+        let mean: f64 =
+            f10.iter().map(|r| (r.app_rel + r.tol_rel) / 2.0).sum::<f64>() / f10.len() as f64;
         assert!(mean <= 1.10, "isolated runs should not be slower on average: {mean}");
     }
 }

@@ -31,10 +31,7 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
         out.push('\n');
     };
     line(&mut out, headers.iter().map(|h| h.to_string()).collect());
-    line(
-        &mut out,
-        widths.iter().map(|w| "-".repeat(*w)).collect(),
-    );
+    line(&mut out, widths.iter().map(|w| "-".repeat(*w)).collect());
     for r in rows {
         line(&mut out, r.clone());
     }
@@ -55,10 +52,7 @@ mod tests {
     fn table_aligns_columns() {
         let t = render_table(
             &["name", "value"],
-            &[
-                vec!["a".into(), "1".into()],
-                vec!["long-name".into(), "22".into()],
-            ],
+            &[vec!["a".into(), "1".into()], vec!["long-name".into(), "22".into()]],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

@@ -76,7 +76,11 @@ impl Window {
     /// Software-layer share of the window's host instructions.
     pub fn overhead_share(&self) -> f64 {
         let t = self.app_insts + self.tol_insts;
-        if t == 0 { 0.0 } else { self.tol_insts as f64 / t as f64 }
+        if t == 0 {
+            0.0
+        } else {
+            self.tol_insts as f64 / t as f64
+        }
     }
 }
 
@@ -124,21 +128,15 @@ impl System {
     pub fn new(w: Workload, cfg: SystemConfig) -> System {
         let mut tol = Tol::new(cfg.tol.clone(), w.entry);
         tol.set_state(&w.initial);
-        let checker = cfg
-            .cosim
-            .then(|| StateChecker::new(w.initial.clone(), w.mem.clone()));
+        let checker = cfg.cosim.then(|| StateChecker::new(w.initial.clone(), w.mem.clone()));
         System {
             name: w.name,
             tol,
             emu_mem: w.mem,
             checker,
             shared: Pipeline::new(cfg.timing.clone()),
-            app_only: cfg
-                .app_only_pipeline
-                .then(|| Pipeline::new(cfg.timing.clone())),
-            tol_only: cfg
-                .tol_only_pipeline
-                .then(|| Pipeline::new(cfg.timing.clone())),
+            app_only: cfg.app_only_pipeline.then(|| Pipeline::new(cfg.timing.clone())),
+            tol_only: cfg.tol_only_pipeline.then(|| Pipeline::new(cfg.timing.clone())),
             static_insts: w.static_insts,
             timeline: Vec::new(),
             last_window_mark: (0, 0, 0, 0),
@@ -175,11 +173,7 @@ impl System {
     /// Panics on guest decode faults or co-simulation divergence — both
     /// indicate an infrastructure bug, exactly as they would in DARCO.
     pub fn run_to_completion(&mut self) -> Report {
-        let cap = if self.cfg.max_guest_insts == 0 {
-            u64::MAX
-        } else {
-            self.cfg.max_guest_insts
-        };
+        let cap = if self.cfg.max_guest_insts == 0 { u64::MAX } else { self.cfg.max_guest_insts };
         let mut total = 0u64;
         while !self.tol.is_done() && total < cap {
             let budget = self.cfg.step_budget.min(cap - total);
@@ -225,7 +219,11 @@ impl System {
             // translated code performed must match the authoritative
             // execution byte-for-byte.
             if let Err(addr) = chk.check_memory(&self.emu_mem) {
-                panic!("{}: memory divergence at guest address {addr:#x}", self.name);
+                panic!(
+                    "{}: memory divergence at guest address {addr:#x}\n  \
+                     hint: run `darco verify {}` to localize a miscompiling pass",
+                    self.name, self.name
+                );
             }
         }
         Report {
@@ -293,11 +291,8 @@ mod tests {
 
     #[test]
     fn timeline_captures_startup_transient() {
-        let cfg = SystemConfig {
-            window_guest_insts: 10_000,
-            cosim: false,
-            ..SystemConfig::default()
-        };
+        let cfg =
+            SystemConfig { window_guest_insts: 10_000, cosim: false, ..SystemConfig::default() };
         let w = generate(&suites::quicktest_profile(), 1.0);
         let mut sys = System::new(w, cfg);
         let r = sys.run_to_completion();
@@ -333,10 +328,7 @@ mod tests {
         let mut sys = quick_system(SystemConfig { cosim: false, ..SystemConfig::default() });
         let r = sys.run_to_completion();
         for c in [Component::AppCode, Component::TolIm, Component::TolBbm, Component::TolOthers] {
-            assert!(
-                r.timing.component_insts(c) > 0,
-                "component {c} never executed"
-            );
+            assert!(r.timing.component_insts(c) > 0, "component {c} never executed");
         }
     }
 }

@@ -45,10 +45,7 @@ impl<'a> Cursor<'a> {
     }
 
     fn i32(&mut self) -> Result<i32, DecodeError> {
-        let s = self
-            .bytes
-            .get(self.pos..self.pos + 4)
-            .ok_or(DecodeError::Truncated)?;
+        let s = self.bytes.get(self.pos..self.pos + 4).ok_or(DecodeError::Truncated)?;
         self.pos += 4;
         Ok(i32::from_le_bytes([s[0], s[1], s[2], s[3]]))
     }
@@ -99,11 +96,8 @@ impl<'a> Cursor<'a> {
 
     fn mem(&mut self) -> Result<MemRef, DecodeError> {
         let flags = self.u8()?;
-        let base = if flags & 1 != 0 {
-            Some(Gpr::from_index(((flags >> 1) & 7) as usize))
-        } else {
-            None
-        };
+        let base =
+            if flags & 1 != 0 { Some(Gpr::from_index(((flags >> 1) & 7) as usize)) } else { None };
         let index = if flags & (1 << 4) != 0 {
             let b = self.u8()?;
             if b >= 8 {
@@ -113,17 +107,8 @@ impl<'a> Cursor<'a> {
         } else {
             None
         };
-        let disp = if flags & (1 << 5) != 0 {
-            self.i32()?
-        } else {
-            self.u8()? as i8 as i32
-        };
-        Ok(MemRef {
-            base,
-            index,
-            scale: Scale::from_bits(flags >> 6),
-            disp,
-        })
+        let disp = if flags & (1 << 5) != 0 { self.i32()? } else { self.u8()? as i8 as i32 };
+        Ok(MemRef { base, index, scale: Scale::from_bits(flags >> 6), disp })
     }
 }
 
@@ -229,11 +214,7 @@ pub fn decode(bytes: &[u8]) -> Result<(Inst, usize), DecodeError> {
         _ if (op::SHIFT_BASE..op::SHIFT_BASE + 3).contains(&opc) => {
             let o = ShiftOp::from_bits(opc - op::SHIFT_BASE).ok_or(DecodeError::BadOpcode(opc))?;
             let b = c.u8()?;
-            Inst::Shift {
-                op: o,
-                dst: Gpr::from_index((b & 7) as usize),
-                amount: b >> 3,
-            }
+            Inst::Shift { op: o, dst: Gpr::from_index((b & 7) as usize), amount: b >> 3 }
         }
         _ if (op::SHIFT_CL_BASE..op::SHIFT_CL_BASE + 3).contains(&opc) => {
             let o =
@@ -297,10 +278,7 @@ pub fn decode(bytes: &[u8]) -> Result<(Inst, usize), DecodeError> {
             if hi >= FpReg::COUNT || lo >= 8 {
                 return Err(DecodeError::BadOperand(b));
             }
-            Inst::CvtIF {
-                dst: FpReg(hi),
-                src: Gpr::from_index(lo as usize),
-            }
+            Inst::CvtIF { dst: FpReg(hi), src: Gpr::from_index(lo as usize) }
         }
         op::CVT_FI => {
             let b = c.u8()?;
@@ -309,10 +287,7 @@ pub fn decode(bytes: &[u8]) -> Result<(Inst, usize), DecodeError> {
             if hi >= 8 || lo >= FpReg::COUNT {
                 return Err(DecodeError::BadOperand(b));
             }
-            Inst::CvtFI {
-                dst: Gpr::from_index(hi as usize),
-                src: FpReg(lo),
-            }
+            Inst::CvtFI { dst: Gpr::from_index(hi as usize), src: FpReg(lo) }
         }
         other => return Err(DecodeError::BadOpcode(other)),
     };
@@ -431,10 +406,7 @@ mod tests {
         // mov with register index 9 in high nibble
         assert_eq!(decode(&[0x10, 0x9F]), Err(DecodeError::BadOperand(0x9F)));
         // jcc with condition 15
-        assert!(matches!(
-            decode(&[0x60, 15, 0, 0, 0, 0]),
-            Err(DecodeError::BadOperand(15))
-        ));
+        assert!(matches!(decode(&[0x60, 15, 0, 0, 0, 0]), Err(DecodeError::BadOperand(15))));
     }
 
     #[test]

@@ -307,25 +307,16 @@ mod tests {
 
     #[test]
     fn short_and_long_immediates() {
-        let short = encode_to_vec(&Inst::MovRI {
-            dst: Gpr::Eax,
-            imm: -5,
-        });
+        let short = encode_to_vec(&Inst::MovRI { dst: Gpr::Eax, imm: -5 });
         assert_eq!(short.len(), 3);
-        let long = encode_to_vec(&Inst::MovRI {
-            dst: Gpr::Eax,
-            imm: 100_000,
-        });
+        let long = encode_to_vec(&Inst::MovRI { dst: Gpr::Eax, imm: 100_000 });
         assert_eq!(long.len(), 6);
         assert_eq!(long[1] & 0x80, 0x80);
     }
 
     #[test]
     fn mem_operand_lengths() {
-        let short = encode_to_vec(&Inst::Load {
-            dst: Gpr::Eax,
-            addr: MemRef::base(Gpr::Ebp, -8),
-        });
+        let short = encode_to_vec(&Inst::Load { dst: Gpr::Eax, addr: MemRef::base(Gpr::Ebp, -8) });
         // op + reg + flags + disp8
         assert_eq!(short.len(), 4);
         let long = encode_to_vec(&Inst::Load {
@@ -340,10 +331,7 @@ mod tests {
     fn branch_targets_are_absolute_le() {
         let b = encode_to_vec(&Inst::Jmp { target: 0x1234_5678 });
         assert_eq!(b, vec![op::JMP, 0x78, 0x56, 0x34, 0x12]);
-        let j = encode_to_vec(&Inst::Jcc {
-            cond: Cond::Ne,
-            target: 0xAABB,
-        });
+        let j = encode_to_vec(&Inst::Jcc { cond: Cond::Ne, target: 0xAABB });
         assert_eq!(j.len(), 6);
         assert_eq!(j[1], Cond::Ne as u8);
     }
@@ -352,22 +340,14 @@ mod tests {
     fn farith_opcodes_distinct() {
         let mut seen = std::collections::HashSet::new();
         for o in FpOp::ALL {
-            let v = encode_to_vec(&Inst::FArith {
-                op: o,
-                dst: FpReg(1),
-                src: FpReg(2),
-            });
+            let v = encode_to_vec(&Inst::FArith { op: o, dst: FpReg(1), src: FpReg(2) });
             assert!(seen.insert(v[0]));
         }
     }
 
     #[test]
     fn shift_packs_amount() {
-        let v = encode_to_vec(&Inst::Shift {
-            op: ShiftOp::Shl,
-            dst: Gpr::Edx,
-            amount: 7,
-        });
+        let v = encode_to_vec(&Inst::Shift { op: ShiftOp::Shl, dst: Gpr::Edx, amount: 7 });
         assert_eq!(v.len(), 2);
         assert_eq!(v[1] & 7, Gpr::Edx.index() as u8);
         assert_eq!(v[1] >> 3, 7);

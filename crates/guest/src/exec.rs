@@ -141,10 +141,7 @@ fn shift(op: ShiftOp, v: u32, amount: u32) -> (u32, Flags) {
     let (r, cf) = match op {
         ShiftOp::Shl => (v << amt, (v >> (32 - amt)) & 1 != 0),
         ShiftOp::Shr => (v >> amt, (v >> (amt - 1)) & 1 != 0),
-        ShiftOp::Sar => (
-            ((v as i32) >> amt) as u32,
-            ((v as i32) >> (amt - 1)) & 1 != 0,
-        ),
+        ShiftOp::Sar => (((v as i32) >> amt) as u32, ((v as i32) >> (amt - 1)) & 1 != 0),
     };
     let mut f = Flags::from_result(r);
     f.cf = cf;
@@ -379,11 +376,7 @@ pub fn step(cpu: &mut CpuState, mem: &mut GuestMem) -> Result<StepInfo, DecodeEr
         CvtIF { dst, src } => cpu.set_fpr(dst, cpu.gpr(src) as i32 as f64),
         CvtFI { dst, src } => {
             let v = cpu.fpr(src);
-            let r = if v.is_nan() {
-                0
-            } else {
-                v.clamp(i32::MIN as f64, i32::MAX as f64) as i32
-            };
+            let r = if v.is_nan() { 0 } else { v.clamp(i32::MIN as f64, i32::MAX as f64) as i32 };
             cpu.set_gpr(dst, r as u32);
         }
     }

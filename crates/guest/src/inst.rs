@@ -33,16 +33,8 @@ pub enum Gpr {
 
 impl Gpr {
     /// All eight registers in encoding order.
-    pub const ALL: [Gpr; 8] = [
-        Gpr::Eax,
-        Gpr::Ecx,
-        Gpr::Edx,
-        Gpr::Ebx,
-        Gpr::Esp,
-        Gpr::Ebp,
-        Gpr::Esi,
-        Gpr::Edi,
-    ];
+    pub const ALL: [Gpr; 8] =
+        [Gpr::Eax, Gpr::Ecx, Gpr::Edx, Gpr::Ebx, Gpr::Esp, Gpr::Ebp, Gpr::Esi, Gpr::Edi];
 
     /// Encoding index in `0..8`.
     #[inline]
@@ -153,32 +145,17 @@ pub struct MemRef {
 impl MemRef {
     /// Absolute address operand: `[disp]`.
     pub fn abs(disp: u32) -> MemRef {
-        MemRef {
-            base: None,
-            index: None,
-            scale: Scale::S1,
-            disp: disp as i32,
-        }
+        MemRef { base: None, index: None, scale: Scale::S1, disp: disp as i32 }
     }
 
     /// Base-register operand: `[base + disp]`.
     pub fn base(base: Gpr, disp: i32) -> MemRef {
-        MemRef {
-            base: Some(base),
-            index: None,
-            scale: Scale::S1,
-            disp,
-        }
+        MemRef { base: Some(base), index: None, scale: Scale::S1, disp }
     }
 
     /// Fully general operand: `[base + index*scale + disp]`.
     pub fn base_index(base: Gpr, index: Gpr, scale: Scale, disp: i32) -> MemRef {
-        MemRef {
-            base: Some(base),
-            index: Some(index),
-            scale,
-            disp,
-        }
+        MemRef { base: Some(base), index: Some(index), scale, disp }
     }
 
     /// Registers read when computing the effective address.
@@ -305,7 +282,11 @@ impl MemWidth {
 
     /// Decodes the one-bit encoding.
     pub fn from_bit(bit: u8) -> MemWidth {
-        if bit & 1 == 0 { MemWidth::B1 } else { MemWidth::B2 }
+        if bit & 1 == 0 {
+            MemWidth::B1
+        } else {
+            MemWidth::B2
+        }
     }
 }
 
@@ -659,9 +640,18 @@ impl Inst {
         use Inst::*;
         match self {
             Nop | Syscall | Halt => GuestClass::Other,
-            MovRR { .. } | MovRI { .. } | Lea { .. } | AluRR { .. } | AluRI { .. }
-            | CmpRR { .. } | CmpRI { .. } | TestRR { .. } | Shift { .. } | ShiftCl { .. }
-            | Neg { .. } | Not { .. } => GuestClass::Int,
+            MovRR { .. }
+            | MovRI { .. }
+            | Lea { .. }
+            | AluRR { .. }
+            | AluRI { .. }
+            | CmpRR { .. }
+            | CmpRI { .. }
+            | TestRR { .. }
+            | Shift { .. }
+            | ShiftCl { .. }
+            | Neg { .. }
+            | Not { .. } => GuestClass::Int,
             Imul { .. } | Idiv { .. } => GuestClass::IntComplex,
             Load { .. } | LoadZx { .. } | LoadSx { .. } | AluRM { .. } | Pop { .. } => {
                 GuestClass::Load
@@ -807,39 +797,21 @@ mod tests {
     #[test]
     fn classes_are_consistent() {
         assert_eq!(Inst::Nop.class(), GuestClass::Other);
-        assert_eq!(
-            Inst::Imul {
-                dst: Gpr::Eax,
-                src: Gpr::Ebx
-            }
-            .class(),
-            GuestClass::IntComplex
-        );
+        assert_eq!(Inst::Imul { dst: Gpr::Eax, src: Gpr::Ebx }.class(), GuestClass::IntComplex);
         assert_eq!(Inst::Ret.class(), GuestClass::Ret);
         assert!(Inst::Ret.is_indirect());
         assert!(Inst::Ret.is_block_end());
         assert!(!Inst::Nop.is_block_end());
-        let fmul = Inst::FArith {
-            op: FpOp::Mul,
-            dst: FpReg(0),
-            src: FpReg(1),
-        };
+        let fmul = Inst::FArith { op: FpOp::Mul, dst: FpReg(0), src: FpReg(1) };
         assert_eq!(fmul.class(), GuestClass::FpComplex);
     }
 
     #[test]
     fn flags_metadata() {
-        let add = Inst::AluRR {
-            op: AluOp::Add,
-            dst: Gpr::Eax,
-            src: Gpr::Ebx,
-        };
+        let add = Inst::AluRR { op: AluOp::Add, dst: Gpr::Eax, src: Gpr::Ebx };
         assert!(add.writes_flags());
         assert!(!add.reads_flags());
-        let jcc = Inst::Jcc {
-            cond: Cond::E,
-            target: 0,
-        };
+        let jcc = Inst::Jcc { cond: Cond::E, target: 0 };
         assert!(jcc.reads_flags());
         assert!(!jcc.writes_flags());
         let not = Inst::Not { dst: Gpr::Eax };

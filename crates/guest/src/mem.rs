@@ -38,10 +38,8 @@ impl GuestMem {
     /// Writes one byte, allocating the page if needed.
     #[inline]
     pub fn write_u8(&mut self, addr: u32, val: u8) {
-        let page = self
-            .pages
-            .entry(addr >> PAGE_SHIFT)
-            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+        let page =
+            self.pages.entry(addr >> PAGE_SHIFT).or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
         page[(addr & PAGE_MASK) as usize] = val;
     }
 
@@ -121,8 +119,7 @@ impl GuestMem {
     /// Compares two address spaces byte-for-byte and returns the address
     /// of the first difference, treating absent pages as zero-filled.
     pub fn first_difference(&self, other: &GuestMem) -> Option<u32> {
-        let mut pages: Vec<u32> =
-            self.pages.keys().chain(other.pages.keys()).copied().collect();
+        let mut pages: Vec<u32> = self.pages.keys().chain(other.pages.keys()).copied().collect();
         pages.sort_unstable();
         pages.dedup();
         const ZERO: [u8; PAGE_SIZE] = [0; PAGE_SIZE];

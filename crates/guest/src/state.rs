@@ -31,23 +31,13 @@ impl Flags {
 
     /// Inverse of [`Flags::to_word`]; ignores unused bits.
     pub fn from_word(w: u32) -> Flags {
-        Flags {
-            cf: w & 1 != 0,
-            zf: w & 2 != 0,
-            sf: w & 4 != 0,
-            of: w & 8 != 0,
-            pf: w & 16 != 0,
-        }
+        Flags { cf: w & 1 != 0, zf: w & 2 != 0, sf: w & 4 != 0, of: w & 8 != 0, pf: w & 16 != 0 }
     }
 
     /// Flags produced by a logic operation (AND/OR/XOR/TEST/NOT result):
     /// CF and OF cleared, ZF/SF/PF from the result.
     pub fn logic(result: u32) -> Flags {
-        Flags {
-            cf: false,
-            of: false,
-            ..Flags::from_result(result)
-        }
+        Flags { cf: false, of: false, ..Flags::from_result(result) }
     }
 
     /// ZF/SF/PF computed from a result, CF/OF left clear.
@@ -65,22 +55,14 @@ impl Flags {
     pub fn add(a: u32, b: u32) -> Flags {
         let (r, carry) = a.overflowing_add(b);
         let of = ((a ^ r) & (b ^ r)) >> 31 != 0;
-        Flags {
-            cf: carry,
-            of,
-            ..Flags::from_result(r)
-        }
+        Flags { cf: carry, of, ..Flags::from_result(r) }
     }
 
     /// Flags for `a - b` (also used by `cmp`).
     pub fn sub(a: u32, b: u32) -> Flags {
         let (r, borrow) = a.overflowing_sub(b);
         let of = ((a ^ b) & (a ^ r)) >> 31 != 0;
-        Flags {
-            cf: borrow,
-            of,
-            ..Flags::from_result(r)
-        }
+        Flags { cf: borrow, of, ..Flags::from_result(r) }
     }
 }
 
@@ -161,11 +143,7 @@ impl CpuState {
             && self.eip == other.eip
             && self.flags == other.flags
             && self.halted == other.halted
-            && self
-                .fprs
-                .iter()
-                .zip(other.fprs.iter())
-                .all(|(a, b)| a.to_bits() == b.to_bits())
+            && self.fprs.iter().zip(other.fprs.iter()).all(|(a, b)| a.to_bits() == b.to_bits())
     }
 }
 

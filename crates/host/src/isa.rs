@@ -354,8 +354,14 @@ impl HInst {
     pub fn dst(&self) -> Option<HReg> {
         use HInst::*;
         match *self {
-            Alu { rd, .. } | AluI { rd, .. } | Li { rd, .. } | Mul { rd, .. } | Div { rd, .. }
-            | FlagsArith { rd, .. } | Ld { rd, .. } | CvtFI { rd, .. } => Some(rd),
+            Alu { rd, .. }
+            | AluI { rd, .. }
+            | Li { rd, .. }
+            | Mul { rd, .. }
+            | Div { rd, .. }
+            | FlagsArith { rd, .. }
+            | Ld { rd, .. }
+            | CvtFI { rd, .. } => Some(rd),
             _ => None,
         }
     }
@@ -530,30 +536,15 @@ mod tests {
 
     #[test]
     fn dst_src_metadata() {
-        let i = HInst::Alu {
-            op: HAluOp::Add,
-            rd: HReg(5),
-            ra: HReg(1),
-            rb: HReg(2),
-        };
+        let i = HInst::Alu { op: HAluOp::Add, rd: HReg(5), ra: HReg(1), rb: HReg(2) };
         assert_eq!(i.dst(), Some(HReg(5)));
         assert_eq!(i.srcs(), [Some(HReg(1)), Some(HReg(2))]);
 
-        let st = HInst::St {
-            rs: HReg(3),
-            base: HReg(4),
-            off: 8,
-            width: Width::W4,
-        };
+        let st = HInst::St { rs: HReg(3), base: HReg(4), off: 8, width: Width::W4 };
         assert_eq!(st.dst(), None);
         assert_eq!(st.srcs(), [Some(HReg(3)), Some(HReg(4))]);
 
-        let f = HInst::FArith {
-            op: FpOp::Mul,
-            fd: HFreg(1),
-            fa: HFreg(2),
-            fb: HFreg(3),
-        };
+        let f = HInst::FArith { op: FpOp::Mul, fd: HFreg(1), fa: HFreg(2), fb: HFreg(3) };
         assert_eq!(f.fdst(), Some(HFreg(1)));
         assert_eq!(f.fsrcs(), [Some(HFreg(2)), Some(HFreg(3))]);
     }

@@ -25,10 +25,7 @@ impl Default for HostState {
 impl HostState {
     /// A zeroed register file.
     pub fn new() -> HostState {
-        HostState {
-            regs: [0; HReg::COUNT as usize],
-            fregs: [0.0; HFreg::COUNT as usize],
-        }
+        HostState { regs: [0; HReg::COUNT as usize], fregs: [0.0; HFreg::COUNT as usize] }
     }
 
     /// Reads an integer register (`r0` always reads zero).
@@ -105,10 +102,7 @@ fn flags_word(kind: FlagsKind, a: u32, b: u32) -> u32 {
                 let (r, cf) = match kind {
                     FlagsKind::Shl => (a << amt, (a >> (32 - amt)) & 1 != 0),
                     FlagsKind::Shr => (a >> amt, (a >> (amt - 1)) & 1 != 0),
-                    _ => (
-                        ((a as i32) >> amt) as u32,
-                        ((a as i32) >> (amt - 1)) & 1 != 0,
-                    ),
+                    _ => (((a as i32) >> amt) as u32, ((a as i32) >> (amt - 1)) & 1 != 0),
                 };
                 let mut f = Flags::from_result(r);
                 f.cf = cf;
@@ -155,11 +149,7 @@ pub fn exec_inst(st: &mut HostState, inst: &HInst, mem: &mut GuestMem) -> Outcom
         }
         Div { rd, ra, rb } => {
             let b = st.reg(rb) as i32;
-            let r = if b == 0 {
-                0
-            } else {
-                (st.reg(ra) as i32).wrapping_div(b)
-            };
+            let r = if b == 0 { 0 } else { (st.reg(ra) as i32).wrapping_div(b) };
             st.set_reg(rd, r as u32);
         }
         FlagsArith { kind, rd, ra, rb } => st.set_reg(rd, flags_word(kind, st.reg(ra), st.reg(rb))),
@@ -206,11 +196,7 @@ pub fn exec_inst(st: &mut HostState, inst: &HInst, mem: &mut GuestMem) -> Outcom
         CvtIF { fd, ra } => st.set_freg(fd, st.reg(ra) as i32 as f64),
         CvtFI { rd, fa } => {
             let v = st.freg(fa);
-            let r = if v.is_nan() {
-                0
-            } else {
-                v.clamp(i32::MIN as f64, i32::MAX as f64) as i32
-            };
+            let r = if v.is_nan() { 0 } else { v.clamp(i32::MIN as f64, i32::MAX as f64) as i32 };
             st.set_reg(rd, r as u32);
         }
         Br { cond, ra, rb, target } => {
@@ -310,11 +296,8 @@ mod tests {
             (Cond::E, false),
             (Cond::Ge, false),
         ] {
-            let out = exec_inst(
-                &mut st,
-                &HInst::BrFlags { cond, flags: HReg(9), target: 1 },
-                &mut mem,
-            );
+            let out =
+                exec_inst(&mut st, &HInst::BrFlags { cond, flags: HReg(9), target: 1 }, &mut mem);
             assert_eq!(out == Outcome::Taken(1), expect, "cond {cond:?}");
         }
     }

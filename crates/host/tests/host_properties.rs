@@ -1,86 +1,105 @@
 //! Property tests for the host ISA: total execution, ALU algebra, and
-//! metadata consistency.
+//! metadata consistency. Driven by a seeded deterministic generator
+//! (no crates.io access, so `proptest` is replaced by case loops over
+//! a `SmallRng`).
 
 use darco_guest::GuestMem;
 use darco_host::{eval_alu, exec_inst, HAluOp, HInst, HReg, HostState, Outcome, Width};
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
-fn hreg() -> impl Strategy<Value = HReg> {
-    (0u8..64).prop_map(HReg)
+fn hreg(rng: &mut SmallRng) -> HReg {
+    HReg(rng.gen_range(0u8..64))
 }
 
-fn alu_op() -> impl Strategy<Value = HAluOp> {
-    prop_oneof![
-        Just(HAluOp::Add),
-        Just(HAluOp::Sub),
-        Just(HAluOp::And),
-        Just(HAluOp::Or),
-        Just(HAluOp::Xor),
-        Just(HAluOp::Shl),
-        Just(HAluOp::Shr),
-        Just(HAluOp::Sar),
-        Just(HAluOp::SltS),
-        Just(HAluOp::SltU),
-    ]
+const ALU_OPS: [HAluOp; 10] = [
+    HAluOp::Add,
+    HAluOp::Sub,
+    HAluOp::And,
+    HAluOp::Or,
+    HAluOp::Xor,
+    HAluOp::Shl,
+    HAluOp::Shr,
+    HAluOp::Sar,
+    HAluOp::SltS,
+    HAluOp::SltU,
+];
+
+fn alu_op(rng: &mut SmallRng) -> HAluOp {
+    ALU_OPS[rng.gen_range(0..ALU_OPS.len())]
 }
 
-proptest! {
-    /// The ALU is total and shift amounts are masked like 32-bit
-    /// hardware.
-    #[test]
-    fn alu_is_total_and_masks_shifts(op in alu_op(), a in any::<u32>(), b in any::<u32>()) {
+/// The ALU is total and shift amounts are masked like 32-bit
+/// hardware.
+#[test]
+fn alu_is_total_and_masks_shifts() {
+    let mut rng = SmallRng::seed_from_u64(0x05_0001);
+    for _ in 0..4096 {
+        let op = alu_op(&mut rng);
+        let a: u32 = rng.gen();
+        let b: u32 = rng.gen();
         let r = eval_alu(op, a, b);
         match op {
-            HAluOp::Add => prop_assert_eq!(r, a.wrapping_add(b)),
-            HAluOp::Sub => prop_assert_eq!(r, a.wrapping_sub(b)),
-            HAluOp::Shl => prop_assert_eq!(r, a << (b & 31)),
-            HAluOp::Shr => prop_assert_eq!(r, a >> (b & 31)),
-            HAluOp::Sar => prop_assert_eq!(r, ((a as i32) >> (b & 31)) as u32),
-            HAluOp::SltS => prop_assert_eq!(r, ((a as i32) < (b as i32)) as u32),
-            HAluOp::SltU => prop_assert_eq!(r, (a < b) as u32),
+            HAluOp::Add => assert_eq!(r, a.wrapping_add(b)),
+            HAluOp::Sub => assert_eq!(r, a.wrapping_sub(b)),
+            HAluOp::Shl => assert_eq!(r, a << (b & 31)),
+            HAluOp::Shr => assert_eq!(r, a >> (b & 31)),
+            HAluOp::Sar => assert_eq!(r, ((a as i32) >> (b & 31)) as u32),
+            HAluOp::SltS => assert_eq!(r, ((a as i32) < (b as i32)) as u32),
+            HAluOp::SltU => assert_eq!(r, (a < b) as u32),
             _ => {}
         }
     }
+}
 
-    /// Random ALU/memory instructions execute without panicking and
-    /// never write `r0`.
-    #[test]
-    fn execution_is_total_and_r0_is_zero(
-        op in alu_op(),
-        rd in hreg(),
-        ra in hreg(),
-        rb in hreg(),
-        addr in 0u32..0x10_0000,
-        v in any::<u32>(),
-    ) {
+/// Random ALU/memory instructions execute without panicking and
+/// never write `r0`.
+#[test]
+fn execution_is_total_and_r0_is_zero() {
+    let mut rng = SmallRng::seed_from_u64(0x05_0002);
+    for _ in 0..1024 {
+        let op = alu_op(&mut rng);
+        let rd = hreg(&mut rng);
+        let ra = hreg(&mut rng);
+        let rb = hreg(&mut rng);
+        let addr = rng.gen_range(0u32..0x10_0000);
+        let v: u32 = rng.gen();
+
         let mut st = HostState::new();
         let mut mem = GuestMem::new();
         st.set_reg(ra, v);
         let out = exec_inst(&mut st, &HInst::Alu { op, rd, ra, rb }, &mut mem);
-        prop_assert_eq!(out, Outcome::Next);
-        prop_assert_eq!(st.reg(HReg(0)), 0);
+        assert_eq!(out, Outcome::Next);
+        assert_eq!(st.reg(HReg(0)), 0);
 
         st.set_reg(HReg(1), addr);
-        exec_inst(&mut st, &HInst::St { rs: ra, base: HReg(1), off: 0, width: Width::W4 }, &mut mem);
+        exec_inst(
+            &mut st,
+            &HInst::St { rs: ra, base: HReg(1), off: 0, width: Width::W4 },
+            &mut mem,
+        );
         exec_inst(&mut st, &HInst::Ld { rd, base: HReg(1), off: 0, width: Width::W4 }, &mut mem);
         if rd.0 != 0 {
-            prop_assert_eq!(st.reg(rd), st.reg(ra));
+            assert_eq!(st.reg(rd), st.reg(ra));
         } else {
-            prop_assert_eq!(st.reg(rd), 0);
+            assert_eq!(st.reg(rd), 0);
         }
     }
+}
 
-    /// Source/destination metadata agrees with functional behavior: an
-    /// instruction never changes a register it does not declare as its
-    /// destination.
-    #[test]
-    fn dst_metadata_is_exhaustive(
-        op in alu_op(),
-        rd in (1u8..64).prop_map(HReg),
-        ra in hreg(),
-        rb in hreg(),
-        seed in any::<u64>(),
-    ) {
+/// Source/destination metadata agrees with functional behavior: an
+/// instruction never changes a register it does not declare as its
+/// destination.
+#[test]
+fn dst_metadata_is_exhaustive() {
+    let mut rng = SmallRng::seed_from_u64(0x05_0003);
+    for _ in 0..1024 {
+        let op = alu_op(&mut rng);
+        let rd = HReg(rng.gen_range(1u8..64));
+        let ra = hreg(&mut rng);
+        let rb = hreg(&mut rng);
+        let seed: u64 = rng.gen();
+
         let mut st = HostState::new();
         let mut x = seed | 1;
         for i in 1..64u8 {
@@ -94,7 +113,7 @@ proptest! {
         exec_inst(&mut st, &inst, &mut mem);
         for i in 0..64u8 {
             if Some(HReg(i)) != inst.dst() {
-                prop_assert_eq!(st.reg(HReg(i)), before[i as usize], "register r{} changed", i);
+                assert_eq!(st.reg(HReg(i)), before[i as usize], "register r{i} changed");
             }
         }
     }

@@ -164,7 +164,7 @@ mod tests {
         assert_eq!(c.access(0x000), Lookup::Miss);
         assert_eq!(c.access(0x040), Lookup::Miss);
         assert_eq!(c.access(0x080), Lookup::Miss); // evicts one of the two
-        // The most recently used (0x040) must survive.
+                                                   // The most recently used (0x040) must survive.
         assert!(c.contains(0x040));
         assert!(!c.contains(0x000));
     }

@@ -57,12 +57,20 @@ pub struct OwnerMemStats {
 impl OwnerMemStats {
     /// L1-D miss rate (0 when idle).
     pub fn d_miss_rate(&self) -> f64 {
-        if self.d_accesses == 0 { 0.0 } else { self.d_misses as f64 / self.d_accesses as f64 }
+        if self.d_accesses == 0 {
+            0.0
+        } else {
+            self.d_misses as f64 / self.d_accesses as f64
+        }
     }
 
     /// L1-I miss rate (0 when idle).
     pub fn i_miss_rate(&self) -> f64 {
-        if self.i_accesses == 0 { 0.0 } else { self.i_misses as f64 / self.i_accesses as f64 }
+        if self.i_accesses == 0 {
+            0.0
+        } else {
+            self.i_misses as f64 / self.i_accesses as f64
+        }
     }
 }
 
@@ -100,12 +108,8 @@ impl MemSystem {
             l1i: mk(&|| Cache::new(cfg.l1i)),
             l1d: mk(&|| Cache::new(cfg.l1d)),
             l2: mk(&|| Cache::new(cfg.l2)),
-            tlb: (0..copies)
-                .map(|_| Tlb::new(cfg.tlb1, cfg.tlb2, cfg.tlb_walk_latency))
-                .collect(),
-            prefetch: (0..copies)
-                .map(|_| StridePrefetcher::new(cfg.prefetcher_entries))
-                .collect(),
+            tlb: (0..copies).map(|_| Tlb::new(cfg.tlb1, cfg.tlb2, cfg.tlb_walk_latency)).collect(),
+            prefetch: (0..copies).map(|_| StridePrefetcher::new(cfg.prefetcher_entries)).collect(),
             stats: [OwnerMemStats::default(); 2],
             l1_hit: cfg.l1d.hit_latency,
             l2_hit: cfg.l2.hit_latency,
@@ -116,7 +120,11 @@ impl MemSystem {
 
     #[inline]
     fn copy(&self, owner: Owner) -> usize {
-        if self.shared { 0 } else { owner_idx(owner) }
+        if self.shared {
+            0
+        } else {
+            owner_idx(owner)
+        }
     }
 
     /// Performs a demand data access (load or store) for `owner` at

@@ -278,11 +278,8 @@ impl Pipeline {
             ExecClass::ComplexFp => &self.unit_free_cfp,
             _ => return (0, None),
         };
-        let (slot, &t) = pool
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, &t)| t)
-            .expect("unit pool is non-empty");
+        let (slot, &t) =
+            pool.iter().enumerate().min_by_key(|(_, &t)| t).expect("unit pool is non-empty");
         (t, Some(slot))
     }
 
@@ -367,11 +364,7 @@ mod tests {
     fn dependent_chain_halves_throughput() {
         // Each instruction reads the previous one's destination.
         let insts: Vec<DynInst> = (0..8)
-            .map(|i| {
-                simple(i * 4)
-                    .with_dst(int_reg(1))
-                    .with_srcs(int_reg(1), NO_REG)
-            })
+            .map(|i| simple(i * 4).with_dst(int_reg(1)).with_srcs(int_reg(1), NO_REG))
             .collect();
         let s = run_loop(&insts, 20_000);
         assert!(s.ipc() < 1.1, "ipc = {}", s.ipc());
@@ -419,13 +412,11 @@ mod tests {
         let n = 10_000u64;
         for i in 0..n {
             p.retire(&simple(0x0));
-            p.retire(
-                &DynInst::plain(0x4, ExecClass::Jump, Component::AppCode).with_branch(
-                    BranchKind::Indirect,
-                    0x1000 + (i % 64) * 128, // changing targets defeat the BTB
-                    true,
-                ),
-            );
+            p.retire(&DynInst::plain(0x4, ExecClass::Jump, Component::AppCode).with_branch(
+                BranchKind::Indirect,
+                0x1000 + (i % 64) * 128, // changing targets defeat the BTB
+                true,
+            ));
         }
         let s = p.finish();
         assert!(s.mispredict_rate(Owner::App) > 0.9);
@@ -506,7 +497,11 @@ mod tests {
                         Component::TolLookup,
                     )
                     .with_dst(int_reg(40))
-                    .with_mem(darco_host::layout::TOL_DATA_BASE + 0x4000 + (i % 8) * 8192, 8, false),
+                    .with_mem(
+                        darco_host::layout::TOL_DATA_BASE + 0x4000 + (i % 8) * 8192,
+                        8,
+                        false,
+                    ),
                 );
             }
         };
@@ -529,9 +524,7 @@ mod tests {
     fn software_prefetch_fills_without_stalling() {
         let mut p = Pipeline::new(TimingConfig::default());
         // Prefetch a line, then load from it: the load must hit.
-        p.retire(
-            &DynInst::plain(0x100, ExecClass::Load, Component::AppCode).with_prefetch(0x9000),
-        );
+        p.retire(&DynInst::plain(0x100, ExecClass::Load, Component::AppCode).with_prefetch(0x9000));
         // Spacer work so the (modelled-as-instant) fill precedes the load.
         for i in 0..4 {
             p.retire(&simple(0x104 + i * 4));
@@ -557,7 +550,11 @@ mod tests {
                 Component::TolLookup,
             )
             .with_dst(int_reg(40))
-            .with_mem(darco_host::layout::TOL_DATA_BASE + (i * 4099 * 64) % (1 << 26), 8, false);
+            .with_mem(
+                darco_host::layout::TOL_DATA_BASE + (i * 4099 * 64) % (1 << 26),
+                8,
+                false,
+            );
             p.retire(&tol);
             // TOL consumer of the probe.
             p.retire(

@@ -120,11 +120,7 @@ impl Stats {
 
     /// Instructions retired by an owner.
     pub fn owner_insts(&self, o: Owner) -> u64 {
-        Component::ALL
-            .iter()
-            .filter(|c| c.owner() == o)
-            .map(|c| self.component_insts(*c))
-            .sum()
+        Component::ALL.iter().filter(|c| c.owner() == o).map(|c| self.component_insts(*c)).sum()
     }
 
     /// Instructions per cycle over the whole run.
@@ -165,10 +161,7 @@ impl Stats {
     /// quantity behind the Fig. 6/7 breakdowns.
     pub fn component_time(&self, c: Component) -> f64 {
         self.component_inst_cycles(c)
-            + BubbleCause::ALL
-                .iter()
-                .map(|b| self.component_bubbles(c, *b))
-                .sum::<f64>()
+            + BubbleCause::ALL.iter().map(|b| self.component_bubbles(c, *b)).sum::<f64>()
     }
 
     /// Total attributed time (≈ `total_cycles`).
@@ -179,7 +172,11 @@ impl Stats {
     /// Fraction of attributed time spent in a component.
     pub fn component_share(&self, c: Component) -> f64 {
         let t = self.attributed_time();
-        if t == 0.0 { 0.0 } else { self.component_time(c) / t }
+        if t == 0.0 {
+            0.0
+        } else {
+            self.component_time(c) / t
+        }
     }
 
     /// Fraction of attributed time that is software-layer overhead
@@ -192,19 +189,31 @@ impl Stats {
     /// L1-D miss rate per owner.
     pub fn d_miss_rate(&self, o: Owner) -> f64 {
         let i = owner_idx(o);
-        if self.d_accesses[i] == 0 { 0.0 } else { self.d_misses[i] as f64 / self.d_accesses[i] as f64 }
+        if self.d_accesses[i] == 0 {
+            0.0
+        } else {
+            self.d_misses[i] as f64 / self.d_accesses[i] as f64
+        }
     }
 
     /// L1-I miss rate per owner.
     pub fn i_miss_rate(&self, o: Owner) -> f64 {
         let i = owner_idx(o);
-        if self.i_accesses[i] == 0 { 0.0 } else { self.i_misses[i] as f64 / self.i_accesses[i] as f64 }
+        if self.i_accesses[i] == 0 {
+            0.0
+        } else {
+            self.i_misses[i] as f64 / self.i_accesses[i] as f64
+        }
     }
 
     /// Branch misprediction rate per owner.
     pub fn mispredict_rate(&self, o: Owner) -> f64 {
         let i = owner_idx(o);
-        if self.branches[i] == 0 { 0.0 } else { self.mispredicts[i] as f64 / self.branches[i] as f64 }
+        if self.branches[i] == 0 {
+            0.0
+        } else {
+            self.mispredicts[i] as f64 / self.branches[i] as f64
+        }
     }
 
     pub(crate) fn record_branch(&mut self, o: Owner, mispredicted: bool) {

@@ -1,5 +1,7 @@
 //! Property tests for the timing substrates: caches, PLRU, predictor
-//! and TLB invariants over random access streams.
+//! and TLB invariants over random access streams. Driven by a seeded
+//! deterministic generator (no crates.io access, so `proptest` is
+//! replaced by case loops over a `SmallRng`).
 
 use darco_host::BranchKind;
 use darco_timing::cache::{Cache, Lookup};
@@ -7,85 +9,89 @@ use darco_timing::config::CacheParams;
 use darco_timing::plru::PlruSet;
 use darco_timing::predictor::Predictor;
 use darco_timing::TimingConfig;
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
-proptest! {
-    /// A line is always present immediately after being accessed, for
-    /// any legal cache shape.
-    #[test]
-    fn hit_after_access_any_shape(
-        ways_log in 0u32..4,
-        sets_log in 0u32..6,
-        block_log in 4u32..8,
-        addrs in proptest::collection::vec(any::<u32>(), 1..100),
-    ) {
-        let ways = 1 << ways_log;
-        let block = 1 << block_log;
-        let sets = 1u32 << sets_log;
-        let mut c = Cache::new(CacheParams {
-            size: sets * ways * block,
-            block,
-            ways,
-            hit_latency: 1,
-        });
-        for a in addrs {
+/// A line is always present immediately after being accessed, for
+/// any legal cache shape.
+#[test]
+fn hit_after_access_any_shape() {
+    let mut rng = SmallRng::seed_from_u64(0x71_0001);
+    for _ in 0..64 {
+        let ways = 1u32 << rng.gen_range(0u32..4);
+        let block = 1u32 << rng.gen_range(4u32..8);
+        let sets = 1u32 << rng.gen_range(0u32..6);
+        let mut c =
+            Cache::new(CacheParams { size: sets * ways * block, block, ways, hit_latency: 1 });
+        let n = rng.gen_range(1usize..100);
+        for _ in 0..n {
+            let a: u32 = rng.gen();
             c.access(a as u64);
-            prop_assert_eq!(c.access(a as u64), Lookup::Hit);
-            prop_assert!(c.contains(a as u64));
+            assert_eq!(c.access(a as u64), Lookup::Hit);
+            assert!(c.contains(a as u64));
         }
     }
+}
 
-    /// Miss count never exceeds access count, and the rate is in [0, 1].
-    #[test]
-    fn cache_counters_consistent(addrs in proptest::collection::vec(any::<u32>(), 1..300)) {
+/// Miss count never exceeds access count, and the rate is in [0, 1].
+#[test]
+fn cache_counters_consistent() {
+    let mut rng = SmallRng::seed_from_u64(0x71_0002);
+    for _ in 0..32 {
         let mut c = Cache::new(TimingConfig::default().l1d);
-        for a in &addrs {
-            c.access(*a as u64);
+        let n = rng.gen_range(1usize..300);
+        for _ in 0..n {
+            let a: u32 = rng.gen();
+            c.access(a as u64);
         }
-        prop_assert!(c.misses() <= c.accesses());
-        prop_assert_eq!(c.accesses(), addrs.len() as u64);
+        assert!(c.misses() <= c.accesses());
+        assert_eq!(c.accesses(), n as u64);
         let r = c.miss_rate();
-        prop_assert!((0.0..=1.0).contains(&r));
+        assert!((0.0..=1.0).contains(&r));
     }
+}
 
-    /// The PLRU victim is always a legal way and never the way just
-    /// touched (for associativity >= 2).
-    #[test]
-    fn plru_victim_in_range(
-        ways_log in 1u32..6,
-        touches in proptest::collection::vec(any::<u32>(), 1..200),
-    ) {
-        let ways = 1u32 << ways_log;
+/// The PLRU victim is always a legal way and never the way just
+/// touched (for associativity >= 2).
+#[test]
+fn plru_victim_in_range() {
+    let mut rng = SmallRng::seed_from_u64(0x71_0003);
+    for _ in 0..64 {
+        let ways = 1u32 << rng.gen_range(1u32..6);
         let mut p = PlruSet::default();
-        for t in touches {
-            let w = t % ways;
+        let n = rng.gen_range(1usize..200);
+        for _ in 0..n {
+            let w = rng.gen::<u32>() % ways;
             p.touch(w, ways);
             let v = p.victim(ways);
-            prop_assert!(v < ways);
-            prop_assert_ne!(v, w, "victim equals the MRU way");
+            assert!(v < ways);
+            assert_ne!(v, w, "victim equals the MRU way");
         }
     }
+}
 
-    /// The predictor's misprediction count never exceeds its branch
-    /// count, and a perfectly stable direct branch converges to zero
-    /// further mispredictions.
-    #[test]
-    fn predictor_counters_and_convergence(
-        pcs in proptest::collection::vec(0u64..1024, 1..50),
-    ) {
+/// The predictor's misprediction count never exceeds its branch
+/// count, and a perfectly stable direct branch converges to zero
+/// further mispredictions.
+#[test]
+fn predictor_counters_and_convergence() {
+    let mut rng = SmallRng::seed_from_u64(0x71_0004);
+    for _ in 0..32 {
         let mut p = Predictor::new(12, 1024);
+        let n = rng.gen_range(1usize..50);
+        let pcs: Vec<u64> = (0..n).map(|_| rng.gen_range(0u64..1024)).collect();
         for &pc in &pcs {
             for _ in 0..4 {
                 p.predict_and_update(pc * 4, BranchKind::UncondDirect, true, pc * 8 + 4);
             }
         }
-        prop_assert!(p.mispredicts() <= p.branches());
+        assert!(p.mispredicts() <= p.branches());
         // Re-visit every site: all targets cached now (BTB is 1024
         // entries and pcs < 1024*4 map to distinct slots).
         let before = p.mispredicts();
         for &pc in &pcs {
             p.predict_and_update(pc * 4, BranchKind::UncondDirect, true, pc * 8 + 4);
         }
-        prop_assert_eq!(p.mispredicts(), before, "stable targets must not mispredict");
+        assert_eq!(p.mispredicts(), before, "stable targets must not mispredict");
     }
 }

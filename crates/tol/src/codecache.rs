@@ -212,16 +212,14 @@ mod tests {
     use super::*;
 
     fn tiny_block() -> Vec<HInst> {
-        vec![
-            HInst::Nop,
-            HInst::Exit(Exit::Direct { guest_target: 0x200, link: None }),
-        ]
+        vec![HInst::Nop, HInst::Exit(Exit::Direct { guest_target: 0x200, link: None })]
     }
 
     #[test]
     fn install_and_lookup() {
         let mut cc = CodeCache::new(100);
-        let (id, flushed) = cc.install(0x100, tiny_block(), BlockKind::Bb, 1, vec![], 3, vec![0x100]);
+        let (id, flushed) =
+            cc.install(0x100, tiny_block(), BlockKind::Bb, 1, vec![], 3, vec![0x100]);
         assert!(!flushed);
         assert_eq!(cc.lookup(0x100), Some(id));
         assert_eq!(cc.lookup(0x104), None);

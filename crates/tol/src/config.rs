@@ -53,6 +53,11 @@ pub struct TolConfig {
     /// them sequentially — the *bad* placement policy, used to quantify
     /// the paper's code-placement recommendation (Sec. III-E).
     pub codecache_scattered: bool,
+    /// Verify every optimization pass (structural invariants plus
+    /// translation validation) and discard miscompiled blocks. Always on
+    /// in debug builds regardless of this switch; this opts release
+    /// builds in (`darco verify` sets it).
+    pub verify: bool,
 }
 
 impl Default for TolConfig {
@@ -75,6 +80,7 @@ impl Default for TolConfig {
             opt_sw_prefetch: false,
             speculate_indirect: false,
             codecache_scattered: false,
+            verify: false,
         }
     }
 }

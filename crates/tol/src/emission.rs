@@ -155,7 +155,8 @@ impl<'a> Cur<'a> {
     }
 
     fn br(&mut self, kind: BranchKind, target: u64, taken: bool) {
-        let class = if kind == BranchKind::CondDirect { ExecClass::Branch } else { ExecClass::Jump };
+        let class =
+            if kind == BranchKind::CondDirect { ExecClass::Branch } else { ExecClass::Jump };
         let d = DynInst::plain(self.pc, class, self.comp).with_branch(kind, target, taken);
         self.push(d);
     }
@@ -193,10 +194,7 @@ impl Default for Emitter {
 impl Emitter {
     /// Creates an emitter.
     pub fn new() -> Emitter {
-        Emitter {
-            emit_cursor: darco_host::layout::CODE_CACHE_BASE,
-            emitted: [0; 7],
-        }
+        Emitter { emit_cursor: darco_host::layout::CODE_CACHE_BASE, emitted: [0; 7] }
     }
 
     fn track(&mut self, comp: Component, cur: Cur<'_>) {
@@ -205,12 +203,7 @@ impl Emitter {
 
     /// One interpreted guest instruction (IM): dispatch, decode, handler
     /// body, guest data accesses, loop back.
-    pub fn interp_step(
-        &mut self,
-        sink: &mut dyn FnMut(&DynInst),
-        guest_pc: u32,
-        info: &StepInfo,
-    ) {
+    pub fn interp_step(&mut self, sink: &mut dyn FnMut(&DynInst), guest_pc: u32, info: &StepInfo) {
         let comp = Component::TolIm;
         let opcode = opcode_of(&info.inst);
         let mut c = Cur::new(TOL_CODE_BASE + code::INTERP, comp, sink);
@@ -236,7 +229,8 @@ impl Emitter {
             GuestClass::Int | GuestClass::Other => c.alu(costs::INTERP_BASE_ALU),
             GuestClass::IntComplex => {
                 c.alu(costs::INTERP_BASE_ALU);
-                let d = DynInst::plain(c.pc, ExecClass::ComplexInt, comp).with_dst(int_reg(c.reg()));
+                let d =
+                    DynInst::plain(c.pc, ExecClass::ComplexInt, comp).with_dst(int_reg(c.reg()));
                 c.push(d);
             }
             GuestClass::Fp | GuestClass::FpComplex => {
@@ -249,7 +243,9 @@ impl Emitter {
                 c.push(DynInst::plain(c.pc, class, comp));
             }
             GuestClass::Load | GuestClass::Store => c.alu(3), // EA computation
-            GuestClass::Branch | GuestClass::Call | GuestClass::Ret
+            GuestClass::Branch
+            | GuestClass::Call
+            | GuestClass::Ret
             | GuestClass::IndirectBranch => c.alu(4), // target computation
         }
         // The emulated guest data accesses, at their real addresses.
@@ -270,11 +266,7 @@ impl Emitter {
         // whose outcome follows the guest's — one shared static branch
         // for all guest branches, hence poorly predictable guests hurt.
         if let darco_guest::exec::Control::Jump { taken, .. } = info.control {
-            c.br(
-                BranchKind::CondDirect,
-                TOL_CODE_BASE + code::INTERP + 0x200,
-                taken,
-            );
+            c.br(BranchKind::CondDirect, TOL_CODE_BASE + code::INTERP + 0x200, taken);
         }
         // Loop back to the interpreter top.
         c.br(BranchKind::UncondDirect, TOL_CODE_BASE + code::INTERP, true);
@@ -384,7 +376,7 @@ impl Emitter {
         let comp = Component::TolLookup;
         let mut c = Cur::new(TOL_CODE_BASE + code::LOOKUP, comp, sink);
         c.alu(4); // hash
-        // Open-addressed probe sequence: two buckets on distinct lines.
+                  // Open-addressed probe sequence: two buckets on distinct lines.
         let b0 = TOL_DATA_BASE + data::MAP + bucket_of(guest_pc) * costs::MAP_BUCKET_BYTES;
         let b1 = TOL_DATA_BASE
             + data::MAP
@@ -397,8 +389,7 @@ impl Emitter {
         c.alu(2);
         if found {
             // Block descriptor (separate array) plus a lookup-stats bump.
-            let desc =
-                TOL_DATA_BASE + data::DESCRIPTORS + (bucket_of(guest_pc) % 4096) * 64;
+            let desc = TOL_DATA_BASE + data::DESCRIPTORS + (bucket_of(guest_pc) % 4096) * 64;
             c.ld(desc);
             c.use_load();
             c.st(desc + 8);
@@ -443,11 +434,7 @@ impl Emitter {
         c.ld(TOL_DATA_BASE + data::CONTEXT + 128);
         c.use_load();
         // Mode decision branch: its direction tracks the execution phase.
-        c.br(
-            BranchKind::CondDirect,
-            TOL_CODE_BASE + code::DISPATCH + 0x80,
-            mode != StaticMode::Im,
-        );
+        c.br(BranchKind::CondDirect, TOL_CODE_BASE + code::DISPATCH + 0x80, mode != StaticMode::Im);
         self.track(comp, c);
     }
 
@@ -549,9 +536,7 @@ mod tests {
         // The interpreter reads guest code as data.
         assert!(v.iter().any(|d| d.mem.is_some_and(|m| m.addr == 0x1000)));
         // Dispatch is an indirect branch.
-        assert!(v
-            .iter()
-            .any(|d| matches!(d.branch, Some((BranchKind::Indirect, _, _)))));
+        assert!(v.iter().any(|d| matches!(d.branch, Some((BranchKind::Indirect, _, _)))));
     }
 
     #[test]
@@ -563,7 +548,11 @@ mod tests {
             e.interp_step(
                 s,
                 0,
-                &step_info(Inst::AluRR { op: darco_guest::AluOp::Add, dst: Gpr::Eax, src: Gpr::Ebx }),
+                &step_info(Inst::AluRR {
+                    op: darco_guest::AluOp::Add,
+                    dst: Gpr::Eax,
+                    src: Gpr::Ebx,
+                }),
             )
         });
         assert!(add.len() > mov.len());
@@ -584,9 +573,7 @@ mod tests {
 
     #[test]
     fn optimization_costs_dominate_translation() {
-        let t = collect(|e, s| {
-            e.bb_translate(s, 0, &[(0, Inst::Nop); 8], 16)
-        });
+        let t = collect(|e, s| e.bb_translate(s, 0, &[(0, Inst::Nop); 8], 16));
         let o = collect(|e, s| e.sb_optimize(s, 4, 32, 40));
         assert!(o.len() > 3 * t.len(), "SBM {} vs BBM {}", o.len(), t.len());
         assert!(o.iter().all(|d| d.component == Component::TolSbm));
@@ -597,23 +584,18 @@ mod tests {
         let v = collect(|e, s| e.map_lookup(s, 0x1234, true));
         let loads = v.iter().filter(|d| d.mem.is_some_and(|m| !m.is_store)).count();
         assert!(loads >= 3);
-        assert!(v
-            .iter()
-            .all(|d| d.component == Component::TolLookup));
+        assert!(v.iter().all(|d| d.component == Component::TolLookup));
         // Probes land in the TOL data region.
-        assert!(v
-            .iter()
-            .filter_map(|d| d.mem)
-            .all(|m| m.addr >= TOL_DATA_BASE));
+        assert!(v.iter().filter_map(|d| d.mem).all(|m| m.addr >= TOL_DATA_BASE));
     }
 
     #[test]
     fn ibtc_inline_probe_is_application_side() {
         let v = collect(|e, s| e.ibtc_probe_inline(s, 0x2_0000_1000, 17, true, 0x2_0000_4000));
         assert!(v.iter().all(|d| d.owner() == Owner::App));
-        assert!(v
-            .iter()
-            .any(|d| matches!(d.branch, Some((BranchKind::Indirect, t, true)) if t == 0x2_0000_4000)));
+        assert!(v.iter().any(
+            |d| matches!(d.branch, Some((BranchKind::Indirect, t, true)) if t == 0x2_0000_4000)
+        ));
         let miss = collect(|e, s| e.ibtc_probe_inline(s, 0x2_0000_1000, 17, false, 0));
         assert!(miss.len() < v.len());
     }
@@ -623,9 +605,9 @@ mod tests {
         let hit = collect(|e, s| e.spec_check(s, 0x2_0000_0000, true, 0x2_0000_4000));
         assert_eq!(hit.len(), 3, "compare + branch + direct jump");
         assert!(hit.iter().all(|d| d.owner() == Owner::App));
-        assert!(hit
-            .iter()
-            .any(|d| matches!(d.branch, Some((BranchKind::UncondDirect, t, true)) if t == 0x2_0000_4000)));
+        assert!(hit.iter().any(
+            |d| matches!(d.branch, Some((BranchKind::UncondDirect, t, true)) if t == 0x2_0000_4000)
+        ));
         let miss = collect(|e, s| e.spec_check(s, 0x2_0000_0000, false, 0));
         assert_eq!(miss.len(), 2, "compare + fall-through branch only");
     }

@@ -23,9 +23,7 @@ use crate::{interp, opt};
 use darco_guest::{CpuState, DecodeError, Flags, FpReg, Gpr, GuestMem};
 use darco_host::layout::{guest_to_host, TOL_CODE_BASE};
 use darco_host::stream::{fp_reg, int_reg, NO_REG};
-use darco_host::{
-    exec_inst, BranchKind, DynInst, Exit, HFreg, HInst, HostState, Outcome,
-};
+use darco_host::{exec_inst, BranchKind, DynInst, Exit, HFreg, HInst, HostState, Outcome};
 use serde::{Deserialize, Serialize};
 
 /// Execution mode (re-export of the profiler's mode classification).
@@ -49,6 +47,15 @@ pub struct TolCounters {
     pub spec_hits: u64,
     /// Speculative resolutions that missed (compensation taken).
     pub spec_misses: u64,
+    /// Superblocks whose optimization was fully verified (always-on in
+    /// debug builds, opt-in via [`TolConfig::verify`] in release).
+    pub verified_blocks: u64,
+    /// Translation validations that fell back to randomized differential
+    /// execution (the symbolic engine could not prove the rewrite).
+    pub tv_differential: u64,
+    /// Verifier-detected miscompiles: the optimized block was discarded
+    /// and the unoptimized lowering installed instead.
+    pub verify_failures: u64,
 }
 
 /// What one [`Tol::step`] did.
@@ -332,10 +339,21 @@ impl Tol {
         let (region, bbs) = form_region(mem, entry, &self.prof, &self.cfg)?;
         let block = translate_region(&region);
         let ir_len = block.ops.len();
-        let (block, map) = match opt::optimize(block.clone(), &self.cfg) {
-            Ok(done) => done,
+        let (block, map) = match opt::optimize_stats(block.clone(), &self.cfg) {
+            Ok((opt_block, map, stats)) => {
+                self.counters.verified_blocks += stats.blocks_verified;
+                self.counters.tv_differential += stats.tv_differential;
+                (opt_block, map)
+            }
             Err(opt::OptError::OutOfRegisters) => {
                 self.counters.opt_bailouts += 1;
+                let map = bbm_allocate(&block);
+                (block, map)
+            }
+            Err(opt::OptError::Miscompile(_)) => {
+                // The verifier rejected a pass's output: never install
+                // unverified code; fall back to the unoptimized lowering.
+                self.counters.verify_failures += 1;
                 let map = bbm_allocate(&block);
                 (block, map)
             }
@@ -368,8 +386,10 @@ impl Tol {
         while let Some(r) = self.cc.block(bid).redirect {
             let pc = self.cc.block(bid).host_base;
             let target = self.cc.block(r).host_base;
-            sink(&DynInst::plain(pc, darco_host::ExecClass::Jump, darco_host::Component::AppCode)
-                .with_branch(BranchKind::UncondDirect, target, true));
+            sink(
+                &DynInst::plain(pc, darco_host::ExecClass::Jump, darco_host::Component::AppCode)
+                    .with_branch(BranchKind::UncondDirect, target, true),
+            );
             self.em.emitted[0] += 1;
             bid = r;
         }
@@ -474,37 +494,37 @@ impl Tol {
                     if let Some(to) = speculated {
                         Some(to)
                     } else {
-                    let slot = self.ibtc.slot(target);
-                    let resolved = match self.ibtc.lookup(target) {
-                        Some(to) => {
-                            let to_base = self.cc.block(to).host_base;
-                            self.em.ibtc_probe_inline(sink, site_pc, slot, true, to_base);
-                            Some(to)
-                        }
-                        None => {
-                            self.em.ibtc_probe_inline(sink, site_pc, slot, false, 0);
-                            self.counters.tol_entries += 1;
-                            self.em.transition(sink);
-                            let found = self.cc.lookup(target);
-                            self.em.map_lookup(sink, target, found.is_some());
-                            match found {
-                                Some(to) => {
-                                    self.ibtc.update(target, to);
-                                    self.em.ibtc_update(sink, slot);
-                                    self.em.transition(sink);
-                                    Some(to)
+                        let slot = self.ibtc.slot(target);
+                        let resolved = match self.ibtc.lookup(target) {
+                            Some(to) => {
+                                let to_base = self.cc.block(to).host_base;
+                                self.em.ibtc_probe_inline(sink, site_pc, slot, true, to_base);
+                                Some(to)
+                            }
+                            None => {
+                                self.em.ibtc_probe_inline(sink, site_pc, slot, false, 0);
+                                self.counters.tol_entries += 1;
+                                self.em.transition(sink);
+                                let found = self.cc.lookup(target);
+                                self.em.map_lookup(sink, target, found.is_some());
+                                match found {
+                                    Some(to) => {
+                                        self.ibtc.update(target, to);
+                                        self.em.ibtc_update(sink, slot);
+                                        self.em.transition(sink);
+                                        Some(to)
+                                    }
+                                    None => return Ok(executed),
                                 }
-                                None => return Ok(executed),
+                            }
+                        };
+                        // Remember this site's target for next time.
+                        if self.cfg.speculate_indirect {
+                            if let Some(to) = resolved {
+                                self.spec_targets.insert(spec_key, (target, to));
                             }
                         }
-                    };
-                    // Remember this site's target for next time.
-                    if self.cfg.speculate_indirect {
-                        if let Some(to) = resolved {
-                            self.spec_targets.insert(spec_key, (target, to));
-                        }
-                    }
-                    resolved
+                        resolved
                     }
                 }
             };
@@ -575,11 +595,9 @@ impl Tol {
 
             // Pre-compute the memory event (operand registers may change).
             let mem_event = match *inst {
-                HInst::Prefetch { base, off } => Some((
-                    guest_to_host(self.host.reg(base).wrapping_add(off as u32)),
-                    64,
-                    false,
-                )),
+                HInst::Prefetch { base, off } => {
+                    Some((guest_to_host(self.host.reg(base).wrapping_add(off as u32)), 64, false))
+                }
                 HInst::Ld { base, off, width, .. } => Some((
                     guest_to_host(self.host.reg(base).wrapping_add(off as u32)),
                     width.bytes(),
@@ -590,16 +608,12 @@ impl Tol {
                     width.bytes(),
                     true,
                 )),
-                HInst::FLd { base, off, .. } => Some((
-                    guest_to_host(self.host.reg(base).wrapping_add(off as u32)),
-                    8,
-                    false,
-                )),
-                HInst::FSt { base, off, .. } => Some((
-                    guest_to_host(self.host.reg(base).wrapping_add(off as u32)),
-                    8,
-                    true,
-                )),
+                HInst::FLd { base, off, .. } => {
+                    Some((guest_to_host(self.host.reg(base).wrapping_add(off as u32)), 8, false))
+                }
+                HInst::FSt { base, off, .. } => {
+                    Some((guest_to_host(self.host.reg(base).wrapping_add(off as u32)), 8, true))
+                }
                 _ => None,
             };
 
@@ -637,14 +651,14 @@ impl Tol {
             match (*inst, outcome) {
                 (HInst::Br { target, .. }, out) | (HInst::BrFlags { target, .. }, out) => {
                     let taken = matches!(out, Outcome::Taken(_));
-                    d = d.with_branch(
-                        BranchKind::CondDirect,
-                        host_base + 4 * target as u64,
-                        taken,
-                    );
+                    d = d.with_branch(BranchKind::CondDirect, host_base + 4 * target as u64, taken);
                 }
                 (HInst::Jump { target }, _) => {
-                    d = d.with_branch(BranchKind::UncondDirect, host_base + 4 * target as u64, true);
+                    d = d.with_branch(
+                        BranchKind::UncondDirect,
+                        host_base + 4 * target as u64,
+                        true,
+                    );
                 }
                 (HInst::Exit(Exit::Direct { link, .. }), _) => {
                     // Chained exits jump block-to-block; unchained ones
@@ -673,12 +687,12 @@ impl Tol {
                     // Edge direction for a BBM block whose last guest
                     // instruction is a conditional branch: exiting via a
                     // stub means taken, via fall-through means not taken.
-                    let cond_taken = if block.kind == BlockKind::Bb && !block.stub_guest_counts.is_empty()
-                    {
-                        Some(idx != body_len)
-                    } else {
-                        None
-                    };
+                    let cond_taken =
+                        if block.kind == BlockKind::Bb && !block.stub_guest_counts.is_empty() {
+                            Some(idx != body_len)
+                        } else {
+                            None
+                        };
                     self.em.emitted[0] += app_insts; // AppCode counter
                     return (e, idx, guest_n, cond_taken);
                 }
@@ -801,10 +815,7 @@ mod tests {
         let mut mem = mem0.clone();
         let (tol, _) = run_tol(&mut mem, entry, TolConfig::default());
         let emu = tol.emulated_state();
-        assert!(
-            ref_cpu.arch_eq(&emu),
-            "state diverged:\nref: {ref_cpu}\nemu: {emu}"
-        );
+        assert!(ref_cpu.arch_eq(&emu), "state diverged:\nref: {ref_cpu}\nemu: {emu}");
         assert_eq!(tol.counters().guest_insts, ref_n);
     }
 
@@ -820,11 +831,7 @@ mod tests {
         // With a 10K threshold and 30K iterations, the overwhelming share
         // of dynamic instructions comes from SBM (paper Fig. 5b shape).
         let total: u64 = s.dyn_dist.iter().sum();
-        assert!(
-            s.dyn_dist[2] as f64 / total as f64 > 0.5,
-            "SBM share too low: {:?}",
-            s.dyn_dist
-        );
+        assert!(s.dyn_dist[2] as f64 / total as f64 > 0.5, "SBM share too low: {:?}", s.dyn_dist);
     }
 
     #[test]
@@ -930,10 +937,7 @@ mod tests {
         let (ref_cpu, _) = run_reference(&mut mem_ref, entry);
 
         let mut mem = mem0.clone();
-        let mut tol = Tol::new(
-            TolConfig { opt_sw_prefetch: true, ..TolConfig::default() },
-            entry,
-        );
+        let mut tol = Tol::new(TolConfig { opt_sw_prefetch: true, ..TolConfig::default() }, entry);
         let mut cpu = CpuState::at(entry);
         cpu.set_gpr(Gpr::Esp, 0x10_0000);
         tol.set_state(&cpu);

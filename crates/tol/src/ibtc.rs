@@ -25,12 +25,7 @@ impl Ibtc {
     /// Panics if `entries` is not a power of two.
     pub fn new(entries: u32) -> Ibtc {
         assert!(entries.is_power_of_two(), "IBTC entries must be a power of two");
-        Ibtc {
-            entries: vec![None; entries as usize],
-            mask: entries - 1,
-            hits: 0,
-            misses: 0,
-        }
+        Ibtc { entries: vec![None; entries as usize], mask: entries - 1, hits: 0, misses: 0 }
     }
 
     /// Slot index a guest target maps to (exposed so the cost model can

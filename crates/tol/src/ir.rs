@@ -230,8 +230,14 @@ impl IrInst {
     pub fn dst(&self) -> Option<IrReg> {
         use IrInst::*;
         match *self {
-            Alu { rd, .. } | AluI { rd, .. } | Li { rd, .. } | Mul { rd, .. }
-            | Div { rd, .. } | FlagsArith { rd, .. } | Ld { rd, .. } | CvtFI { rd, .. } => Some(rd),
+            Alu { rd, .. }
+            | AluI { rd, .. }
+            | Li { rd, .. }
+            | Mul { rd, .. }
+            | Div { rd, .. }
+            | FlagsArith { rd, .. }
+            | Ld { rd, .. }
+            | CvtFI { rd, .. } => Some(rd),
             _ => None,
         }
     }
@@ -240,7 +246,9 @@ impl IrInst {
     pub fn srcs(&self) -> [Option<IrReg>; 2] {
         use IrInst::*;
         match *self {
-            Alu { ra, rb, .. } | Mul { ra, rb, .. } | Div { ra, rb, .. }
+            Alu { ra, rb, .. }
+            | Mul { ra, rb, .. }
+            | Div { ra, rb, .. }
             | FlagsArith { ra, rb, .. } => [Some(ra), Some(rb)],
             AluI { ra, .. } | CvtIF { ra, .. } => [Some(ra), None],
             Ld { base, .. } | FLd { base, .. } | Prefetch { base, .. } => [Some(base), None],
@@ -292,6 +300,66 @@ impl IrInst {
     pub fn has_side_effect(&self) -> bool {
         self.is_store() || self.is_branch() || matches!(self, IrInst::Prefetch { .. })
     }
+}
+
+impl std::fmt::Display for IrReg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IrReg::Phys(r) => write!(f, "r{}", r.0),
+            IrReg::Virt(v) => write!(f, "t{v}"),
+        }
+    }
+}
+
+impl std::fmt::Display for IrFreg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IrFreg::Phys(r) => write!(f, "f{}", r.0),
+            IrFreg::Virt(v) => write!(f, "ft{v}"),
+        }
+    }
+}
+
+impl std::fmt::Display for IrInst {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        use IrInst::*;
+        match *self {
+            Nop => write!(f, "nop"),
+            Alu { op, rd, ra, rb } => write!(f, "{rd} <- {op:?}({ra}, {rb})"),
+            AluI { op, rd, ra, imm } => write!(f, "{rd} <- {op:?}({ra}, #{imm})"),
+            Li { rd, imm } => write!(f, "{rd} <- #{imm}"),
+            Mul { rd, ra, rb } => write!(f, "{rd} <- mul({ra}, {rb})"),
+            Div { rd, ra, rb } => write!(f, "{rd} <- div({ra}, {rb})"),
+            FlagsArith { kind, rd, ra, rb } => write!(f, "{rd} <- flags.{kind:?}({ra}, {rb})"),
+            Prefetch { base, off } => write!(f, "prefetch [{base}{off:+}]"),
+            Ld { rd, base, off, width } => write!(f, "{rd} <- ld.{width:?} [{base}{off:+}]"),
+            St { rs, base, off, width } => write!(f, "st.{width:?} [{base}{off:+}] <- {rs}"),
+            FLd { fd, base, off } => write!(f, "{fd} <- fld [{base}{off:+}]"),
+            FSt { fs, base, off } => write!(f, "fst [{base}{off:+}] <- {fs}"),
+            FMov { fd, fa } => write!(f, "{fd} <- {fa}"),
+            FArith { op, fd, fa, fb } => write!(f, "{fd} <- f{op:?}({fa}, {fb})"),
+            CvtIF { fd, ra } => write!(f, "{fd} <- cvt.if({ra})"),
+            CvtFI { rd, fa } => write!(f, "{rd} <- cvt.fi({fa})"),
+            BrFlags { cond, flags, stub } => write!(f, "br.{cond:?}({flags}) -> stub{stub}"),
+        }
+    }
+}
+
+/// Renders a block as one line per operation, for verifier reports and
+/// debugging.
+pub fn pretty(block: &IrBlock) -> String {
+    let mut out = String::new();
+    for (i, op) in block.ops.iter().enumerate() {
+        out.push_str(&format!("{i:4}: {}   ; g{}\n", op.inst, op.guest_idx));
+    }
+    for (i, stub) in block.stubs.iter().enumerate() {
+        out.push_str(&format!(
+            "stub{i}: {stub:?} (retires {})\n",
+            block.stub_guest_counts.get(i).copied().unwrap_or(0)
+        ));
+    }
+    out.push_str(&format!("fall: {:?} (guest_len {})\n", block.fallthrough, block.guest_len));
+    out
 }
 
 /// One IR operation with provenance (which guest instruction produced
@@ -358,11 +426,7 @@ impl RegMap {
 /// Panics if a virtual register has no assignment in `map` or a branch
 /// targets a non-existent stub.
 pub fn lower(block: &IrBlock, map: &RegMap) -> Vec<HInst> {
-    let body: Vec<&IrOp> = block
-        .ops
-        .iter()
-        .filter(|op| op.inst != IrInst::Nop)
-        .collect();
+    let body: Vec<&IrOp> = block.ops.iter().filter(|op| op.inst != IrInst::Nop).collect();
     let body_len = body.len() as u32;
     let stub_pos = |stub: u32| -> u32 {
         assert!((stub as usize) < block.stubs.len(), "branch to missing stub");
@@ -372,22 +436,40 @@ pub fn lower(block: &IrBlock, map: &RegMap) -> Vec<HInst> {
     for op in body {
         let h = match op.inst {
             IrInst::Nop => unreachable!("tombstones filtered"),
-            IrInst::Alu { op, rd, ra, rb } => HInst::Alu { op, rd: map.r(rd), ra: map.r(ra), rb: map.r(rb) },
-            IrInst::AluI { op, rd, ra, imm } => HInst::AluI { op, rd: map.r(rd), ra: map.r(ra), imm },
+            IrInst::Alu { op, rd, ra, rb } => {
+                HInst::Alu { op, rd: map.r(rd), ra: map.r(ra), rb: map.r(rb) }
+            }
+            IrInst::AluI { op, rd, ra, imm } => {
+                HInst::AluI { op, rd: map.r(rd), ra: map.r(ra), imm }
+            }
             IrInst::Li { rd, imm } => HInst::Li { rd: map.r(rd), imm },
-            IrInst::Mul { rd, ra, rb } => HInst::Mul { rd: map.r(rd), ra: map.r(ra), rb: map.r(rb) },
-            IrInst::Div { rd, ra, rb } => HInst::Div { rd: map.r(rd), ra: map.r(ra), rb: map.r(rb) },
-            IrInst::FlagsArith { kind, rd, ra, rb } => HInst::FlagsArith { kind, rd: map.r(rd), ra: map.r(ra), rb: map.r(rb) },
+            IrInst::Mul { rd, ra, rb } => {
+                HInst::Mul { rd: map.r(rd), ra: map.r(ra), rb: map.r(rb) }
+            }
+            IrInst::Div { rd, ra, rb } => {
+                HInst::Div { rd: map.r(rd), ra: map.r(ra), rb: map.r(rb) }
+            }
+            IrInst::FlagsArith { kind, rd, ra, rb } => {
+                HInst::FlagsArith { kind, rd: map.r(rd), ra: map.r(ra), rb: map.r(rb) }
+            }
             IrInst::Prefetch { base, off } => HInst::Prefetch { base: map.r(base), off },
-            IrInst::Ld { rd, base, off, width } => HInst::Ld { rd: map.r(rd), base: map.r(base), off, width },
-            IrInst::St { rs, base, off, width } => HInst::St { rs: map.r(rs), base: map.r(base), off, width },
+            IrInst::Ld { rd, base, off, width } => {
+                HInst::Ld { rd: map.r(rd), base: map.r(base), off, width }
+            }
+            IrInst::St { rs, base, off, width } => {
+                HInst::St { rs: map.r(rs), base: map.r(base), off, width }
+            }
             IrInst::FLd { fd, base, off } => HInst::FLd { fd: map.f(fd), base: map.r(base), off },
             IrInst::FSt { fs, base, off } => HInst::FSt { fs: map.f(fs), base: map.r(base), off },
             IrInst::FMov { fd, fa } => HInst::FMov { fd: map.f(fd), fa: map.f(fa) },
-            IrInst::FArith { op, fd, fa, fb } => HInst::FArith { op, fd: map.f(fd), fa: map.f(fa), fb: map.f(fb) },
+            IrInst::FArith { op, fd, fa, fb } => {
+                HInst::FArith { op, fd: map.f(fd), fa: map.f(fa), fb: map.f(fb) }
+            }
             IrInst::CvtIF { fd, ra } => HInst::CvtIF { fd: map.f(fd), ra: map.r(ra) },
             IrInst::CvtFI { rd, fa } => HInst::CvtFI { rd: map.r(rd), fa: map.f(fa) },
-            IrInst::BrFlags { cond, flags, stub } => HInst::BrFlags { cond, flags: map.r(flags), target: stub_pos(stub) },
+            IrInst::BrFlags { cond, flags, stub } => {
+                HInst::BrFlags { cond, flags: map.r(flags), target: stub_pos(stub) }
+            }
         };
         out.push(h);
     }
@@ -434,7 +516,9 @@ mod tests {
         // body(2) + fallthrough + 1 stub
         assert_eq!(host.len(), 4);
         match host[1] {
-            HInst::BrFlags { target, .. } => assert_eq!(target, 3, "stub 0 lands after fallthrough"),
+            HInst::BrFlags { target, .. } => {
+                assert_eq!(target, 3, "stub 0 lands after fallthrough")
+            }
             ref other => panic!("expected BrFlags, got {other:?}"),
         }
         assert_eq!(host[2], HInst::Exit(Exit::Direct { guest_target: 0x200, link: None }));
@@ -443,10 +527,12 @@ mod tests {
 
     #[test]
     fn ir_metadata() {
-        let ld = IrInst::Ld { rd: IrReg::Virt(1), base: IrReg::Phys(HReg(2)), off: 4, width: Width::W4 };
+        let ld =
+            IrInst::Ld { rd: IrReg::Virt(1), base: IrReg::Phys(HReg(2)), off: 4, width: Width::W4 };
         assert!(ld.is_load() && !ld.is_store() && !ld.has_side_effect());
         assert_eq!(ld.dst(), Some(IrReg::Virt(1)));
-        let st = IrInst::St { rs: IrReg::Virt(1), base: IrReg::Phys(HReg(2)), off: 0, width: Width::W4 };
+        let st =
+            IrInst::St { rs: IrReg::Virt(1), base: IrReg::Phys(HReg(2)), off: 0, width: Width::W4 };
         assert!(st.has_side_effect());
         let br = IrInst::BrFlags { cond: Cond::Ne, flags: IrReg::Phys(FLAGS_REG), stub: 0 };
         assert!(br.is_branch() && br.has_side_effect());

@@ -58,6 +58,8 @@ pub mod opt;
 pub mod profile;
 pub mod superblock;
 pub mod translate;
+pub mod verify;
 
 pub use config::TolConfig;
 pub use engine::{Mode, RunSummary, StepOutcome, Tol, TolCounters};
+pub use verify::{VerifyFailure, VerifyStats};

@@ -29,13 +29,27 @@ impl Facts {
         self.map.retain(|_, v| *v != Value::CopyOf(r));
     }
 
+    /// Resolves `r` through copy chains to a known constant. Iterative
+    /// with a visited set: the facts map should be acyclic (copies point
+    /// backward in linear code), but a cyclic entry must degrade to
+    /// "unknown" rather than recurse forever.
     fn constant(&self, r: IrReg) -> Option<u32> {
-        if r == IrReg::ZERO {
-            return Some(0);
-        }
-        match self.map.get(&r)? {
-            Value::Const(c) => Some(*c),
-            Value::CopyOf(s) => self.constant(*s),
+        let mut cur = r;
+        let mut visited: Vec<IrReg> = Vec::new();
+        loop {
+            if cur == IrReg::ZERO {
+                return Some(0);
+            }
+            match self.map.get(&cur)? {
+                Value::Const(c) => return Some(*c),
+                Value::CopyOf(s) => {
+                    if visited.contains(&cur) {
+                        return None;
+                    }
+                    visited.push(cur);
+                    cur = *s;
+                }
+            }
         }
     }
 
@@ -159,9 +173,9 @@ fn fold_inst(inst: &IrInst, facts: &Facts) -> Option<u32> {
             Some(eval_alu(op, facts.constant(ra)?, facts.constant(rb)?))
         }
         IrInst::AluI { op, ra, imm, .. } => Some(eval_alu(op, facts.constant(ra)?, imm as u32)),
-        IrInst::Mul { ra, rb, .. } => Some(
-            (facts.constant(ra)? as i32).wrapping_mul(facts.constant(rb)? as i32) as u32,
-        ),
+        IrInst::Mul { ra, rb, .. } => {
+            Some((facts.constant(ra)? as i32).wrapping_mul(facts.constant(rb)? as i32) as u32)
+        }
         _ => None,
     }
 }
@@ -179,10 +193,7 @@ mod tests {
 
     fn block(ops: Vec<IrInst>) -> IrBlock {
         IrBlock {
-            ops: ops
-                .into_iter()
-                .map(|inst| IrOp { inst, guest_idx: 0 })
-                .collect(),
+            ops: ops.into_iter().map(|inst| IrOp { inst, guest_idx: 0 }).collect(),
             stubs: vec![],
             stub_guest_counts: vec![],
             fallthrough: Exit::Halt,
@@ -247,6 +258,25 @@ mod tests {
             }
             ref o => panic!("unexpected {o:?}"),
         }
+    }
+
+    #[test]
+    fn copy_cycle_in_facts_terminates_as_unknown() {
+        // A cyclic fact set (t0 copy-of t1, t1 copy-of t0) cannot arise
+        // from the forward sweep, but `constant` must not hang or
+        // overflow the stack if it ever does.
+        let mut f = Facts::default();
+        f.map.insert(IrReg::Virt(0), Value::CopyOf(IrReg::Virt(1)));
+        f.map.insert(IrReg::Virt(1), Value::CopyOf(IrReg::Virt(0)));
+        assert_eq!(f.constant(IrReg::Virt(0)), None);
+        assert_eq!(f.constant(IrReg::Virt(1)), None);
+        // Self-cycle degenerate case.
+        f.map.insert(IrReg::Virt(2), Value::CopyOf(IrReg::Virt(2)));
+        assert_eq!(f.constant(IrReg::Virt(2)), None);
+        // Chains ending in a constant still resolve through the guard.
+        f.map.insert(IrReg::Virt(3), Value::Const(9));
+        f.map.insert(IrReg::Virt(4), Value::CopyOf(IrReg::Virt(3)));
+        assert_eq!(f.constant(IrReg::Virt(4)), Some(9));
     }
 
     #[test]

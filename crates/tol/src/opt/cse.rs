@@ -173,10 +173,7 @@ mod tests {
             IrInst::AluI { op: HAluOp::Shl, rd: IrReg::Virt(1), ra: phys(2), imm: 2 },
         ]);
         run(&mut b);
-        assert!(
-            !is_copy_from(&b.ops[2].inst, IrReg::Virt(0)),
-            "r2 changed; recompute required"
-        );
+        assert!(!is_copy_from(&b.ops[2].inst, IrReg::Virt(0)), "r2 changed; recompute required");
     }
 
     #[test]

@@ -70,16 +70,14 @@ pub fn run(block: &mut IrBlock) {
             live.all_phys = true;
         }
         let inst = op.inst;
-        let dead = !inst.has_side_effect()
-            && inst != IrInst::Nop
-            && {
-                let d_int = inst.dst().map(|d| live.is_live_int(d));
-                let d_fp = inst.fdst().map(|d| live.is_live_fp(d));
-                match (d_int, d_fp) {
-                    (None, None) => false, // no destination: keep (Nop only)
-                    (a, b) => !a.unwrap_or(false) && !b.unwrap_or(false),
-                }
-            };
+        let dead = !inst.has_side_effect() && inst != IrInst::Nop && {
+            let d_int = inst.dst().map(|d| live.is_live_int(d));
+            let d_fp = inst.fdst().map(|d| live.is_live_fp(d));
+            match (d_int, d_fp) {
+                (None, None) => false, // no destination: keep (Nop only)
+                (a, b) => !a.unwrap_or(false) && !b.unwrap_or(false),
+            }
+        };
         if dead {
             op.inst = IrInst::Nop;
             continue;
@@ -187,11 +185,7 @@ mod tests {
         let mut b = block(vec![
             IrInst::FMov { fd: IrFreg::Virt(0), fa: IrFreg::Phys(darco_host::HFreg(1)) }, // dead
             IrInst::FMov { fd: IrFreg::Virt(1), fa: IrFreg::Phys(darco_host::HFreg(2)) },
-            IrInst::FSt {
-                fs: IrFreg::Virt(1),
-                base: phys(2),
-                off: 0,
-            },
+            IrInst::FSt { fs: IrFreg::Virt(1), base: phys(2), off: 0 },
         ]);
         run(&mut b);
         assert_eq!(b.ops[0].inst, IrInst::Nop);

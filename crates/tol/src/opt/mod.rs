@@ -1,4 +1,4 @@
-//! The SBM optimization pipeline.
+//! The SBM optimization pipeline and its self-verifying pass manager.
 //!
 //! The paper lists the passes the software layer applies to superblocks
 //! (Sec. II-A-1): copy/constant propagation, constant folding, common
@@ -10,6 +10,14 @@
 //! [`optimize`] runs the pipeline in the canonical order; individual
 //! passes can be switched off through [`TolConfig`](crate::TolConfig)
 //! for the ablation experiments.
+//!
+//! The pass manager snapshots the block around every pass and hands the
+//! pair to the [`crate::verify`] layer (structural invariants plus
+//! translation validation). Verification is always on in debug and test
+//! builds; release builds opt in via [`TolConfig::verify`]. A failure
+//! aborts optimization with [`OptError::Miscompile`] naming the pass,
+//! the invariant, and an IR diff — the engine then falls back to
+//! unoptimized lowering, exactly like a register-pressure bailout.
 
 pub mod constprop;
 pub mod cse;
@@ -20,25 +28,80 @@ pub mod swprefetch;
 
 use crate::config::TolConfig;
 use crate::ir::{IrBlock, RegMap};
+use crate::verify::{self, PassKind, VerifyFailure, VerifyStats};
 
 /// Why optimization could not complete.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum OptError {
     /// Register pressure exceeded the scratch register file; the caller
     /// falls back to unoptimized lowering (the optimizer bails, which
     /// real dynamic optimizers also do under pressure).
     OutOfRegisters,
+    /// The verifier caught a pass producing a non-equivalent or
+    /// ill-formed block. The payload names the pass and invariant and
+    /// carries an IR diff; the caller must discard the optimized block.
+    Miscompile(Box<VerifyFailure>),
 }
 
 impl std::fmt::Display for OptError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             OptError::OutOfRegisters => write!(f, "register pressure exceeds scratch file"),
+            OptError::Miscompile(failure) => write!(f, "{failure}"),
         }
     }
 }
 
 impl std::error::Error for OptError {}
+
+/// One pipeline pass: a name for verifier reports, the transformation
+/// shape the verifier holds it to, and the transformation itself.
+pub(crate) struct Pass {
+    pub name: &'static str,
+    pub kind: PassKind,
+    pub run: fn(&mut IrBlock, &TolConfig),
+}
+
+/// Builds the canonical pass order for `cfg` (Sec. II-A-1).
+fn pipeline(cfg: &TolConfig) -> Vec<Pass> {
+    let mut passes = Vec::new();
+    if cfg.opt_const_prop || cfg.opt_const_fold {
+        passes.push(Pass {
+            name: "constprop",
+            kind: PassKind::Rewrite,
+            run: |b, c| constprop::run(b, c.opt_const_fold),
+        });
+    }
+    if cfg.opt_cse {
+        passes.push(Pass { name: "cse", kind: PassKind::Rewrite, run: |b, _| cse::run(b) });
+        // CSE introduces copies; clean them up.
+        passes.push(Pass {
+            name: "constprop-cleanup",
+            kind: PassKind::Rewrite,
+            run: |b, c| constprop::run(b, c.opt_const_fold),
+        });
+    }
+    if cfg.opt_dce {
+        passes.push(Pass { name: "dce", kind: PassKind::Dce, run: |b, _| dce::run(b) });
+    }
+    if cfg.opt_sw_prefetch {
+        passes.push(Pass {
+            name: "swprefetch",
+            kind: PassKind::Insert,
+            run: |b, _| {
+                swprefetch::run(b);
+            },
+        });
+    }
+    if cfg.opt_schedule {
+        passes.push(Pass {
+            name: "schedule",
+            kind: PassKind::Schedule,
+            run: |b, _| schedule::run(b),
+        });
+    }
+    passes
+}
 
 /// Runs the enabled passes over `block` and allocates registers.
 ///
@@ -46,35 +109,59 @@ impl std::error::Error for OptError {}
 ///
 /// # Errors
 ///
-/// [`OptError::OutOfRegisters`] if allocation fails; the block is
-/// unusable in that case and the caller should lower the unoptimized IR.
-pub fn optimize(mut block: IrBlock, cfg: &TolConfig) -> Result<(IrBlock, RegMap), OptError> {
-    if cfg.opt_const_prop || cfg.opt_const_fold {
-        constprop::run(&mut block, cfg.opt_const_fold);
-    }
-    if cfg.opt_cse {
-        cse::run(&mut block);
-        // CSE introduces copies; clean them up.
-        constprop::run(&mut block, cfg.opt_const_fold);
-    }
-    if cfg.opt_dce {
-        dce::run(&mut block);
-    }
-    if cfg.opt_sw_prefetch {
-        swprefetch::run(&mut block);
-    }
-    if cfg.opt_schedule {
-        schedule::run(&mut block);
+/// [`OptError::OutOfRegisters`] if allocation fails, or
+/// [`OptError::Miscompile`] if the verifier rejects a pass; the block is
+/// unusable in either case and the caller should lower the unoptimized
+/// IR.
+pub fn optimize(block: IrBlock, cfg: &TolConfig) -> Result<(IrBlock, RegMap), OptError> {
+    optimize_stats(block, cfg).map(|(b, m, _)| (b, m))
+}
+
+/// [`optimize`], additionally reporting what the verifier did.
+///
+/// # Errors
+///
+/// Same as [`optimize`].
+pub fn optimize_stats(
+    block: IrBlock,
+    cfg: &TolConfig,
+) -> Result<(IrBlock, RegMap, VerifyStats), OptError> {
+    run_pipeline(block, cfg, &pipeline(cfg))
+}
+
+/// Pipeline driver, parameterized over the pass list so tests can
+/// inject deliberately broken passes and prove the verifier catches
+/// them.
+pub(crate) fn run_pipeline(
+    mut block: IrBlock,
+    cfg: &TolConfig,
+    passes: &[Pass],
+) -> Result<(IrBlock, RegMap, VerifyStats), OptError> {
+    let checking = cfg.verify || cfg!(debug_assertions);
+    let mut stats = VerifyStats::default();
+    let original = checking.then(|| block.clone());
+    for pass in passes {
+        let pre = checking.then(|| block.clone());
+        (pass.run)(&mut block, cfg);
+        if let Some(pre) = &pre {
+            if *pre != block {
+                verify::check_pass(pass.name, pass.kind, pre, &block, &mut stats)
+                    .map_err(OptError::Miscompile)?;
+            }
+        }
     }
     let map = regalloc::run(&block)?;
-    Ok((block, map))
+    if let Some(original) = &original {
+        verify::check_result(original, &block, &map, &mut stats).map_err(OptError::Miscompile)?;
+    }
+    Ok((block, map, stats))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::ir::{IrInst, IrOp, IrReg};
-    use darco_host::{Exit, HAluOp, HReg};
+    use darco_host::{Exit, HAluOp, HReg, Width};
 
     fn block(ops: Vec<IrInst>) -> IrBlock {
         IrBlock {
@@ -96,9 +183,19 @@ mod tests {
         // After const prop + DCE the two `li`s fold into AluI and vanish.
         let b = block(vec![
             IrInst::Li { rd: IrReg::Virt(0), imm: 5 },
-            IrInst::Alu { op: HAluOp::Add, rd: IrReg::Phys(HReg(1)), ra: IrReg::Phys(HReg(1)), rb: IrReg::Virt(0) },
+            IrInst::Alu {
+                op: HAluOp::Add,
+                rd: IrReg::Phys(HReg(1)),
+                ra: IrReg::Phys(HReg(1)),
+                rb: IrReg::Virt(0),
+            },
             IrInst::Li { rd: IrReg::Virt(1), imm: 5 },
-            IrInst::Alu { op: HAluOp::Add, rd: IrReg::Phys(HReg(2)), ra: IrReg::Phys(HReg(2)), rb: IrReg::Virt(1) },
+            IrInst::Alu {
+                op: HAluOp::Add,
+                rd: IrReg::Phys(HReg(2)),
+                ra: IrReg::Phys(HReg(2)),
+                rb: IrReg::Virt(1),
+            },
         ]);
         let (opt, map) = optimize(b, &TolConfig::default()).unwrap();
         let live: Vec<_> = opt.ops.iter().filter(|o| o.inst != IrInst::Nop).collect();
@@ -110,11 +207,117 @@ mod tests {
     fn disabled_passes_preserve_block() {
         let b = block(vec![
             IrInst::Li { rd: IrReg::Virt(0), imm: 5 },
-            IrInst::Alu { op: HAluOp::Add, rd: IrReg::Phys(HReg(1)), ra: IrReg::Phys(HReg(1)), rb: IrReg::Virt(0) },
+            IrInst::Alu {
+                op: HAluOp::Add,
+                rd: IrReg::Phys(HReg(1)),
+                ra: IrReg::Phys(HReg(1)),
+                rb: IrReg::Virt(0),
+            },
         ]);
         let cfg = TolConfig::no_optimization();
         let (opt, map) = optimize(b.clone(), &cfg).unwrap();
         assert_eq!(opt.ops.len(), b.ops.len());
         assert_eq!(map.int.len(), 1);
+    }
+
+    #[test]
+    fn verified_pipeline_reports_stats() {
+        let b = block(vec![
+            IrInst::Li { rd: IrReg::Virt(0), imm: 5 },
+            IrInst::Alu {
+                op: HAluOp::Add,
+                rd: IrReg::Phys(HReg(1)),
+                ra: IrReg::Phys(HReg(1)),
+                rb: IrReg::Virt(0),
+            },
+        ]);
+        let cfg = TolConfig { verify: true, ..TolConfig::default() };
+        let (_, _, stats) = optimize_stats(b, &cfg).unwrap();
+        assert_eq!(stats.blocks_verified, 1);
+        assert!(stats.passes_checked >= 1);
+        assert_eq!(stats.tv_differential, 0, "pipeline algebra proves symbolically");
+    }
+
+    /// Mutation test: a DCE that tombstones a live store must be caught,
+    /// and the report must name the pass.
+    #[test]
+    fn broken_dce_removing_live_store_is_caught() {
+        let broken = Pass {
+            name: "dce",
+            kind: PassKind::Dce,
+            run: |b, _| {
+                if let Some(op) = b.ops.iter_mut().find(|o| o.inst.is_store()) {
+                    op.inst = IrInst::Nop;
+                }
+            },
+        };
+        let b = block(vec![
+            IrInst::St {
+                rs: IrReg::Phys(HReg(1)),
+                base: IrReg::Phys(HReg(2)),
+                off: 0,
+                width: Width::W4,
+            },
+            IrInst::AluI {
+                op: HAluOp::Add,
+                rd: IrReg::Phys(HReg(1)),
+                ra: IrReg::Phys(HReg(1)),
+                imm: 1,
+            },
+        ]);
+        let cfg = TolConfig { verify: true, ..TolConfig::default() };
+        match run_pipeline(b, &cfg, &[broken]) {
+            Err(OptError::Miscompile(f)) => {
+                assert_eq!(f.pass, "dce");
+                assert_eq!(f.invariant, "side-effecting instructions never removed");
+            }
+            other => panic!("verifier missed the broken pass: {other:?}"),
+        }
+    }
+
+    /// Mutation test: a "constant folder" that miscomputes a constant is
+    /// caught by translation validation even though the block stays
+    /// structurally legal.
+    #[test]
+    fn broken_fold_is_caught_by_translation_validation() {
+        let broken = Pass {
+            name: "constprop",
+            kind: PassKind::Rewrite,
+            run: |b, _| {
+                for op in &mut b.ops {
+                    if let IrInst::Li { rd, imm } = op.inst {
+                        op.inst = IrInst::Li { rd, imm: imm + 1 };
+                    }
+                }
+            },
+        };
+        let b = block(vec![IrInst::Li { rd: IrReg::Phys(HReg(1)), imm: 5 }]);
+        let cfg = TolConfig { verify: true, ..TolConfig::default() };
+        match run_pipeline(b, &cfg, &[broken]) {
+            Err(OptError::Miscompile(f)) => assert_eq!(f.pass, "constprop"),
+            other => panic!("verifier missed the wrong constant: {other:?}"),
+        }
+    }
+
+    /// Mutation test: a scheduler that swaps dependent instructions is
+    /// caught structurally.
+    #[test]
+    fn broken_schedule_violating_raw_is_caught() {
+        let broken =
+            Pass { name: "schedule", kind: PassKind::Schedule, run: |b, _| b.ops.reverse() };
+        let b = block(vec![
+            IrInst::Li { rd: IrReg::Virt(0), imm: 7 },
+            IrInst::Alu {
+                op: HAluOp::Add,
+                rd: IrReg::Phys(HReg(1)),
+                ra: IrReg::Phys(HReg(1)),
+                rb: IrReg::Virt(0),
+            },
+        ]);
+        let cfg = TolConfig { verify: true, ..TolConfig::default() };
+        match run_pipeline(b, &cfg, &[broken]) {
+            Err(OptError::Miscompile(f)) => assert_eq!(f.pass, "schedule"),
+            other => panic!("verifier missed the reorder: {other:?}"),
+        }
     }
 }

@@ -8,7 +8,9 @@
 //! the guest's own accesses), so exhaustion is reported and the caller
 //! falls back to unoptimized lowering.
 
-use crate::ir::{IrBlock, IrFreg, IrReg, RegMap, FSCRATCH_BASE, FSCRATCH_END, SCRATCH_BASE, SCRATCH_END};
+use crate::ir::{
+    IrBlock, IrFreg, IrReg, RegMap, FSCRATCH_BASE, FSCRATCH_END, SCRATCH_BASE, SCRATCH_END,
+};
 use crate::opt::OptError;
 use darco_host::{HFreg, HReg};
 use std::collections::HashMap;
@@ -25,12 +27,10 @@ fn intervals<T: Copy + Eq + std::hash::Hash>(
     let mut map: HashMap<T, Interval> = HashMap::new();
     let mut order: Vec<T> = Vec::new();
     for (pos, reg, _is_def) in defs_uses {
-        map.entry(reg)
-            .and_modify(|iv| iv.end = pos)
-            .or_insert_with(|| {
-                order.push(reg);
-                Interval { start: pos, end: pos }
-            });
+        map.entry(reg).and_modify(|iv| iv.end = pos).or_insert_with(|| {
+            order.push(reg);
+            Interval { start: pos, end: pos }
+        });
     }
     order.into_iter().map(|r| (r, map[&r])).collect()
 }
@@ -114,9 +114,19 @@ mod tests {
         // t0 dies before t1 is born: same physical register.
         let b = block(vec![
             IrInst::Li { rd: IrReg::Virt(0), imm: 1 },
-            IrInst::Alu { op: HAluOp::Add, rd: IrReg::Phys(HReg(1)), ra: IrReg::Phys(HReg(1)), rb: IrReg::Virt(0) },
+            IrInst::Alu {
+                op: HAluOp::Add,
+                rd: IrReg::Phys(HReg(1)),
+                ra: IrReg::Phys(HReg(1)),
+                rb: IrReg::Virt(0),
+            },
             IrInst::Li { rd: IrReg::Virt(1), imm: 2 },
-            IrInst::Alu { op: HAluOp::Add, rd: IrReg::Phys(HReg(2)), ra: IrReg::Phys(HReg(2)), rb: IrReg::Virt(1) },
+            IrInst::Alu {
+                op: HAluOp::Add,
+                rd: IrReg::Phys(HReg(2)),
+                ra: IrReg::Phys(HReg(2)),
+                rb: IrReg::Virt(1),
+            },
         ]);
         let m = run(&b).unwrap();
         assert_eq!(m.int[&0], m.int[&1]);
@@ -127,7 +137,12 @@ mod tests {
         let b = block(vec![
             IrInst::Li { rd: IrReg::Virt(0), imm: 1 },
             IrInst::Li { rd: IrReg::Virt(1), imm: 2 },
-            IrInst::Alu { op: HAluOp::Add, rd: IrReg::Phys(HReg(1)), ra: IrReg::Virt(0), rb: IrReg::Virt(1) },
+            IrInst::Alu {
+                op: HAluOp::Add,
+                rd: IrReg::Phys(HReg(1)),
+                ra: IrReg::Virt(0),
+                rb: IrReg::Virt(1),
+            },
         ]);
         let m = run(&b).unwrap();
         assert_ne!(m.int[&0], m.int[&1]);
@@ -137,7 +152,12 @@ mod tests {
     fn allocations_stay_in_scratch_range() {
         let b = block(vec![
             IrInst::Li { rd: IrReg::Virt(0), imm: 1 },
-            IrInst::Alu { op: HAluOp::Add, rd: IrReg::Phys(HReg(1)), ra: IrReg::Phys(HReg(1)), rb: IrReg::Virt(0) },
+            IrInst::Alu {
+                op: HAluOp::Add,
+                rd: IrReg::Phys(HReg(1)),
+                ra: IrReg::Phys(HReg(1)),
+                rb: IrReg::Virt(0),
+            },
         ]);
         let m = run(&b).unwrap();
         let r = m.int[&0];
@@ -149,9 +169,8 @@ mod tests {
     fn exhaustion_reports_out_of_registers() {
         // 22 simultaneously-live virtuals exceed the 21-register pool.
         let n = (SCRATCH_END - SCRATCH_BASE) as u32 + 1;
-        let mut ops: Vec<IrInst> = (0..n)
-            .map(|v| IrInst::Li { rd: IrReg::Virt(v), imm: v as i64 })
-            .collect();
+        let mut ops: Vec<IrInst> =
+            (0..n).map(|v| IrInst::Li { rd: IrReg::Virt(v), imm: v as i64 }).collect();
         // One instruction using them all pairwise keeps them live to the end.
         for v in 0..n {
             ops.push(IrInst::Alu {

@@ -85,13 +85,8 @@ fn schedule_window(window: &mut Vec<IrOp>, out: &mut Vec<IrOp>) {
             .map(Res::Int)
             .chain(op.inst.fsrcs().into_iter().flatten().map(Res::Fp))
             .collect();
-        let dsts: Vec<Res> = op
-            .inst
-            .dst()
-            .map(Res::Int)
-            .into_iter()
-            .chain(op.inst.fdst().map(Res::Fp))
-            .collect();
+        let dsts: Vec<Res> =
+            op.inst.dst().map(Res::Int).into_iter().chain(op.inst.fdst().map(Res::Fp)).collect();
 
         // RAW: this use depends on the last def.
         for s in &srcs {
@@ -194,7 +189,8 @@ mod tests {
         // between the load and its user.
         let ld = IrInst::Ld { rd: IrReg::Virt(0), base: phys(2), off: 0, width: Width::W4 };
         let use_it = IrInst::Alu { op: HAluOp::Add, rd: phys(1), ra: phys(1), rb: IrReg::Virt(0) };
-        let indep = |i: u8| IrInst::AluI { op: HAluOp::Add, rd: phys(3 + i), ra: phys(3 + i), imm: 1 };
+        let indep =
+            |i: u8| IrInst::AluI { op: HAluOp::Add, rd: phys(3 + i), ra: phys(3 + i), imm: 1 };
         let mut b = block(vec![ld, use_it, indep(0), indep(1), indep(2)]);
         run(&mut b);
         let pos = positions(&b);
@@ -209,7 +205,12 @@ mod tests {
     #[test]
     fn raw_dependences_preserved() {
         let a = IrInst::Li { rd: IrReg::Virt(0), imm: 1 };
-        let b_i = IrInst::Alu { op: HAluOp::Add, rd: IrReg::Virt(1), ra: IrReg::Virt(0), rb: IrReg::Virt(0) };
+        let b_i = IrInst::Alu {
+            op: HAluOp::Add,
+            rd: IrReg::Virt(1),
+            ra: IrReg::Virt(0),
+            rb: IrReg::Virt(0),
+        };
         let c = IrInst::Alu { op: HAluOp::Add, rd: phys(1), ra: phys(1), rb: IrReg::Virt(1) };
         let mut blk = block(vec![a, b_i, c]);
         run(&mut blk);

@@ -12,7 +12,7 @@
 //! `(base, offset-line)` pair per block, inserted only when the block is
 //! long enough for the prefetch distance to matter.
 
-use crate::ir::{IrBlock, IrInst, IrOp};
+use crate::ir::{IrBlock, IrInst, IrOp, IrReg};
 use std::collections::HashSet;
 
 /// Cache line size assumed by the prefetch distance (Table I L1-D).
@@ -39,8 +39,15 @@ pub fn run(block: &mut IrBlock) -> usize {
             continue;
         }
         // Insert a few ops ahead of the load (clamped to the block
-        // start); the scheduler may hoist it further.
-        let at = i.saturating_sub(4);
+        // start); the scheduler may hoist it further. A virtual base
+        // must not be read before its definition, so the prefetch never
+        // hoists past it.
+        let mut at = i.saturating_sub(4);
+        if matches!(base, IrReg::Virt(_)) {
+            if let Some(def) = block.ops[..i].iter().position(|o| o.inst.dst() == Some(base)) {
+                at = at.max(def + 1);
+            }
+        }
         insertions.push((
             at,
             IrOp {
@@ -122,6 +129,20 @@ mod tests {
     fn short_blocks_left_alone() {
         let mut b = block(vec![load(2, 0), filler()]);
         assert_eq!(run(&mut b), 0);
+    }
+
+    #[test]
+    fn prefetch_never_hoists_past_virtual_base_definition() {
+        // The base is a virtual defined one op before the load: the
+        // prefetch must land after that definition, not 4 slots up.
+        let mut ops = vec![filler(); 8];
+        ops.push(IrInst::AluI { op: HAluOp::Add, rd: IrReg::Virt(7), ra: phys(2), imm: 8 });
+        ops.push(IrInst::Ld { rd: phys(3), base: IrReg::Virt(7), off: 0, width: Width::W4 });
+        let mut b = block(ops);
+        assert_eq!(run(&mut b), 1);
+        let def = b.ops.iter().position(|o| o.inst.dst() == Some(IrReg::Virt(7))).unwrap();
+        let pf = b.ops.iter().position(|o| matches!(o.inst, IrInst::Prefetch { .. })).unwrap();
+        assert!(def < pf, "prefetch reads the base after its definition");
     }
 
     #[test]

@@ -287,10 +287,8 @@ pub fn translate_region(region: &[RegionInst]) -> IrBlock {
             other => unreachable!("unhandled terminal {other:?}"),
         }
     }
-    let fallthrough = fallthrough.unwrap_or(Exit::Direct {
-        guest_target: region.last().unwrap().next_pc(),
-        link: None,
-    });
+    let fallthrough = fallthrough
+        .unwrap_or(Exit::Direct { guest_target: region.last().unwrap().next_pc(), link: None });
     IrBlock {
         ops: cx.ops,
         stubs: cx.stubs,
@@ -329,11 +327,8 @@ fn emit_straightline(cx: &mut Ctx, inst: &Inst, flags_live: bool) {
         Inst::LoadSx { dst, addr, width } => {
             // RISC lowering: zero-extending load plus a shift pair.
             let (base, off) = cx.ea(&addr);
-            let (w, sh) = if width == darco_guest::MemWidth::B1 {
-                (Width::W1, 24)
-            } else {
-                (Width::W2, 16)
-            };
+            let (w, sh) =
+                if width == darco_guest::MemWidth::B1 { (Width::W1, 24) } else { (Width::W2, 16) };
             cx.emit(IrInst::Ld { rd: g(dst), base, off, width: w });
             cx.emit(IrInst::AluI { op: HAluOp::Shl, rd: g(dst), ra: g(dst), imm: sh });
             cx.emit(IrInst::AluI { op: HAluOp::Sar, rd: g(dst), ra: g(dst), imm: sh });
@@ -606,11 +601,8 @@ mod tests {
         ]);
         let bb = decode_bb(&mem, base).unwrap();
         let ir = translate_region(&bb);
-        let flag_writes = ir
-            .ops
-            .iter()
-            .filter(|o| matches!(o.inst, IrInst::FlagsArith { .. }))
-            .count();
+        let flag_writes =
+            ir.ops.iter().filter(|o| matches!(o.inst, IrInst::FlagsArith { .. })).count();
         assert_eq!(flag_writes, 1, "only the cmp materializes flags");
     }
 
@@ -654,12 +646,7 @@ mod tests {
         ]);
         let mut region = decode_bb(&mem, base).unwrap();
         region[1].follow_taken = true;
-        region.push(RegionInst {
-            pc: 0x3000,
-            inst: Inst::Halt,
-            len: 1,
-            follow_taken: false,
-        });
+        region.push(RegionInst { pc: 0x3000, inst: Inst::Halt, len: 1, follow_taken: false });
         let ir = translate_region(&region);
         // Side exit goes to the *not-taken* successor under the negated
         // condition.
@@ -735,11 +722,8 @@ mod tests {
         // The paper's Sec. III-C point: flag-writing instructions cost
         // more to translate. Compare IR lengths with flags live-out.
         let (mem_a, base_a) = decode_prog(&[Inst::MovRR { dst: Gpr::Eax, src: Gpr::Ebx }]);
-        let (mem_b, base_b) = decode_prog(&[Inst::AluRR {
-            op: AluOp::Add,
-            dst: Gpr::Eax,
-            src: Gpr::Ebx,
-        }]);
+        let (mem_b, base_b) =
+            decode_prog(&[Inst::AluRR { op: AluOp::Add, dst: Gpr::Eax, src: Gpr::Ebx }]);
         let ir_a = translate_region(&decode_bb(&mem_a, base_a).unwrap());
         let ir_b = translate_region(&decode_bb(&mem_b, base_b).unwrap());
         assert!(ir_b.ops.len() > ir_a.ops.len());

@@ -23,7 +23,9 @@
 
 use crate::profile::BenchProfile;
 use darco_guest::asm::{Asm, Label, Program};
-use darco_guest::{AluOp, Cond, CpuState, FpOp, FpReg, Gpr, GuestMem, Inst, MemRef, MemWidth, Scale, ShiftOp};
+use darco_guest::{
+    AluOp, Cond, CpuState, FpOp, FpReg, Gpr, GuestMem, Inst, MemRef, MemWidth, Scale, ShiftOp,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -100,7 +102,8 @@ impl<'a> Gen<'a> {
     /// One streaming access: load (or read-modify) at `[DATA + esi]`,
     /// advance, wrap.
     fn emit_stream_access(&mut self, store: bool) {
-        let m = MemRef { base: Some(Gpr::Esi), index: None, scale: Scale::S1, disp: DATA_BASE as i32 };
+        let m =
+            MemRef { base: Some(Gpr::Esi), index: None, scale: Scale::S1, disp: DATA_BASE as i32 };
         if store {
             self.a.push(Inst::Store { addr: m, src: Gpr::Ebx });
         } else {
@@ -113,7 +116,8 @@ impl<'a> Gen<'a> {
     /// A sub-word access over the stream pointer (media-style pixel and
     /// sample traffic).
     fn emit_subword_access(&mut self) {
-        let m = MemRef { base: Some(Gpr::Esi), index: None, scale: Scale::S1, disp: DATA_BASE as i32 };
+        let m =
+            MemRef { base: Some(Gpr::Esi), index: None, scale: Scale::S1, disp: DATA_BASE as i32 };
         let width = if self.rng.gen_bool(0.6) { MemWidth::B1 } else { MemWidth::B2 };
         if self.rng.gen_bool(0.5) {
             self.a.push(Inst::LoadZx { dst: Gpr::Edx, addr: m, width });
@@ -121,7 +125,12 @@ impl<'a> Gen<'a> {
         } else {
             self.a.push(Inst::LoadSx { dst: Gpr::Edx, addr: m, width });
             self.a.push(Inst::StoreN {
-                addr: MemRef { base: Some(Gpr::Esi), index: None, scale: Scale::S1, disp: DATA_BASE as i32 + 4 },
+                addr: MemRef {
+                    base: Some(Gpr::Esi),
+                    index: None,
+                    scale: Scale::S1,
+                    disp: DATA_BASE as i32 + 4,
+                },
                 src: Gpr::Edx,
                 width,
             });
@@ -136,7 +145,8 @@ impl<'a> Gen<'a> {
         self.a.push(Inst::MovRR { dst: Gpr::Edi, src: Gpr::Eax });
         self.a.push(Inst::Shift { op: ShiftOp::Shr, dst: Gpr::Edi, amount: 7 });
         self.a.push(Inst::AluRI { op: AluOp::And, dst: Gpr::Edi, imm: self.rand_mask });
-        let m = MemRef { base: Some(Gpr::Edi), index: None, scale: Scale::S1, disp: DATA_BASE as i32 };
+        let m =
+            MemRef { base: Some(Gpr::Edi), index: None, scale: Scale::S1, disp: DATA_BASE as i32 };
         if store {
             self.a.push(Inst::Store { addr: m, src: Gpr::Ebx });
         } else {
@@ -146,7 +156,8 @@ impl<'a> Gen<'a> {
 
     /// A short FP sequence over the stream location.
     fn emit_fp_work(&mut self) {
-        let m = MemRef { base: Some(Gpr::Esi), index: None, scale: Scale::S1, disp: DATA_BASE as i32 };
+        let m =
+            MemRef { base: Some(Gpr::Esi), index: None, scale: Scale::S1, disp: DATA_BASE as i32 };
         self.a.push(Inst::FLoad { dst: FpReg(0), addr: m });
         self.a.push(Inst::FArith { op: FpOp::Mul, dst: FpReg(0), src: FpReg(1) });
         self.a.push(Inst::FArith { op: FpOp::Add, dst: FpReg(2), src: FpReg(0) });
@@ -244,7 +255,11 @@ impl<'a> Gen<'a> {
             } else {
                 // Plain integer work with varied flag behavior.
                 match self.rng.gen_range(0..6) {
-                    0 => self.a.push(Inst::AluRI { op: AluOp::Add, dst: Gpr::Ebx, imm: self.rng.gen_range(-100..100) }),
+                    0 => self.a.push(Inst::AluRI {
+                        op: AluOp::Add,
+                        dst: Gpr::Ebx,
+                        imm: self.rng.gen_range(-100..100),
+                    }),
                     1 => self.a.push(Inst::MovRR { dst: Gpr::Edx, src: Gpr::Ebx }),
                     2 => self.a.push(Inst::Shift { op: ShiftOp::Sar, dst: Gpr::Ebx, amount: 1 }),
                     3 => self.a.push(Inst::AluRR { op: AluOp::Xor, dst: Gpr::Ebx, src: Gpr::Eax }),
@@ -292,7 +307,9 @@ impl<'a> Gen<'a> {
         let target = self.asm_len() + len;
         while self.asm_len() < target {
             match self.rng.gen_range(0..8) {
-                0 => self.a.push(Inst::MovRI { dst: Gpr::Edx, imm: self.rng.gen_range(0..1 << 20) }),
+                0 => {
+                    self.a.push(Inst::MovRI { dst: Gpr::Edx, imm: self.rng.gen_range(0..1 << 20) })
+                }
                 1 => self.a.push(Inst::AluRR { op: AluOp::Add, dst: Gpr::Ebx, src: Gpr::Edx }),
                 2 => self.a.push(Inst::AluRI { op: AluOp::Or, dst: Gpr::Edx, imm: 3 }),
                 3 if with_stores => {
@@ -340,8 +357,8 @@ pub fn generate(profile: &BenchProfile, scale: f64) -> Workload {
     // Loop depth controls the *return* density floor (one return per
     // kernel invocation): low-indirect benchmarks get deep loops, while
     // indirect-heavy ones get shallow loops plus in-body dispatches.
-    let inner: u32 = ((3.0 / (profile.indirect_freq.max(1e-5) * kernel_static as f64)) as u32)
-        .clamp(16, 256);
+    let inner: u32 =
+        ((3.0 / (profile.indirect_freq.max(1e-5) * kernel_static as f64)) as u32).clamp(16, 256);
     // Expected in-body dispatch sites per kernel: each site fires once
     // per loop iteration, so the per-instruction indirect density a body
     // contributes is sites / body_len; returns supply the rest.
@@ -366,12 +383,14 @@ pub fn generate(profile: &BenchProfile, scale: f64) -> Workload {
     // --- Warm functions. ---
     let warm_func_len = 26usize;
     let n_warm = (warm_budget / (warm_func_len + 1)).max(1);
-    let warm_funcs: Vec<Label> = (0..n_warm).map(|_| g.emit_plain_func(warm_func_len, false)).collect();
+    let warm_funcs: Vec<Label> =
+        (0..n_warm).map(|_| g.emit_plain_func(warm_func_len, false)).collect();
 
     // --- Cold functions (also initialize data). ---
     let cold_func_len = 38usize;
     let n_cold = (cold_budget / (cold_func_len + 1)).max(1);
-    let cold_funcs: Vec<Label> = (0..n_cold).map(|_| g.emit_plain_func(cold_func_len, true)).collect();
+    let cold_funcs: Vec<Label> =
+        (0..n_cold).map(|_| g.emit_plain_func(cold_func_len, true)).collect();
 
     // --- Driver. ---
     g.a.bind(driver);
@@ -422,7 +441,12 @@ pub fn generate(profile: &BenchProfile, scale: f64) -> Workload {
     g.a.push(Inst::AluRI { op: AluOp::And, dst: Gpr::Edx, imm: (n_virtual - 1) as i32 });
     g.a.push(Inst::Load {
         dst: Gpr::Edx,
-        addr: MemRef { base: None, index: Some(Gpr::Edx), scale: Scale::S4, disp: FUNC_TABLE as i32 },
+        addr: MemRef {
+            base: None,
+            index: Some(Gpr::Edx),
+            scale: Scale::S4,
+            disp: FUNC_TABLE as i32,
+        },
     });
     g.a.push(Inst::CallInd { reg: Gpr::Edx });
     // One top-level jump-table dispatch.
@@ -477,9 +501,8 @@ mod tests {
         let mut cpu = w.initial.clone();
         let mut n = 0u64;
         while !cpu.halted && n < cap {
-            exec::step(&mut cpu, &mut mem).unwrap_or_else(|e| {
-                panic!("decode fault at {:#x} after {n} insts: {e}", cpu.eip)
-            });
+            exec::step(&mut cpu, &mut mem)
+                .unwrap_or_else(|e| panic!("decode fault at {:#x} after {n} insts: {e}", cpu.eip));
             n += 1;
         }
         (cpu, n)
@@ -514,7 +537,12 @@ mod tests {
         let p = suites::quicktest_profile();
         let w = generate(&p, 1.0);
         let ratio = w.static_insts as f64 / p.static_insts as f64;
-        assert!((0.5..2.0).contains(&ratio), "static {} vs target {}", w.static_insts, p.static_insts);
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "static {} vs target {}",
+            w.static_insts,
+            p.static_insts
+        );
     }
 
     #[test]

@@ -15,13 +15,8 @@ use darco::core::experiments::{run_bench, RunConfig};
 use darco::host::{Component, Owner};
 use darco::workloads::suites;
 
-const PICKS: [&str; 5] = [
-    "462.libquantum",
-    "470.lbm",
-    "400.perlbench",
-    "000.cjpeg",
-    "107.novis_ragdoll",
-];
+const PICKS: [&str; 5] =
+    ["462.libquantum", "470.lbm", "400.perlbench", "000.cjpeg", "107.novis_ragdoll"];
 
 fn main() {
     let cfg = RunConfig { scale: 0.5, ..RunConfig::default() };

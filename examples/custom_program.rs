@@ -101,12 +101,12 @@ fn main() {
     println!("IPC                 : {:.3}", stats.ipc());
     println!("TOL overhead        : {:.1}%", stats.tol_overhead_share() * 100.0);
     let s = tol.summary();
-    println!("modes (dyn insts)   : IM {} / BBM {} / SBM {}", s.dyn_dist[0], s.dyn_dist[1], s.dyn_dist[2]);
-    println!("superblocks formed  : {}", s.counters.sbm_invocations);
     println!(
-        "returns through IBTC: {} hits / {} misses",
-        s.ibtc_hits, s.ibtc_misses
+        "modes (dyn insts)   : IM {} / BBM {} / SBM {}",
+        s.dyn_dist[0], s.dyn_dist[1], s.dyn_dist[2]
     );
+    println!("superblocks formed  : {}", s.counters.sbm_invocations);
+    println!("returns through IBTC: {} hits / {} misses", s.ibtc_hits, s.ibtc_misses);
     println!("\nThe hot checksum loop was promoted to an optimized superblock; the cold");
     println!("table-fill ran interpreted; the call's returns went through the IBTC —");
     println!("the same staged pipeline the paper characterizes.");

@@ -27,8 +27,16 @@ fn main() {
     let f10 = fig10(&runs);
     let row = &f10[0];
     println!("\nFig. 10 view (cycles without interaction / with):");
-    println!("  application : {:.3}  ({:.1}% faster alone)", row.app_rel, (1.0 - row.app_rel) * 100.0);
-    println!("  TOL         : {:.3}  ({:.1}% faster alone)", row.tol_rel, (1.0 - row.tol_rel) * 100.0);
+    println!(
+        "  application : {:.3}  ({:.1}% faster alone)",
+        row.app_rel,
+        (1.0 - row.app_rel) * 100.0
+    );
+    println!(
+        "  TOL         : {:.3}  ({:.1}% faster alone)",
+        row.tol_rel,
+        (1.0 - row.tol_rel) * 100.0
+    );
 
     let labels = ["D$ miss", "I$ miss", "scheduling", "branch"];
     println!("\nFig. 11 view (potential gain per resource, % of execution time):");

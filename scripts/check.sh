@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# Full local gate: formatting, lints as errors, and the whole test
+# suite. CI and pre-commit both run exactly this.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "all checks passed"

@@ -63,9 +63,8 @@ fn indirect_branches_drive_lookup_time() {
         ind_rate(bzip)
     );
 
-    let lookup_share = |r: &darco::core::BenchRun| {
-        r.report.timing.component_share(Component::TolLookup)
-    };
+    let lookup_share =
+        |r: &darco::core::BenchRun| r.report.timing.component_share(Component::TolLookup);
     // At this reduced scale both pay start-up lookup costs, so the gap
     // is a factor, not an order of magnitude (the full-scale gap is in
     // EXPERIMENTS.md).
@@ -136,7 +135,8 @@ fn quicktest_overhead_stable_band() {
     // quicktest profile's overhead at a fixed scale stays within a wide
     // band. If this fails after an intentional recalibration, update the
     // band and EXPERIMENTS.md together.
-    let run = run_bench(&suites::quicktest_profile(), &RunConfig { scale: 1.0, ..RunConfig::default() });
+    let run =
+        run_bench(&suites::quicktest_profile(), &RunConfig { scale: 1.0, ..RunConfig::default() });
     let ov = run.report.timing.tol_overhead_share();
     assert!((0.05..0.45).contains(&ov), "quicktest overhead drifted: {ov}");
 }

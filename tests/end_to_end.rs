@@ -48,10 +48,7 @@ fn cosimulation_holds_under_stress_configs() {
     let profile = suites::quicktest_profile();
     for (label, tol) in [
         ("no optimization", TolConfig::no_optimization()),
-        (
-            "tiny code cache",
-            TolConfig { code_cache_capacity: 4_000, ..scaled_tol_config() },
-        ),
+        ("tiny code cache", TolConfig { code_cache_capacity: 4_000, ..scaled_tol_config() }),
         ("tiny ibtc", TolConfig { ibtc_entries: 2, ..scaled_tol_config() }),
         ("no chaining", TolConfig { chaining: false, ..scaled_tol_config() }),
         (

@@ -26,10 +26,7 @@ fn software_prefetching_reduces_app_dcache_misses() {
     // meaningfully and should typically shrink.
     let b = base.report.timing.d_miss_rate(Owner::App);
     let p = pf.report.timing.d_miss_rate(Owner::App);
-    assert!(
-        p <= b * 1.02,
-        "prefetching must not increase the app D$ miss rate: {p} vs {b}"
-    );
+    assert!(p <= b * 1.02, "prefetching must not increase the app D$ miss rate: {p} vs {b}");
     assert_eq!(base.report.guest_insts, pf.report.guest_insts);
 }
 
@@ -39,12 +36,7 @@ fn speculative_indirect_resolution_pays_off_on_stable_targets() {
     let spec = run_with(TolConfig { speculate_indirect: true, ..base_tol() }, 1.0);
     let c = spec.report.tol.counters;
     assert!(c.spec_hits > 0, "stable return sites must speculate");
-    assert!(
-        c.spec_hits > c.spec_misses,
-        "hits {} must beat misses {}",
-        c.spec_hits,
-        c.spec_misses
-    );
+    assert!(c.spec_hits > c.spec_misses, "hits {} must beat misses {}", c.spec_hits, c.spec_misses);
     // Fewer IBTC probes: speculation short-circuits them.
     assert!(
         spec.report.tol.ibtc_hits + spec.report.tol.ibtc_misses
@@ -60,10 +52,7 @@ fn scattered_code_placement_costs_icache_misses_and_cycles() {
     let scattered = run_with(TolConfig { codecache_scattered: true, ..base_tol() }, 1.0);
     let pi = packed.report.timing.i_miss_rate(Owner::App);
     let si = scattered.report.timing.i_miss_rate(Owner::App);
-    assert!(
-        si > pi * 1.5,
-        "page-aligned placement must inflate I$ misses: {si} vs {pi}"
-    );
+    assert!(si > pi * 1.5, "page-aligned placement must inflate I$ misses: {si} vs {pi}");
     assert!(
         scattered.report.timing.total_cycles > packed.report.timing.total_cycles,
         "and that must cost cycles: {} vs {}",

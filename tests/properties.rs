@@ -1,4 +1,7 @@
-//! Property-based tests on the core invariants of the infrastructure.
+//! Property-based tests on the core invariants of the infrastructure,
+//! driven by a seeded deterministic generator (the environment has no
+//! crates.io access, so `proptest` is replaced by explicit case loops
+//! over a `SmallRng`; failures print the seed for replay).
 //!
 //! The heavyweight property here mirrors DARCO's reason for existing:
 //! *any* guest program must execute identically under the functional
@@ -6,111 +9,104 @@
 //! optimization pipeline.
 
 use darco::guest::asm::Asm;
-use darco::guest::{exec, AluOp, Cond, CpuState, FpOp, FpReg, Gpr, GuestMem, Inst, MemRef, MemWidth, Scale, ShiftOp};
+use darco::guest::{
+    exec, AluOp, Cond, CpuState, FpOp, FpReg, Gpr, GuestMem, Inst, MemRef, MemWidth, Scale, ShiftOp,
+};
 use darco::host::DynInst;
 use darco::tol::{Tol, TolConfig};
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
-// ---------------------------------------------------------------- strategies
+// ---------------------------------------------------------------- generators
 
-fn gpr() -> impl Strategy<Value = Gpr> {
-    prop_oneof![
-        Just(Gpr::Eax),
-        Just(Gpr::Ecx),
-        Just(Gpr::Edx),
-        Just(Gpr::Ebx),
-        Just(Gpr::Ebp),
-        Just(Gpr::Esi),
-        Just(Gpr::Edi),
-    ]
+const GPRS: [Gpr; 7] = [Gpr::Eax, Gpr::Ecx, Gpr::Edx, Gpr::Ebx, Gpr::Ebp, Gpr::Esi, Gpr::Edi];
+
+fn gpr(rng: &mut SmallRng) -> Gpr {
+    GPRS[rng.gen_range(0..GPRS.len())]
 }
 
-fn fpr() -> impl Strategy<Value = FpReg> {
-    (0u8..8).prop_map(FpReg)
+fn fpr(rng: &mut SmallRng) -> FpReg {
+    FpReg(rng.gen_range(0u8..8))
 }
 
-fn memref() -> impl Strategy<Value = MemRef> {
+fn memref(rng: &mut SmallRng) -> MemRef {
     // Data region: within a 64 KiB window at 0x40000 so accesses never
     // touch code or stack.
-    (gpr().prop_map(Some), any::<bool>(), 0u8..4, 0i32..0x4000).prop_map(|(base, idx, sc, disp)| {
-        MemRef {
-            base: None,
-            index: if idx { base } else { None },
-            scale: Scale::from_bits(sc),
-            disp: 0x4_0000 + disp,
-        }
-    })
+    let idx = rng.gen_bool(0.5);
+    MemRef {
+        base: None,
+        index: if idx { Some(gpr(rng)) } else { None },
+        scale: Scale::from_bits(rng.gen_range(0u8..4)),
+        disp: 0x4_0000 + rng.gen_range(0i32..0x4000),
+    }
 }
 
-fn alu_op() -> impl Strategy<Value = AluOp> {
-    prop_oneof![Just(AluOp::Add), Just(AluOp::Sub), Just(AluOp::And), Just(AluOp::Or), Just(AluOp::Xor)]
+fn alu_op(rng: &mut SmallRng) -> AluOp {
+    [AluOp::Add, AluOp::Sub, AluOp::And, AluOp::Or, AluOp::Xor][rng.gen_range(0..5)]
 }
 
-fn shift_op() -> impl Strategy<Value = ShiftOp> {
-    prop_oneof![Just(ShiftOp::Shl), Just(ShiftOp::Shr), Just(ShiftOp::Sar)]
+fn shift_op(rng: &mut SmallRng) -> ShiftOp {
+    [ShiftOp::Shl, ShiftOp::Shr, ShiftOp::Sar][rng.gen_range(0..3)]
 }
 
-fn fp_op() -> impl Strategy<Value = FpOp> {
-    prop_oneof![Just(FpOp::Add), Just(FpOp::Sub), Just(FpOp::Mul)]
+fn fp_op(rng: &mut SmallRng) -> FpOp {
+    [FpOp::Add, FpOp::Sub, FpOp::Mul][rng.gen_range(0..3)]
+}
+
+fn narrow_width(rng: &mut SmallRng) -> MemWidth {
+    if rng.gen_bool(0.5) {
+        MemWidth::B2
+    } else {
+        MemWidth::B1
+    }
 }
 
 /// Straight-line (non-control-flow) instructions.
-fn straightline_inst() -> impl Strategy<Value = Inst> {
-    prop_oneof![
-        (gpr(), gpr()).prop_map(|(dst, src)| Inst::MovRR { dst, src }),
-        (gpr(), any::<i32>()).prop_map(|(dst, imm)| Inst::MovRI { dst, imm }),
-        (alu_op(), gpr(), gpr()).prop_map(|(op, dst, src)| Inst::AluRR { op, dst, src }),
-        (alu_op(), gpr(), -1000i32..1000).prop_map(|(op, dst, imm)| Inst::AluRI { op, dst, imm }),
-        (gpr(), memref()).prop_map(|(dst, addr)| Inst::Load { dst, addr }),
-        (memref(), gpr()).prop_map(|(addr, src)| Inst::Store { addr, src }),
-        (alu_op(), gpr(), memref()).prop_map(|(op, dst, addr)| Inst::AluRM { op, dst, addr }),
-        (alu_op(), memref(), gpr()).prop_map(|(op, addr, src)| Inst::AluMR { op, addr, src }),
-        (gpr(), memref()).prop_map(|(dst, addr)| Inst::Lea { dst, addr }),
-        (gpr(), memref(), any::<bool>()).prop_map(|(dst, addr, w)| Inst::LoadZx {
-            dst,
-            addr,
-            width: if w { MemWidth::B2 } else { MemWidth::B1 },
-        }),
-        (gpr(), memref(), any::<bool>()).prop_map(|(dst, addr, w)| Inst::LoadSx {
-            dst,
-            addr,
-            width: if w { MemWidth::B2 } else { MemWidth::B1 },
-        }),
-        (memref(), gpr(), any::<bool>()).prop_map(|(addr, src, w)| Inst::StoreN {
-            addr,
-            src,
-            width: if w { MemWidth::B2 } else { MemWidth::B1 },
-        }),
-        (gpr(), gpr()).prop_map(|(a, b)| Inst::CmpRR { a, b }),
-        (gpr(), any::<i32>()).prop_map(|(a, imm)| Inst::CmpRI { a, imm }),
-        (gpr(), gpr()).prop_map(|(a, b)| Inst::TestRR { a, b }),
-        (shift_op(), gpr(), 0u8..32).prop_map(|(op, dst, amount)| Inst::Shift { op, dst, amount }),
-        (shift_op(), gpr()).prop_map(|(op, dst)| Inst::ShiftCl { op, dst }),
-        (gpr(), gpr()).prop_map(|(dst, src)| Inst::Imul { dst, src }),
-        (gpr(), gpr()).prop_map(|(dst, src)| Inst::Idiv { dst, src }),
-        gpr().prop_map(|dst| Inst::Neg { dst }),
-        gpr().prop_map(|dst| Inst::Not { dst }),
-        gpr().prop_map(|src| Inst::Push { src }),
-        gpr().prop_map(|dst| Inst::Pop { dst }),
-        (fpr(), fpr()).prop_map(|(dst, src)| Inst::FMovRR { dst, src }),
-        (fpr(), memref()).prop_map(|(dst, addr)| Inst::FLoad { dst, addr }),
-        (memref(), fpr()).prop_map(|(addr, src)| Inst::FStore { addr, src }),
-        (fp_op(), fpr(), fpr()).prop_map(|(op, dst, src)| Inst::FArith { op, dst, src }),
-        (fpr(), gpr()).prop_map(|(dst, src)| Inst::CvtIF { dst, src }),
-        (gpr(), fpr()).prop_map(|(dst, src)| Inst::CvtFI { dst, src }),
-        Just(Inst::Nop),
-    ]
+fn straightline_inst(rng: &mut SmallRng) -> Inst {
+    match rng.gen_range(0..28) {
+        0 => Inst::MovRR { dst: gpr(rng), src: gpr(rng) },
+        1 => Inst::MovRI { dst: gpr(rng), imm: rng.gen::<u32>() as i32 },
+        2 => Inst::AluRR { op: alu_op(rng), dst: gpr(rng), src: gpr(rng) },
+        3 => Inst::AluRI { op: alu_op(rng), dst: gpr(rng), imm: rng.gen_range(-1000i32..1000) },
+        4 => Inst::Load { dst: gpr(rng), addr: memref(rng) },
+        5 => Inst::Store { addr: memref(rng), src: gpr(rng) },
+        6 => Inst::AluRM { op: alu_op(rng), dst: gpr(rng), addr: memref(rng) },
+        7 => Inst::AluMR { op: alu_op(rng), addr: memref(rng), src: gpr(rng) },
+        8 => Inst::Lea { dst: gpr(rng), addr: memref(rng) },
+        9 => Inst::LoadZx { dst: gpr(rng), addr: memref(rng), width: narrow_width(rng) },
+        10 => Inst::LoadSx { dst: gpr(rng), addr: memref(rng), width: narrow_width(rng) },
+        11 => Inst::StoreN { addr: memref(rng), src: gpr(rng), width: narrow_width(rng) },
+        12 => Inst::CmpRR { a: gpr(rng), b: gpr(rng) },
+        13 => Inst::CmpRI { a: gpr(rng), imm: rng.gen::<u32>() as i32 },
+        14 => Inst::TestRR { a: gpr(rng), b: gpr(rng) },
+        15 => Inst::Shift { op: shift_op(rng), dst: gpr(rng), amount: rng.gen_range(0u8..32) },
+        16 => Inst::ShiftCl { op: shift_op(rng), dst: gpr(rng) },
+        17 => Inst::Imul { dst: gpr(rng), src: gpr(rng) },
+        18 => Inst::Idiv { dst: gpr(rng), src: gpr(rng) },
+        19 => Inst::Neg { dst: gpr(rng) },
+        20 => Inst::Not { dst: gpr(rng) },
+        21 => Inst::Push { src: gpr(rng) },
+        22 => Inst::Pop { dst: gpr(rng) },
+        23 => Inst::FMovRR { dst: fpr(rng), src: fpr(rng) },
+        24 => Inst::FLoad { dst: fpr(rng), addr: memref(rng) },
+        25 => Inst::FStore { addr: memref(rng), src: fpr(rng) },
+        26 => Inst::FArith { op: fp_op(rng), dst: fpr(rng), src: fpr(rng) },
+        _ => match rng.gen_range(0..3) {
+            0 => Inst::CvtIF { dst: fpr(rng), src: gpr(rng) },
+            1 => Inst::CvtFI { dst: gpr(rng), src: fpr(rng) },
+            _ => Inst::Nop,
+        },
+    }
 }
 
-/// Any instruction, including control flow with bounded targets.
-fn any_inst() -> impl Strategy<Value = Inst> {
-    prop_oneof![
-        8 => straightline_inst(),
-        1 => (0u8..12, 0u32..64).prop_map(|(c, _t)| Inst::Jcc {
-            cond: Cond::from_bits(c).unwrap(),
-            target: 0, // patched by the program builder
-        }),
-    ]
+/// Any instruction, including control flow with bounded targets
+/// (conditional branches are re-targeted by the program builder).
+fn any_inst(rng: &mut SmallRng) -> Inst {
+    if rng.gen_range(0..9) < 8 {
+        straightline_inst(rng)
+    } else {
+        Inst::Jcc { cond: Cond::from_bits(rng.gen_range(0u8..12)).unwrap(), target: 0 }
+    }
 }
 
 /// Builds a runnable program: a counted loop whose body is the random
@@ -208,17 +204,18 @@ fn run_tol(mem: &GuestMem, cpu: &CpuState, cfg: TolConfig) -> (CpuState, u64) {
     (tol.emulated_state(), n)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+// ---------------------------------------------------------------- properties
 
-    /// The co-simulation invariant, as a property over random programs:
-    /// interpreter-only, BBM-only and full-SBM executions all match the
-    /// functional reference bit-for-bit, at every threshold setting.
-    #[test]
-    fn translation_preserves_architecture(
-        body in proptest::collection::vec(any_inst(), 4..40),
-        iters in 3i32..40,
-    ) {
+/// The co-simulation invariant, as a property over random programs:
+/// interpreter-only, BBM-only and full-SBM executions all match the
+/// functional reference bit-for-bit, at every threshold setting.
+#[test]
+fn translation_preserves_architecture() {
+    for case in 0u64..24 {
+        let mut rng = SmallRng::seed_from_u64(0xDA_0001 + case);
+        let len = rng.gen_range(4usize..40);
+        let body: Vec<Inst> = (0..len).map(|_| any_inst(&mut rng)).collect();
+        let iters = rng.gen_range(3i32..40);
         let (mem, cpu) = build_program(&body, iters);
         let (ref_cpu, ref_n) = run_reference(&mem, &cpu);
 
@@ -233,69 +230,91 @@ proptest! {
             TolConfig { im_bb_threshold: 1, bb_sb_threshold: 2, ..TolConfig::no_optimization() },
         ] {
             let (emu_cpu, emu_n) = run_tol(&mem, &cpu, cfg.clone());
-            prop_assert_eq!(emu_n, ref_n, "instruction count under {:?}", cfg);
-            prop_assert!(
+            assert_eq!(emu_n, ref_n, "case {case}: instruction count under {cfg:?}");
+            assert!(
                 ref_cpu.arch_eq(&emu_cpu),
-                "state mismatch\nref: {}\nemu: {}",
-                ref_cpu,
-                emu_cpu
+                "case {case}: state mismatch\nref: {ref_cpu}\nemu: {emu_cpu}"
             );
         }
     }
+}
 
-    /// Decoder round-trip on random straight-line instructions.
-    #[test]
-    fn encode_decode_roundtrip(inst in straightline_inst()) {
+/// Decoder round-trip on random straight-line instructions.
+#[test]
+fn encode_decode_roundtrip() {
+    let mut rng = SmallRng::seed_from_u64(0xDA_0002);
+    for case in 0..512 {
+        let inst = straightline_inst(&mut rng);
         let bytes = darco::guest::encode::encode_to_vec(&inst);
         let (back, len) = darco::guest::decode(&bytes).expect("decode");
-        prop_assert_eq!(back, inst);
-        prop_assert_eq!(len, bytes.len());
+        assert_eq!(back, inst, "case {case}");
+        assert_eq!(len, bytes.len(), "case {case}");
     }
+}
 
-    /// The decoder never panics on arbitrary bytes and never reads past
-    /// the declared instruction length.
-    #[test]
-    fn decoder_is_total(bytes in proptest::collection::vec(any::<u8>(), 1..16)) {
+/// The decoder never panics on arbitrary bytes and never reads past
+/// the declared instruction length.
+#[test]
+fn decoder_is_total() {
+    let mut rng = SmallRng::seed_from_u64(0xDA_0003);
+    for _ in 0..2048 {
+        let len = rng.gen_range(1usize..16);
+        let bytes: Vec<u8> = (0..len).map(|_| rng.gen_range(0u16..256) as u8).collect();
         if let Ok((_, len)) = darco::guest::decode(&bytes) {
-            prop_assert!(len <= bytes.len());
-            prop_assert!(len <= darco::guest::exec::MAX_INST_LEN);
+            assert!(len <= bytes.len());
+            assert!(len <= darco::guest::exec::MAX_INST_LEN);
         }
     }
+}
 
-    /// Flag algebra matches two's-complement arithmetic.
-    #[test]
-    fn flag_semantics(a in any::<u32>(), b in any::<u32>()) {
-        use darco::guest::Flags;
+/// Flag algebra matches two's-complement arithmetic.
+#[test]
+fn flag_semantics() {
+    use darco::guest::Flags;
+    let mut rng = SmallRng::seed_from_u64(0xDA_0004);
+    for _ in 0..4096 {
+        let a: u32 = rng.gen();
+        let b: u32 = rng.gen();
         let add = Flags::add(a, b);
-        prop_assert_eq!(add.zf, a.wrapping_add(b) == 0);
-        prop_assert_eq!(add.cf, a.checked_add(b).is_none());
-        prop_assert_eq!(add.sf, (a.wrapping_add(b) as i32) < 0);
-        prop_assert_eq!(add.of, (a as i32).checked_add(b as i32).is_none());
+        assert_eq!(add.zf, a.wrapping_add(b) == 0);
+        assert_eq!(add.cf, a.checked_add(b).is_none());
+        assert_eq!(add.sf, (a.wrapping_add(b) as i32) < 0);
+        assert_eq!(add.of, (a as i32).checked_add(b as i32).is_none());
         let sub = Flags::sub(a, b);
-        prop_assert_eq!(sub.zf, a == b);
-        prop_assert_eq!(sub.cf, a < b);
-        prop_assert_eq!(sub.of, (a as i32).checked_sub(b as i32).is_none());
+        assert_eq!(sub.zf, a == b);
+        assert_eq!(sub.cf, a < b);
+        assert_eq!(sub.of, (a as i32).checked_sub(b as i32).is_none());
     }
+}
 
-    /// Caches: an access immediately after an access to the same line is
-    /// always a hit, regardless of history.
-    #[test]
-    fn cache_hit_after_fill(addrs in proptest::collection::vec(0u64..(1 << 22), 1..200)) {
-        use darco::timing::cache::{Cache, Lookup};
+/// Caches: an access immediately after an access to the same line is
+/// always a hit, regardless of history.
+#[test]
+fn cache_hit_after_fill() {
+    use darco::timing::cache::{Cache, Lookup};
+    let mut rng = SmallRng::seed_from_u64(0xDA_0005);
+    for _ in 0..32 {
         let mut c = Cache::new(darco::timing::TimingConfig::default().l1d);
-        for a in addrs {
+        let n = rng.gen_range(1usize..200);
+        for _ in 0..n {
+            let a = rng.gen_range(0u64..(1 << 22));
             c.access(a);
-            prop_assert_eq!(c.access(a), Lookup::Hit);
+            assert_eq!(c.access(a), Lookup::Hit);
         }
     }
+}
 
-    /// Timing monotonicity: extending an instruction stream never
-    /// reduces total cycles, and cycles always cover insts/width.
-    #[test]
-    fn pipeline_monotone(n in 1usize..400, seed in any::<u64>()) {
-        use darco::host::stream::{int_reg, DynInst};
-        use darco::host::{Component, ExecClass};
-        use darco::timing::{Pipeline, TimingConfig};
+/// Timing monotonicity: extending an instruction stream never
+/// reduces total cycles, and cycles always cover insts/width.
+#[test]
+fn pipeline_monotone() {
+    use darco::host::stream::{int_reg, DynInst};
+    use darco::host::{Component, ExecClass};
+    use darco::timing::{Pipeline, TimingConfig};
+    let mut rng = SmallRng::seed_from_u64(0xDA_0006);
+    for _ in 0..16 {
+        let n = rng.gen_range(1usize..400);
+        let seed: u64 = rng.gen();
         let mut p = Pipeline::new(TimingConfig::default());
         let mut x = seed | 1;
         let mut prev = 0;
@@ -313,11 +332,11 @@ proptest! {
             };
             p.retire(&d);
             let s = p.snapshot();
-            prop_assert!(s.total_cycles >= prev, "cycles must be monotone");
+            assert!(s.total_cycles >= prev, "cycles must be monotone");
             prev = s.total_cycles;
         }
         let s = p.snapshot();
-        prop_assert!(s.total_cycles as f64 >= n as f64 / 2.0);
-        prop_assert_eq!(s.total_insts(), n as u64);
+        assert!(s.total_cycles as f64 >= n as f64 / 2.0);
+        assert_eq!(s.total_insts(), n as u64);
     }
 }
