@@ -1,0 +1,56 @@
+//! Retirement-path throughput: how fast the system moves host events
+//! from the functional emulation loop into the timing pipelines.
+//!
+//! Three delivery schedules over the identical workload:
+//!
+//! * `inline_batched`   — default batch size, timing consumed inline,
+//! * `inline_per_inst`  — `event_batch = 1`, reproducing the old
+//!   one-callback-per-retired-instruction delivery,
+//! * `threaded_batched` — default batch size, timing overlapped on a
+//!   worker thread.
+//!
+//! Throughput is host events retired per iteration; results land in
+//! EXPERIMENTS.md.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use darco_core::{System, SystemConfig};
+use darco_workloads::{generate, suites};
+
+const SCALE: f64 = 0.05;
+
+fn run_once(event_batch: usize, threaded: bool) -> u64 {
+    let mut cfg = SystemConfig {
+        cosim: false,
+        app_only_pipeline: true,
+        tol_only_pipeline: true,
+        threaded_timing: threaded,
+        ..SystemConfig::default()
+    };
+    cfg.tol.event_batch = event_batch;
+    let w = generate(&suites::quicktest_profile(), SCALE);
+    let mut sys = System::new(w, cfg);
+    sys.run_to_completion().trace.retired
+}
+
+fn bench(c: &mut Criterion) {
+    // One throwaway run sizes the throughput declaration.
+    let events = run_once(darco_host::events::EVENT_BATCH, false);
+
+    let mut g = c.benchmark_group("retire_throughput");
+    g.throughput(Throughput::Elements(events));
+    g.bench_function("inline_batched", |b| {
+        b.iter(|| black_box(run_once(darco_host::events::EVENT_BATCH, false)))
+    });
+    g.bench_function("inline_per_inst", |b| b.iter(|| black_box(run_once(1, false))));
+    g.bench_function("threaded_batched", |b| {
+        b.iter(|| black_box(run_once(darco_host::events::EVENT_BATCH, true)))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

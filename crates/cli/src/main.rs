@@ -14,10 +14,12 @@
 //!                                    # dump a profile for editing
 //! darco run --profile <file.json>   # run a custom edited profile
 //!
-//! options: --scale S   dynamic-length scale (default 0.5)
-//!          --cosim     enable co-simulation checking (run)
-//!          --n N       rows/instructions to print (trace/disasm)
-//!          --json      machine-readable output (run)
+//! options: --scale S            dynamic-length scale (default 0.5)
+//!          --cosim              enable co-simulation checking (run)
+//!          --threaded-timing    overlap the timing simulator on a
+//!                               worker thread (bit-identical results)
+//!          --n N                rows/instructions to print (trace/disasm)
+//!          --json               machine-readable output (run)
 //! ```
 
 use darco_core::{Report, System, SystemConfig};
@@ -53,7 +55,7 @@ fn main() {
 fn usage() {
     eprintln!(
         "darco <list|run|verify|trace|disasm|timeline|export-profile> [benchmark] \
-         [--profile FILE] [--scale S] [--cosim] [--n N] [--json]"
+         [--profile FILE] [--scale S] [--cosim] [--threaded-timing] [--n N] [--json]"
     );
 }
 
@@ -61,6 +63,7 @@ struct Opts {
     profile: BenchProfile,
     scale: f64,
     cosim: bool,
+    threaded_timing: bool,
     n: usize,
     json: bool,
 }
@@ -69,6 +72,7 @@ fn parse(rest: &[String]) -> Opts {
     let mut profile = None;
     let mut scale = 0.5;
     let mut cosim = false;
+    let mut threaded_timing = false;
     let mut n = 20;
     let mut json = false;
     let mut it = rest.iter();
@@ -90,6 +94,7 @@ fn parse(rest: &[String]) -> Opts {
                     .unwrap_or_else(|| bail("--scale needs a number"));
             }
             "--cosim" => cosim = true,
+            "--threaded-timing" => threaded_timing = true,
             "--json" => json = true,
             "--n" => {
                 n = it
@@ -109,7 +114,14 @@ fn parse(rest: &[String]) -> Opts {
             other => bail(&format!("unknown flag {other}")),
         }
     }
-    Opts { profile: profile.unwrap_or_else(suites::quicktest_profile), scale, cosim, n, json }
+    Opts {
+        profile: profile.unwrap_or_else(suites::quicktest_profile),
+        scale,
+        cosim,
+        threaded_timing,
+        n,
+        json,
+    }
 }
 
 fn bail(msg: &str) -> ! {
@@ -143,7 +155,11 @@ fn list() {
 fn run(rest: &[String]) {
     let o = parse(rest);
     eprintln!("running {} at scale {} ...", o.profile.name, o.scale);
-    let cfg = SystemConfig { cosim: o.cosim, ..SystemConfig::default() };
+    let cfg = SystemConfig {
+        cosim: o.cosim,
+        threaded_timing: o.threaded_timing,
+        ..SystemConfig::default()
+    };
     let mut sys = System::new(generate(&o.profile, o.scale), cfg);
     let report = sys.run_to_completion();
     if o.json {
@@ -196,6 +212,10 @@ fn print_report(r: &Report) {
     if r.cosim_checks > 0 {
         println!("co-sim checks      : {} (all passed)", r.cosim_checks);
     }
+    println!(
+        "event stream       : {} events in {} batches (largest {})",
+        r.trace.retired, r.trace.batches, r.trace.max_batch
+    );
     println!("\ntime by component:");
     for c in Component::ALL {
         println!("  {:14} {:6.2}%", c.label(), r.timing.component_share(c) * 100.0);
@@ -259,7 +279,7 @@ fn disasm(rest: &[String]) {
     let mut mem = w.mem.clone();
     let mut tol = Tol::new(TolConfig { bb_sb_threshold: 50, ..TolConfig::default() }, w.entry);
     tol.set_state(&w.initial);
-    let mut sink = |_: &darco_host::DynInst| {};
+    let mut sink = darco_host::NullSink;
     tol.run(&mut mem, &mut sink, u64::MAX).expect("run");
 
     // Rank resident translations by execution count.

@@ -29,6 +29,9 @@ pub struct RunConfig {
     pub tol: TolConfig,
     /// Host parameters.
     pub timing: TimingConfig,
+    /// Run the timing pipelines overlapped on a worker thread (see
+    /// [`SystemConfig::threaded_timing`]); results are bit-identical.
+    pub threaded_timing: bool,
 }
 
 impl Default for RunConfig {
@@ -38,6 +41,7 @@ impl Default for RunConfig {
             cosim: false,
             tol: scaled_tol_config(),
             timing: TimingConfig::default(),
+            threaded_timing: false,
         }
     }
 }
@@ -71,6 +75,7 @@ pub fn run_bench(profile: &BenchProfile, cfg: &RunConfig) -> BenchRun {
         cosim: cfg.cosim,
         app_only_pipeline: true,
         tol_only_pipeline: true,
+        threaded_timing: cfg.threaded_timing,
         ..SystemConfig::default()
     };
     let mut sys = System::new(w, sys_cfg);
@@ -83,14 +88,15 @@ pub fn run_bench(profile: &BenchProfile, cfg: &RunConfig) -> BenchRun {
     }
 }
 
-/// Runs a set of benchmarks.
+/// Runs a set of benchmarks sequentially (one worker thread).
 pub fn run_set(profiles: &[BenchProfile], cfg: &RunConfig) -> Vec<BenchRun> {
-    profiles.iter().map(|p| run_bench(p, cfg)).collect()
+    run_set_parallel(profiles, cfg, 1)
 }
 
 /// Runs a set of benchmarks across `threads` worker threads (each
 /// benchmark is an independent system, so this is embarrassingly
-/// parallel). Results keep `profiles` order.
+/// parallel). Results keep `profiles` order. `run_set` is the
+/// single-threaded special case.
 pub fn run_set_parallel(
     profiles: &[BenchProfile],
     cfg: &RunConfig,

@@ -33,8 +33,10 @@
 pub mod checker;
 pub mod experiments;
 pub mod report;
+pub mod sinks;
 pub mod system;
 
 pub use checker::{Divergence, StateChecker};
 pub use experiments::{run_bench, BenchRun, RunConfig};
+pub use sinks::{CheckerSink, SinkSet, ThreadedTiming, TimingBackend, TimingSink};
 pub use system::{scaled_tol_config, Report, System, SystemConfig, Window};

@@ -1,0 +1,399 @@
+//! Event-stream consumers of the controller.
+//!
+//! The software layer emits typed [`HostEvent`]s in retire-order batches
+//! (see `darco_host::events`). The controller composes its observers —
+//! timing pipelines, the co-simulation checker, trace statistics — as
+//! [`HostEventSink`]s in a [`SinkSet`], so each consumer sees the exact
+//! same ordered stream regardless of how it is scheduled. That property
+//! is what lets the timing simulator run *overlapped* on a worker thread
+//! ([`TimingBackend::Threaded`]) with results bit-identical to the
+//! inline mode: the batches crossing the channel are the very batches
+//! the inline sink would have consumed, in the same order.
+
+use crate::checker::StateChecker;
+use crate::system::{SystemConfig, Window};
+use darco_host::{HostEvent, HostEventSink, Owner, TraceStatsSink};
+use darco_timing::{Pipeline, Stats};
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+
+/// Pipeline snapshot at the last timeline-window boundary; deltas
+/// against it form the next [`Window`].
+#[derive(Debug, Clone, Copy, Default)]
+struct WindowMark {
+    guest_insts: u64,
+    cycles: u64,
+    app_insts: u64,
+    tol_insts: u64,
+}
+
+/// Feeds retired instructions to the timing pipelines and samples
+/// timeline windows at [`HostEvent::WindowMark`] boundaries.
+///
+/// Owns the shared pipeline plus the optional application-only and
+/// TOL-only pipelines (the multi-pipeline methodology of Figs. 8–11);
+/// owning them is what lets the whole sink migrate to a worker thread.
+#[derive(Debug)]
+pub struct TimingSink {
+    shared: Pipeline,
+    app_only: Option<Pipeline>,
+    tol_only: Option<Pipeline>,
+    timeline: Vec<Window>,
+    last_mark: WindowMark,
+}
+
+impl TimingSink {
+    /// Builds the pipeline set the configuration asks for.
+    pub fn new(cfg: &SystemConfig) -> TimingSink {
+        TimingSink {
+            shared: Pipeline::new(cfg.timing.clone()),
+            app_only: cfg.app_only_pipeline.then(|| Pipeline::new(cfg.timing.clone())),
+            tol_only: cfg.tol_only_pipeline.then(|| Pipeline::new(cfg.timing.clone())),
+            timeline: Vec::new(),
+            last_mark: WindowMark::default(),
+        }
+    }
+
+    fn sample_window(&mut self, total_guest: u64) {
+        let s = self.shared.snapshot();
+        let app = s.owner_insts(Owner::App);
+        let tol = s.owner_insts(Owner::Tol);
+        let m = self.last_mark;
+        self.timeline.push(Window {
+            guest_insts: total_guest,
+            cycles: s.total_cycles - m.cycles,
+            app_insts: app - m.app_insts,
+            tol_insts: tol - m.tol_insts,
+        });
+        self.last_mark = WindowMark {
+            guest_insts: total_guest,
+            cycles: s.total_cycles,
+            app_insts: app,
+            tol_insts: tol,
+        };
+    }
+
+    /// Dissolves the sink into report material: shared stats, optional
+    /// filtered stats, and the sampled timeline.
+    pub fn into_parts(self) -> (Stats, Option<Stats>, Option<Stats>, Vec<Window>) {
+        (
+            self.shared.snapshot(),
+            self.app_only.as_ref().map(|p| p.snapshot()),
+            self.tol_only.as_ref().map(|p| p.snapshot()),
+            self.timeline,
+        )
+    }
+}
+
+impl HostEventSink for TimingSink {
+    fn consume(&mut self, batch: &[HostEvent]) {
+        for e in batch {
+            match e {
+                HostEvent::Retire(d) => {
+                    self.shared.retire(d);
+                    match d.owner() {
+                        Owner::App => {
+                            if let Some(p) = &mut self.app_only {
+                                p.retire(d);
+                            }
+                        }
+                        Owner::Tol => {
+                            if let Some(p) = &mut self.tol_only {
+                                p.retire(d);
+                            }
+                        }
+                    }
+                }
+                HostEvent::WindowMark { guest_insts }
+                    if *guest_insts > self.last_mark.guest_insts =>
+                {
+                    self.sample_window(*guest_insts);
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Co-simulates against the authoritative emulator at every
+/// [`HostEvent::StepBoundary`].
+///
+/// The boundary event carries the layer's emulated state and the running
+/// guest-instruction total; the sink advances the authoritative side by
+/// the delta since the previous boundary and compares architectural
+/// state — no back-reference into the engine required.
+#[derive(Debug)]
+pub struct CheckerSink {
+    name: String,
+    checker: StateChecker,
+    advanced: u64,
+}
+
+impl CheckerSink {
+    /// Wraps the authoritative emulator; `name` labels panic messages.
+    pub fn new(name: String, checker: StateChecker) -> CheckerSink {
+        CheckerSink { name, checker, advanced: 0 }
+    }
+
+    /// Returns the authoritative emulator for end-of-run memory checks.
+    pub fn into_inner(self) -> StateChecker {
+        self.checker
+    }
+}
+
+impl HostEventSink for CheckerSink {
+    fn consume(&mut self, batch: &[HostEvent]) {
+        for e in batch {
+            if let HostEvent::StepBoundary { guest_insts, emulated } = e {
+                let delta = guest_insts - self.advanced;
+                self.checker
+                    .advance(delta)
+                    .unwrap_or_else(|e| panic!("{}: authoritative fault: {e}", self.name));
+                self.checker
+                    .check(emulated)
+                    .unwrap_or_else(|e| panic!("{}: co-simulation failed: {e}", self.name));
+                self.advanced = *guest_insts;
+            }
+        }
+    }
+}
+
+/// How the [`TimingSink`] is scheduled relative to functional emulation.
+#[derive(Debug)]
+pub enum TimingBackend {
+    /// Timing consumes each batch on the emulation thread, as it flushes.
+    /// Boxed: the sink holds three full pipelines and would otherwise
+    /// dwarf the `Threaded` handle.
+    Inline(Box<TimingSink>),
+    /// Timing runs overlapped on a worker thread behind a bounded
+    /// channel; the emulation thread only pays for the batch copy and
+    /// send. Identical batches in identical order make the results
+    /// bit-identical to [`TimingBackend::Inline`].
+    Threaded(ThreadedTiming),
+}
+
+impl TimingBackend {
+    /// Builds the backend the configuration asks for.
+    pub fn new(cfg: &SystemConfig) -> TimingBackend {
+        let sink = TimingSink::new(cfg);
+        if cfg.threaded_timing {
+            TimingBackend::Threaded(ThreadedTiming::spawn(sink))
+        } else {
+            TimingBackend::Inline(Box::new(sink))
+        }
+    }
+
+    /// Drains any in-flight work and returns the timing sink.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from the timing worker thread.
+    pub fn finish(self) -> TimingSink {
+        match self {
+            TimingBackend::Inline(sink) => *sink,
+            TimingBackend::Threaded(t) => t.join(),
+        }
+    }
+}
+
+impl HostEventSink for TimingBackend {
+    fn consume(&mut self, batch: &[HostEvent]) {
+        match self {
+            TimingBackend::Inline(sink) => sink.consume(batch),
+            TimingBackend::Threaded(t) => t.send(batch),
+        }
+    }
+}
+
+/// Depth of the batch channel to the timing worker: enough to absorb
+/// bursts, small enough to bound memory and keep back-pressure.
+const TIMING_CHANNEL_DEPTH: usize = 8;
+
+/// A [`TimingSink`] running on its own worker thread.
+#[derive(Debug)]
+pub struct ThreadedTiming {
+    tx: Option<mpsc::SyncSender<Vec<HostEvent>>>,
+    handle: Option<JoinHandle<TimingSink>>,
+}
+
+impl ThreadedTiming {
+    /// Moves `sink` to a worker thread consuming batches off a bounded
+    /// channel.
+    pub fn spawn(mut sink: TimingSink) -> ThreadedTiming {
+        let (tx, rx) = mpsc::sync_channel::<Vec<HostEvent>>(TIMING_CHANNEL_DEPTH);
+        let handle = std::thread::Builder::new()
+            .name("darco-timing".into())
+            .spawn(move || {
+                while let Ok(batch) = rx.recv() {
+                    sink.consume(&batch);
+                }
+                sink
+            })
+            .expect("spawn timing worker");
+        ThreadedTiming { tx: Some(tx), handle: Some(handle) }
+    }
+
+    fn send(&mut self, batch: &[HostEvent]) {
+        let tx = self.tx.as_ref().expect("timing worker already joined");
+        // A send error means the worker panicked; surface that panic
+        // instead of a send error by joining.
+        if tx.send(batch.to_vec()).is_err() {
+            self.tx = None;
+            let worker = self.handle.take().expect("timing worker handle");
+            match worker.join() {
+                Err(p) => std::panic::resume_unwind(p),
+                Ok(_) => unreachable!("timing worker exited while the channel was open"),
+            }
+        }
+    }
+
+    fn join(mut self) -> TimingSink {
+        drop(self.tx.take()); // close the channel: the worker drains and returns
+        let worker = self.handle.take().expect("timing worker handle");
+        match worker.join() {
+            Ok(sink) => sink,
+            Err(p) => std::panic::resume_unwind(p),
+        }
+    }
+}
+
+/// The controller's full observer set, dispatching each batch to trace
+/// statistics, the optional co-simulation checker, and the timing
+/// backend — in that fixed order, so every consumer observes the same
+/// stream prefix at any point.
+#[derive(Debug)]
+pub struct SinkSet {
+    /// Trace-level statistics (always on; costs one pass per batch).
+    pub trace: TraceStatsSink,
+    /// Co-simulation, when enabled.
+    pub checker: Option<CheckerSink>,
+    /// The timing pipelines, inline or overlapped.
+    pub timing: TimingBackend,
+}
+
+impl HostEventSink for SinkSet {
+    fn consume(&mut self, batch: &[HostEvent]) {
+        self.trace.consume(batch);
+        if let Some(chk) = &mut self.checker {
+            chk.consume(batch);
+        }
+        self.timing.consume(batch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darco_guest::CpuState;
+    use darco_host::{Component, DynInst, ExecClass};
+
+    fn retire(pc: u64, component: Component) -> HostEvent {
+        HostEvent::Retire(DynInst::plain(pc, ExecClass::SimpleInt, component))
+    }
+
+    fn test_cfg() -> SystemConfig {
+        SystemConfig {
+            app_only_pipeline: true,
+            tol_only_pipeline: true,
+            cosim: false,
+            ..SystemConfig::default()
+        }
+    }
+
+    #[test]
+    fn timing_sink_routes_by_owner_and_samples_windows() {
+        let mut sink = TimingSink::new(&test_cfg());
+        sink.consume(&[
+            retire(0x100, Component::AppCode),
+            retire(0x104, Component::TolIm),
+            retire(0x108, Component::AppCode),
+            HostEvent::WindowMark { guest_insts: 10 },
+            retire(0x10c, Component::TolBbm),
+            HostEvent::WindowMark { guest_insts: 20 },
+            // A stale mark (same total) must not produce an empty window.
+            HostEvent::WindowMark { guest_insts: 20 },
+        ]);
+        let (shared, app, tol, timeline) = sink.into_parts();
+        assert_eq!(shared.total_insts(), 4);
+        assert_eq!(app.unwrap().owner_insts(Owner::App), 2);
+        assert_eq!(tol.unwrap().owner_insts(Owner::Tol), 2);
+        assert_eq!(timeline.len(), 2);
+        assert_eq!(timeline[0].app_insts, 2);
+        assert_eq!(timeline[0].tol_insts, 1);
+        assert_eq!(timeline[1].tol_insts, 1);
+    }
+
+    #[test]
+    fn threaded_backend_matches_inline() {
+        let cfg = test_cfg();
+        let batch: Vec<HostEvent> = (0..1000u64)
+            .map(|i| {
+                retire(i * 4, if i % 3 == 0 { Component::TolOthers } else { Component::AppCode })
+            })
+            .collect();
+
+        let mut inline = TimingBackend::Inline(Box::new(TimingSink::new(&cfg)));
+        let mut threaded = TimingBackend::Threaded(ThreadedTiming::spawn(TimingSink::new(&cfg)));
+        for chunk in batch.chunks(64) {
+            inline.consume(chunk);
+            threaded.consume(chunk);
+        }
+        let (a, _, _, _) = inline.finish().into_parts();
+        let (b, _, _, _) = threaded.finish().into_parts();
+        assert_eq!(a.total_insts(), b.total_insts());
+        assert_eq!(a.total_cycles, b.total_cycles);
+    }
+
+    #[test]
+    fn checker_sink_advances_by_boundary_deltas() {
+        use darco_guest::asm::Asm;
+        use darco_guest::{exec, Gpr, GuestMem, Inst};
+        let mut a = Asm::new(0x100);
+        a.push(Inst::MovRI { dst: Gpr::Eax, imm: 7 });
+        a.push(Inst::MovRI { dst: Gpr::Ebx, imm: 9 });
+        a.push(Inst::Halt);
+        let p = a.assemble();
+        let mut mem = GuestMem::new();
+        mem.write_bytes(p.base, &p.bytes);
+        let initial = CpuState::at(p.base);
+
+        // The "emulated" side: the same emulator stepped by hand.
+        let mut emu = initial.clone();
+        let mut emu_mem = mem.clone();
+        let mut sink = CheckerSink::new("t".into(), StateChecker::new(initial, mem));
+
+        exec::step(&mut emu, &mut emu_mem).unwrap();
+        sink.consume(&[HostEvent::StepBoundary {
+            guest_insts: 1,
+            emulated: Box::new(emu.clone()),
+        }]);
+        exec::step(&mut emu, &mut emu_mem).unwrap();
+        exec::step(&mut emu, &mut emu_mem).unwrap();
+        sink.consume(&[HostEvent::StepBoundary {
+            guest_insts: 3,
+            emulated: Box::new(emu.clone()),
+        }]);
+
+        let chk = sink.into_inner();
+        assert_eq!(chk.retired(), 3);
+        assert_eq!(chk.checks(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "co-simulation failed")]
+    fn checker_sink_panics_on_divergence() {
+        use darco_guest::asm::Asm;
+        use darco_guest::{Gpr, GuestMem, Inst};
+        let mut a = Asm::new(0x100);
+        a.push(Inst::MovRI { dst: Gpr::Eax, imm: 7 });
+        a.push(Inst::Halt);
+        let p = a.assemble();
+        let mut mem = GuestMem::new();
+        mem.write_bytes(p.base, &p.bytes);
+        let initial = CpuState::at(p.base);
+        let mut wrong = initial.clone();
+        wrong.set_gpr(Gpr::Eax, 999);
+        let mut sink = CheckerSink::new("t".into(), StateChecker::new(initial, mem));
+        sink.consume(&[HostEvent::StepBoundary { guest_insts: 1, emulated: Box::new(wrong) }]);
+    }
+}

@@ -2,7 +2,9 @@
 //! timing pipelines, run in lockstep.
 
 use crate::checker::StateChecker;
-use darco_timing::{Pipeline, Stats, TimingConfig};
+use crate::sinks::{CheckerSink, SinkSet, TimingBackend};
+use darco_host::{HostEvent, HostEventSink, TraceStats, TraceStatsSink};
+use darco_timing::{Stats, TimingConfig};
 use darco_tol::{RunSummary, Tol, TolConfig};
 use darco_workloads::{generate, BenchProfile, Workload};
 use serde::{Deserialize, Serialize};
@@ -42,6 +44,11 @@ pub struct SystemConfig {
     /// (0 disables). Windows expose the start-up vs steady-state
     /// transition the paper insists on capturing (Sec. II-B).
     pub window_guest_insts: u64,
+    /// Run the timing pipelines on a worker thread, overlapped with
+    /// functional emulation, behind a bounded batch channel. Results are
+    /// bit-identical to the inline mode (same batches, same order); only
+    /// the scheduling changes.
+    pub threaded_timing: bool,
 }
 
 impl Default for SystemConfig {
@@ -55,6 +62,7 @@ impl Default for SystemConfig {
             step_budget: 20_000,
             max_guest_insts: 0,
             window_guest_insts: 0,
+            threaded_timing: false,
         }
     }
 }
@@ -105,6 +113,9 @@ pub struct Report {
     pub static_insts: u32,
     /// Timeline windows (empty unless `window_guest_insts` was set).
     pub timeline: Vec<Window>,
+    /// Trace-level statistics of the host-event stream (timing-model
+    /// independent).
+    pub trace: TraceStats,
 }
 
 /// A complete DARCO instance for one workload.
@@ -115,12 +126,7 @@ pub struct System {
     tol: Tol,
     emu_mem: darco_guest::GuestMem,
     checker: Option<StateChecker>,
-    shared: Pipeline,
-    app_only: Option<Pipeline>,
-    tol_only: Option<Pipeline>,
     static_insts: u32,
-    timeline: Vec<Window>,
-    last_window_mark: (u64, u64, u64, u64), // guest, cycles, app, tol
 }
 
 impl System {
@@ -129,34 +135,7 @@ impl System {
         let mut tol = Tol::new(cfg.tol.clone(), w.entry);
         tol.set_state(&w.initial);
         let checker = cfg.cosim.then(|| StateChecker::new(w.initial.clone(), w.mem.clone()));
-        System {
-            name: w.name,
-            tol,
-            emu_mem: w.mem,
-            checker,
-            shared: Pipeline::new(cfg.timing.clone()),
-            app_only: cfg.app_only_pipeline.then(|| Pipeline::new(cfg.timing.clone())),
-            tol_only: cfg.tol_only_pipeline.then(|| Pipeline::new(cfg.timing.clone())),
-            static_insts: w.static_insts,
-            timeline: Vec::new(),
-            last_window_mark: (0, 0, 0, 0),
-            cfg,
-        }
-    }
-
-    fn sample_window(&mut self, total_guest: u64) {
-        let s = self.shared.snapshot();
-        let app = s.owner_insts(darco_host::Owner::App);
-        let tol = s.owner_insts(darco_host::Owner::Tol);
-        let (g0, c0, a0, t0) = self.last_window_mark;
-        self.timeline.push(Window {
-            guest_insts: total_guest,
-            cycles: s.total_cycles - c0,
-            app_insts: app - a0,
-            tol_insts: tol - t0,
-        });
-        let _ = g0;
-        self.last_window_mark = (total_guest, s.total_cycles, app, tol);
+        System { name: w.name, tol, emu_mem: w.mem, checker, static_insts: w.static_insts, cfg }
     }
 
     /// Convenience: generates the profile's workload at scale 1.0 and
@@ -168,52 +147,50 @@ impl System {
     /// Runs the workload to completion (or the configured cap) and
     /// returns the report.
     ///
+    /// The controller only drives the engine and emits boundary events;
+    /// every observer — timing pipelines, co-simulation checker, trace
+    /// statistics — consumes the host-event stream through the
+    /// [`SinkSet`], inline or overlapped per
+    /// [`SystemConfig::threaded_timing`].
+    ///
     /// # Panics
     ///
     /// Panics on guest decode faults or co-simulation divergence — both
     /// indicate an infrastructure bug, exactly as they would in DARCO.
     pub fn run_to_completion(&mut self) -> Report {
         let cap = if self.cfg.max_guest_insts == 0 { u64::MAX } else { self.cfg.max_guest_insts };
+        let mut sinks = SinkSet {
+            trace: TraceStatsSink::default(),
+            checker: self.checker.take().map(|chk| CheckerSink::new(self.name.clone(), chk)),
+            timing: TimingBackend::new(&self.cfg),
+        };
         let mut total = 0u64;
+        let mut last_window = 0u64;
         while !self.tol.is_done() && total < cap {
             let budget = self.cfg.step_budget.min(cap - total);
-            let shared = &mut self.shared;
-            let app_only = &mut self.app_only;
-            let tol_only = &mut self.tol_only;
-            let mut sink = |d: &darco_host::DynInst| {
-                shared.retire(d);
-                match d.owner() {
-                    darco_host::Owner::App => {
-                        if let Some(p) = app_only {
-                            p.retire(d);
-                        }
-                    }
-                    darco_host::Owner::Tol => {
-                        if let Some(p) = tol_only {
-                            p.retire(d);
-                        }
-                    }
-                }
-            };
             let out = self
                 .tol
-                .step(&mut self.emu_mem, &mut sink, budget)
+                .step(&mut self.emu_mem, &mut sinks, budget)
                 .unwrap_or_else(|e| panic!("{}: guest decode fault: {e}", self.name));
             total += out.guest_insts;
-            if let Some(chk) = &mut self.checker {
-                chk.advance(out.guest_insts)
-                    .unwrap_or_else(|e| panic!("{}: authoritative fault: {e}", self.name));
-                chk.check(&self.tol.emulated_state())
-                    .unwrap_or_else(|e| panic!("{}: co-simulation failed: {e}", self.name));
+            if sinks.checker.is_some() {
+                sinks.consume(&[HostEvent::StepBoundary {
+                    guest_insts: total,
+                    emulated: Box::new(self.tol.emulated_state()),
+                }]);
             }
             let w = self.cfg.window_guest_insts;
-            if w > 0 && total >= self.last_window_mark.0 + w {
-                self.sample_window(total);
+            if w > 0 && total >= last_window + w {
+                sinks.consume(&[HostEvent::WindowMark { guest_insts: total }]);
+                last_window = total;
             }
         }
-        if self.cfg.window_guest_insts > 0 && total > self.last_window_mark.0 {
-            self.sample_window(total);
+        if self.cfg.window_guest_insts > 0 && total > last_window {
+            sinks.consume(&[HostEvent::WindowMark { guest_insts: total }]);
         }
+        let SinkSet { trace, checker, timing } = sinks;
+        let timing = timing.finish();
+        self.checker = checker.map(CheckerSink::into_inner);
         if let Some(chk) = &self.checker {
             // End-of-run memory co-verification: every store the
             // translated code performed must match the authoritative
@@ -226,16 +203,18 @@ impl System {
                 );
             }
         }
+        let (shared, app_only, tol_only, timeline) = timing.into_parts();
         Report {
             name: self.name.clone(),
-            timing: self.shared.snapshot(),
-            app_only: self.app_only.as_ref().map(|p| p.snapshot()),
-            tol_only: self.tol_only.as_ref().map(|p| p.snapshot()),
+            timing: shared,
+            app_only,
+            tol_only,
             tol: self.tol.summary(),
             guest_insts: total,
             cosim_checks: self.checker.as_ref().map_or(0, |c| c.checks()),
             static_insts: self.static_insts,
-            timeline: std::mem::take(&mut self.timeline),
+            timeline,
+            trace: trace.stats,
         }
     }
 }

@@ -1,0 +1,397 @@
+//! The typed host-event stream that decouples functional emulation from
+//! its observers.
+//!
+//! The software layer retires host instructions and performs
+//! module-level activities (translation, chaining, code-cache
+//! management, IBTC resolution) millions of times per run. Rather than
+//! calling an observer closure once per retired instruction — which
+//! couples the emulation loop to every consumer and forbids batching or
+//! overlap — the layer pushes typed [`HostEvent`]s into an
+//! [`EventBuffer`] and delivers them to a [`HostEventSink`] in batches.
+//! Consumers (timing pipelines, the co-simulation checker, trace
+//! statistics) implement the sink trait and receive whole batches, which
+//! is what makes an overlapped (worker-thread) timing simulator possible
+//! while keeping results bit-identical: the *order* of events inside and
+//! across batches is exactly retire order.
+
+use crate::stream::DynInst;
+use darco_guest::CpuState;
+use serde::{Deserialize, Serialize};
+
+/// Default [`EventBuffer`] capacity (events per delivered batch).
+pub const EVENT_BATCH: usize = 4096;
+
+/// Execution mode of the software layer (paper Fig. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExecMode {
+    /// Interpretation.
+    Im,
+    /// Basic-block translation mode.
+    Bbm,
+    /// Superblock mode.
+    Sbm,
+}
+
+impl ExecMode {
+    /// Index into `[IM, BBM, SBM]` arrays.
+    pub fn index(self) -> usize {
+        match self {
+            ExecMode::Im => 0,
+            ExecMode::Bbm => 1,
+            ExecMode::Sbm => 2,
+        }
+    }
+}
+
+/// What kind of translation a code-cache block holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TranslationKind {
+    /// A basic block (BBM).
+    Bb,
+    /// An optimized superblock (SBM).
+    Sb,
+}
+
+/// One event on the host retirement stream.
+///
+/// `Retire` dominates the stream by orders of magnitude; the remaining
+/// variants are module-level markers that let sinks reconstruct the
+/// layer's control flow without touching the engine.
+#[derive(Debug, Clone)]
+pub enum HostEvent {
+    /// A host instruction retired.
+    Retire(DynInst),
+    /// The dispatcher entered an execution mode for the next unit.
+    ModeEnter(ExecMode),
+    /// A region was translated (BBM) or formed + optimized (SBM).
+    Translated {
+        /// Guest entry address of the region.
+        entry: u32,
+        /// Block kind produced.
+        kind: TranslationKind,
+        /// Host instructions emitted into the code cache.
+        host_len: u32,
+    },
+    /// A direct exit was patched to jump straight to its successor.
+    Chained {
+        /// Host PC of the patched exit instruction.
+        site: u64,
+    },
+    /// A translation was installed into the code cache.
+    CacheInsert {
+        /// Guest entry address.
+        entry: u32,
+        /// Whether installing forced a full cache flush (eviction).
+        flushed: bool,
+    },
+    /// An indirect-branch target was looked up in the IBTC.
+    IbtcResolve {
+        /// Guest target address.
+        target: u32,
+        /// Whether the IBTC held the translation.
+        hit: bool,
+    },
+    /// A dispatch-unit boundary: the controller finished one engine step.
+    /// Carries the layer's emulated architectural state so a
+    /// co-simulation sink can compare it against the authoritative
+    /// emulator without reaching back into the engine.
+    StepBoundary {
+        /// Total guest instructions retired so far.
+        guest_insts: u64,
+        /// The emulated guest state at the boundary.
+        emulated: Box<CpuState>,
+    },
+    /// A timeline-window boundary requested by the controller.
+    WindowMark {
+        /// Total guest instructions retired so far.
+        guest_insts: u64,
+    },
+}
+
+/// A consumer of the host-event stream.
+///
+/// Sinks receive events in batches; within and across batches the order
+/// is exactly retire/emission order, so any per-instruction consumer can
+/// be expressed as a batch consumer with identical results.
+pub trait HostEventSink {
+    /// Consumes one ordered batch of events.
+    fn consume(&mut self, batch: &[HostEvent]);
+}
+
+/// Collects every event (useful in tests).
+impl HostEventSink for Vec<HostEvent> {
+    fn consume(&mut self, batch: &[HostEvent]) {
+        self.extend_from_slice(batch);
+    }
+}
+
+/// Discards the stream (functional-only runs).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl HostEventSink for NullSink {
+    fn consume(&mut self, _batch: &[HostEvent]) {}
+}
+
+/// Adapts a per-retired-instruction closure to the batched interface,
+/// ignoring non-retire events. Handy for counters and filters.
+#[derive(Debug)]
+pub struct RetireSink<F: FnMut(&DynInst)>(pub F);
+
+impl<F: FnMut(&DynInst)> HostEventSink for RetireSink<F> {
+    fn consume(&mut self, batch: &[HostEvent]) {
+        for e in batch {
+            if let HostEvent::Retire(d) = e {
+                (self.0)(d);
+            }
+        }
+    }
+}
+
+/// Fixed-capacity staging buffer between an event producer and a sink.
+///
+/// `push` appends; when the buffer reaches capacity it flushes the whole
+/// batch to the sink. Producers flush explicitly at natural boundaries
+/// (budget expiry, control returning to the dispatcher), so a batch
+/// never crosses a point where the controller needs the stream drained.
+pub struct EventBuffer<'a> {
+    buf: Vec<HostEvent>,
+    capacity: usize,
+    sink: &'a mut dyn HostEventSink,
+}
+
+impl<'a> EventBuffer<'a> {
+    /// Creates a buffer delivering batches of at most `capacity` events.
+    pub fn new(capacity: usize, sink: &'a mut dyn HostEventSink) -> EventBuffer<'a> {
+        EventBuffer::from_storage(Vec::with_capacity(capacity.max(1)), capacity, sink)
+    }
+
+    /// Creates a buffer reusing an existing allocation (producers keep
+    /// the storage across steps to avoid re-allocating per dispatch).
+    pub fn from_storage(
+        storage: Vec<HostEvent>,
+        capacity: usize,
+        sink: &'a mut dyn HostEventSink,
+    ) -> EventBuffer<'a> {
+        EventBuffer { buf: storage, capacity: capacity.max(1), sink }
+    }
+
+    /// Appends one event, flushing if the batch is full.
+    pub fn push(&mut self, e: HostEvent) {
+        self.buf.push(e);
+        if self.buf.len() >= self.capacity {
+            self.flush();
+        }
+    }
+
+    /// Appends a retired host instruction (the hot path).
+    #[inline]
+    pub fn retire(&mut self, d: DynInst) {
+        self.push(HostEvent::Retire(d));
+    }
+
+    /// Delivers all buffered events to the sink, preserving order.
+    pub fn flush(&mut self) {
+        if !self.buf.is_empty() {
+            self.sink.consume(&self.buf);
+            self.buf.clear();
+        }
+    }
+
+    /// Flushes and returns the (empty) storage for reuse.
+    pub fn into_storage(mut self) -> Vec<HostEvent> {
+        self.flush();
+        self.buf
+    }
+
+    /// Events currently staged.
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+impl std::fmt::Debug for EventBuffer<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventBuffer")
+            .field("pending", &self.buf.len())
+            .field("capacity", &self.capacity)
+            .finish()
+    }
+}
+
+/// Aggregate statistics over the event stream, independent of any
+/// timing model — what the controller's report exposes as the
+/// trace-level view of a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Host instructions retired.
+    pub retired: u64,
+    /// Retired host instructions per [`Component`], in
+    /// [`Component::ALL`] order.
+    ///
+    /// [`Component`]: crate::stream::Component
+    /// [`Component::ALL`]: crate::stream::Component::ALL
+    pub component_insts: [u64; 7],
+    /// Dispatch-unit entries per mode `[IM, BBM, SBM]`.
+    pub mode_enters: [u64; 3],
+    /// Basic-block translations performed.
+    pub bb_translations: u64,
+    /// Superblocks formed and optimized.
+    pub sb_translations: u64,
+    /// Host instructions emitted into the code cache by translations.
+    pub translated_host_insts: u64,
+    /// Exit-chaining patches.
+    pub chains: u64,
+    /// Code-cache installs.
+    pub cache_inserts: u64,
+    /// Code-cache flushes triggered by installs.
+    pub cache_flushes: u64,
+    /// IBTC lookups that hit.
+    pub ibtc_hits: u64,
+    /// IBTC lookups that missed.
+    pub ibtc_misses: u64,
+    /// Dispatch-unit boundaries observed.
+    pub step_boundaries: u64,
+    /// Timeline-window marks observed.
+    pub window_marks: u64,
+    /// Batches delivered.
+    pub batches: u64,
+    /// Largest single batch.
+    pub max_batch: u64,
+}
+
+/// A sink that reduces the stream to [`TraceStats`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TraceStatsSink {
+    /// The running totals.
+    pub stats: TraceStats,
+}
+
+impl HostEventSink for TraceStatsSink {
+    fn consume(&mut self, batch: &[HostEvent]) {
+        let s = &mut self.stats;
+        s.batches += 1;
+        s.max_batch = s.max_batch.max(batch.len() as u64);
+        for e in batch {
+            match e {
+                HostEvent::Retire(d) => {
+                    s.retired += 1;
+                    s.component_insts[d.component.index()] += 1;
+                }
+                HostEvent::ModeEnter(m) => s.mode_enters[m.index()] += 1,
+                HostEvent::Translated { kind, host_len, .. } => {
+                    match kind {
+                        TranslationKind::Bb => s.bb_translations += 1,
+                        TranslationKind::Sb => s.sb_translations += 1,
+                    }
+                    s.translated_host_insts += u64::from(*host_len);
+                }
+                HostEvent::Chained { .. } => s.chains += 1,
+                HostEvent::CacheInsert { flushed, .. } => {
+                    s.cache_inserts += 1;
+                    s.cache_flushes += u64::from(*flushed);
+                }
+                HostEvent::IbtcResolve { hit, .. } => {
+                    if *hit {
+                        s.ibtc_hits += 1;
+                    } else {
+                        s.ibtc_misses += 1;
+                    }
+                }
+                HostEvent::StepBoundary { .. } => s.step_boundaries += 1,
+                HostEvent::WindowMark { .. } => s.window_marks += 1,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::{Component, ExecClass};
+
+    fn retire_at(pc: u64) -> HostEvent {
+        HostEvent::Retire(DynInst::plain(pc, ExecClass::SimpleInt, Component::AppCode))
+    }
+
+    #[test]
+    fn event_buffer_flush_preserves_retire_order() {
+        // Push far more events than one batch holds; the delivered
+        // stream must be the exact per-instruction retire order, with
+        // batch boundaries invisible to the consumer.
+        let mut out: Vec<HostEvent> = Vec::new();
+        {
+            let mut buf = EventBuffer::new(8, &mut out);
+            for pc in 0..100u64 {
+                buf.retire(DynInst::plain(pc * 4, ExecClass::SimpleInt, Component::AppCode));
+            }
+            assert!(buf.pending() < 8, "capacity flushes keep the buffer bounded");
+            buf.flush();
+        }
+        assert_eq!(out.len(), 100);
+        for (i, e) in out.iter().enumerate() {
+            match e {
+                HostEvent::Retire(d) => assert_eq!(d.pc, i as u64 * 4, "order broken at {i}"),
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn event_buffer_batches_at_capacity() {
+        let mut sink = TraceStatsSink::default();
+        {
+            let mut buf = EventBuffer::new(16, &mut sink);
+            for pc in 0..40u64 {
+                buf.push(retire_at(pc));
+            }
+            buf.flush();
+        }
+        assert_eq!(sink.stats.retired, 40);
+        assert_eq!(sink.stats.batches, 3, "16 + 16 + 8");
+        assert_eq!(sink.stats.max_batch, 16);
+    }
+
+    #[test]
+    fn storage_round_trip_reuses_allocation() {
+        let mut sink = NullSink;
+        let storage = Vec::with_capacity(1024);
+        let mut buf = EventBuffer::from_storage(storage, 1024, &mut sink);
+        buf.push(retire_at(0));
+        let back = buf.into_storage();
+        assert!(back.is_empty());
+        assert!(back.capacity() >= 1024, "allocation survives the round trip");
+    }
+
+    #[test]
+    fn trace_stats_classify_events() {
+        let mut sink = TraceStatsSink::default();
+        sink.consume(&[
+            retire_at(0),
+            HostEvent::ModeEnter(ExecMode::Bbm),
+            HostEvent::Translated { entry: 0x1000, kind: TranslationKind::Sb, host_len: 12 },
+            HostEvent::Chained { site: 0x2_0000_0000 },
+            HostEvent::CacheInsert { entry: 0x1000, flushed: true },
+            HostEvent::IbtcResolve { target: 0x1010, hit: true },
+            HostEvent::IbtcResolve { target: 0x1014, hit: false },
+            HostEvent::WindowMark { guest_insts: 10 },
+        ]);
+        let s = sink.stats;
+        assert_eq!(s.retired, 1);
+        assert_eq!(s.mode_enters, [0, 1, 0]);
+        assert_eq!(s.sb_translations, 1);
+        assert_eq!(s.translated_host_insts, 12);
+        assert_eq!(s.chains, 1);
+        assert_eq!((s.cache_inserts, s.cache_flushes), (1, 1));
+        assert_eq!((s.ibtc_hits, s.ibtc_misses), (1, 1));
+        assert_eq!(s.window_marks, 1);
+    }
+
+    #[test]
+    fn retire_sink_filters_non_retires() {
+        let mut n = 0u64;
+        let mut sink = RetireSink(|_d: &DynInst| n += 1);
+        sink.consume(&[retire_at(0), HostEvent::ModeEnter(ExecMode::Im), retire_at(4)]);
+        assert_eq!(n, 2);
+    }
+}

@@ -19,6 +19,10 @@
 //! * [`stream::DynInst`] — one record per executed host instruction,
 //!   tagged with the [`stream::Component`] that produced it; this is the
 //!   interface the timing simulator meters,
+//! * [`events`] — the typed [`events::HostEvent`] retirement stream and
+//!   the batched [`events::HostEventSink`] trait that decouple the
+//!   functional emulation loop from its consumers (timing, checking,
+//!   statistics),
 //! * [`layout`] — the host physical address map (guest RAM window, TOL
 //!   data, code cache, TOL code).
 //!
@@ -34,11 +38,16 @@
 //! assert_eq!(add.to_string(), "addi r1, r0, 42");
 //! ```
 
+pub mod events;
 pub mod isa;
 pub mod layout;
 pub mod state;
 pub mod stream;
 
+pub use events::{
+    EventBuffer, ExecMode, HostEvent, HostEventSink, NullSink, RetireSink, TraceStats,
+    TraceStatsSink, TranslationKind,
+};
 pub use isa::{Exit, FlagsKind, HAluOp, HCond, HFreg, HInst, HReg, Width};
 pub use state::{eval_alu, exec_inst, HostState, Outcome};
 pub use stream::{BranchKind, Component, DynInst, ExecClass, MemEvent, Owner};

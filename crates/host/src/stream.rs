@@ -94,6 +94,20 @@ impl Component {
         Component::TolLookup,
     ];
 
+    /// Position of this component in [`Component::ALL`] (stable index
+    /// for per-component counter arrays).
+    pub fn index(self) -> usize {
+        match self {
+            Component::AppCode => 0,
+            Component::TolOthers => 1,
+            Component::TolIm => 2,
+            Component::TolBbm => 3,
+            Component::TolSbm => 4,
+            Component::TolChaining => 5,
+            Component::TolLookup => 6,
+        }
+    }
+
     /// The owning entity.
     pub fn owner(self) -> Owner {
         match self {
@@ -255,6 +269,13 @@ mod tests {
         assert_eq!(int_reg(63), 63);
         assert_eq!(fp_reg(0), 64);
         assert_eq!(fp_reg(31), 95);
+    }
+
+    #[test]
+    fn component_index_matches_all_order() {
+        for (i, c) in Component::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i, "{c} index out of sync with ALL");
+        }
     }
 
     #[test]

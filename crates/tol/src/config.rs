@@ -58,6 +58,14 @@ pub struct TolConfig {
     /// in debug builds regardless of this switch; this opts release
     /// builds in (`darco verify` sets it).
     pub verify: bool,
+    /// Capacity of the retirement [`EventBuffer`]: how many
+    /// [`HostEvent`]s are staged before a batch is delivered to the
+    /// sink. `1` degenerates to per-instruction delivery (the old
+    /// closure-sink behavior, kept reachable for benchmarking).
+    ///
+    /// [`EventBuffer`]: darco_host::events::EventBuffer
+    /// [`HostEvent`]: darco_host::events::HostEvent
+    pub event_batch: usize,
 }
 
 impl Default for TolConfig {
@@ -81,6 +89,7 @@ impl Default for TolConfig {
             speculate_indirect: false,
             codecache_scattered: false,
             verify: false,
+            event_batch: darco_host::events::EVENT_BATCH,
         }
     }
 }

@@ -26,6 +26,7 @@
 use crate::profile::StaticMode;
 use darco_guest::exec::StepInfo;
 use darco_guest::{GuestClass, Inst};
+use darco_host::events::EventBuffer;
 use darco_host::layout::{guest_to_host, TOL_CODE_BASE, TOL_DATA_BASE};
 use darco_host::stream::int_reg;
 use darco_host::{BranchKind, Component, DynInst, ExecClass};
@@ -89,18 +90,18 @@ fn comp_idx(c: Component) -> usize {
 
 /// Stream-building cursor: sequential PCs, cycling TOL scratch registers,
 /// one-deep load-use chaining.
-struct Cur<'a> {
+struct Cur<'a, 'b> {
     pc: u64,
     comp: Component,
-    sink: &'a mut dyn FnMut(&DynInst),
+    ev: &'a mut EventBuffer<'b>,
     next_reg: u8,
     last_load: u8,
     count: u64,
 }
 
-impl<'a> Cur<'a> {
-    fn new(pc: u64, comp: Component, sink: &'a mut dyn FnMut(&DynInst)) -> Self {
-        Cur { pc, comp, sink, next_reg: 48, last_load: 40, count: 0 }
+impl<'a, 'b> Cur<'a, 'b> {
+    fn new(pc: u64, comp: Component, ev: &'a mut EventBuffer<'b>) -> Self {
+        Cur { pc, comp, ev, next_reg: 48, last_load: 40, count: 0 }
     }
 
     fn reg(&mut self) -> u8 {
@@ -111,7 +112,7 @@ impl<'a> Cur<'a> {
     fn push(&mut self, d: DynInst) {
         self.pc += 4;
         self.count += 1;
-        (self.sink)(&d);
+        self.ev.retire(d);
     }
 
     fn alu(&mut self, n: usize) {
@@ -197,16 +198,16 @@ impl Emitter {
         Emitter { emit_cursor: darco_host::layout::CODE_CACHE_BASE, emitted: [0; 7] }
     }
 
-    fn track(&mut self, comp: Component, cur: Cur<'_>) {
+    fn track(&mut self, comp: Component, cur: Cur<'_, '_>) {
         self.emitted[comp_idx(comp)] += cur.count;
     }
 
     /// One interpreted guest instruction (IM): dispatch, decode, handler
     /// body, guest data accesses, loop back.
-    pub fn interp_step(&mut self, sink: &mut dyn FnMut(&DynInst), guest_pc: u32, info: &StepInfo) {
+    pub fn interp_step(&mut self, ev: &mut EventBuffer<'_>, guest_pc: u32, info: &StepInfo) {
         let comp = Component::TolIm;
         let opcode = opcode_of(&info.inst);
-        let mut c = Cur::new(TOL_CODE_BASE + code::INTERP, comp, sink);
+        let mut c = Cur::new(TOL_CODE_BASE + code::INTERP, comp, ev);
         // Fetch guest code bytes as data (variable length: two probes).
         c.ld(guest_to_host(guest_pc));
         c.use_load();
@@ -277,13 +278,13 @@ impl Emitter {
     /// emit host code into the code cache, then insert into the map.
     pub fn bb_translate(
         &mut self,
-        sink: &mut dyn FnMut(&DynInst),
+        ev: &mut EventBuffer<'_>,
         guest_entry: u32,
         insts: &[(u32, Inst)],
         host_len: usize,
     ) {
         let comp = Component::TolBbm;
-        let mut c = Cur::new(TOL_CODE_BASE + code::TRANSLATOR, comp, sink);
+        let mut c = Cur::new(TOL_CODE_BASE + code::TRANSLATOR, comp, ev);
         for (pc, inst) in insts {
             let opcode = opcode_of(inst);
             c.ld(guest_to_host(*pc)); // read guest code
@@ -324,13 +325,13 @@ impl Emitter {
     /// Superblock formation and optimization (SBM).
     pub fn sb_optimize(
         &mut self,
-        sink: &mut dyn FnMut(&DynInst),
+        ev: &mut EventBuffer<'_>,
         bbs_followed: usize,
         ir_len: usize,
         host_len: usize,
     ) {
         let comp = Component::TolSbm;
-        let mut c = Cur::new(TOL_CODE_BASE + code::OPTIMIZER, comp, sink);
+        let mut c = Cur::new(TOL_CODE_BASE + code::OPTIMIZER, comp, ev);
         // Formation: read edge profiles of the followed blocks.
         for i in 0..bbs_followed.max(1) {
             c.ld(TOL_DATA_BASE + data::PROFILE + ((i as u64 * 37) % 512) * 16);
@@ -359,9 +360,9 @@ impl Emitter {
     }
 
     /// Chaining: patch a direct exit to its successor translation.
-    pub fn chain(&mut self, sink: &mut dyn FnMut(&DynInst), exit_host_pc: u64) {
+    pub fn chain(&mut self, ev: &mut EventBuffer<'_>, exit_host_pc: u64) {
         let comp = Component::TolChaining;
-        let mut c = Cur::new(TOL_CODE_BASE + code::CHAINER, comp, sink);
+        let mut c = Cur::new(TOL_CODE_BASE + code::CHAINER, comp, ev);
         c.alu(4);
         c.ld(exit_host_pc); // read the exit instruction
         c.use_load();
@@ -372,9 +373,9 @@ impl Emitter {
 
     /// Full translation-map lookup (the data-intensive probe of
     /// Sec. III-D).
-    pub fn map_lookup(&mut self, sink: &mut dyn FnMut(&DynInst), guest_pc: u32, found: bool) {
+    pub fn map_lookup(&mut self, ev: &mut EventBuffer<'_>, guest_pc: u32, found: bool) {
         let comp = Component::TolLookup;
-        let mut c = Cur::new(TOL_CODE_BASE + code::LOOKUP, comp, sink);
+        let mut c = Cur::new(TOL_CODE_BASE + code::LOOKUP, comp, ev);
         c.alu(4); // hash
                   // Open-addressed probe sequence: two buckets on distinct lines.
         let b0 = TOL_DATA_BASE + data::MAP + bucket_of(guest_pc) * costs::MAP_BUCKET_BYTES;
@@ -401,9 +402,9 @@ impl Emitter {
     }
 
     /// IBTC entry update after a miss (two stores into the table).
-    pub fn ibtc_update(&mut self, sink: &mut dyn FnMut(&DynInst), slot: u32) {
+    pub fn ibtc_update(&mut self, ev: &mut EventBuffer<'_>, slot: u32) {
         let comp = Component::TolLookup;
-        let mut c = Cur::new(TOL_CODE_BASE + code::LOOKUP + 0x400, comp, sink);
+        let mut c = Cur::new(TOL_CODE_BASE + code::LOOKUP + 0x400, comp, ev);
         let e = TOL_DATA_BASE + data::IBTC + slot as u64 * 16;
         c.st(e);
         c.st(e + 8);
@@ -412,9 +413,9 @@ impl Emitter {
 
     /// Transition between translated code and the software layer
     /// (context save or restore): the cost reflected in "TOL others".
-    pub fn transition(&mut self, sink: &mut dyn FnMut(&DynInst)) {
+    pub fn transition(&mut self, ev: &mut EventBuffer<'_>) {
         let comp = Component::TolOthers;
-        let mut c = Cur::new(TOL_CODE_BASE + code::TRANSITION, comp, sink);
+        let mut c = Cur::new(TOL_CODE_BASE + code::TRANSITION, comp, ev);
         for i in 0..6u64 {
             c.st(TOL_DATA_BASE + data::CONTEXT + i * 8);
         }
@@ -427,9 +428,9 @@ impl Emitter {
     }
 
     /// The dispatcher's decision work per TOL entry.
-    pub fn dispatch(&mut self, sink: &mut dyn FnMut(&DynInst), mode: StaticMode) {
+    pub fn dispatch(&mut self, ev: &mut EventBuffer<'_>, mode: StaticMode) {
         let comp = Component::TolOthers;
-        let mut c = Cur::new(TOL_CODE_BASE + code::DISPATCH, comp, sink);
+        let mut c = Cur::new(TOL_CODE_BASE + code::DISPATCH, comp, ev);
         c.alu(5);
         c.ld(TOL_DATA_BASE + data::CONTEXT + 128);
         c.use_load();
@@ -443,14 +444,14 @@ impl Emitter {
     #[allow(clippy::too_many_arguments)]
     pub fn ibtc_probe_inline(
         &mut self,
-        sink: &mut dyn FnMut(&DynInst),
+        ev: &mut EventBuffer<'_>,
         site_pc: u64,
         slot: u32,
         hit: bool,
         target_host: u64,
     ) {
         let comp = Component::AppCode;
-        let mut c = Cur::new(site_pc, comp, sink);
+        let mut c = Cur::new(site_pc, comp, ev);
         c.alu(2); // hash of the guest target
         c.ld(TOL_DATA_BASE + data::IBTC + slot as u64 * 16);
         c.use_load(); // compare
@@ -469,13 +470,13 @@ impl Emitter {
     /// conditional branch, plus the direct jump on a hit.
     pub fn spec_check(
         &mut self,
-        sink: &mut dyn FnMut(&DynInst),
+        ev: &mut EventBuffer<'_>,
         site_pc: u64,
         hit: bool,
         target_host: u64,
     ) {
         let comp = Component::AppCode;
-        let mut c = Cur::new(site_pc, comp, sink);
+        let mut c = Cur::new(site_pc, comp, ev);
         c.alu(1); // compare against the inlined constant
         c.br(BranchKind::CondDirect, site_pc + 16, hit);
         if hit {
@@ -486,14 +487,9 @@ impl Emitter {
 
     /// BBM edge-profiling instrumentation executed per block run
     /// (application-side counter update).
-    pub fn bbm_instrumentation(
-        &mut self,
-        sink: &mut dyn FnMut(&DynInst),
-        host_pc: u64,
-        bb_entry: u32,
-    ) {
+    pub fn bbm_instrumentation(&mut self, ev: &mut EventBuffer<'_>, host_pc: u64, bb_entry: u32) {
         let comp = Component::AppCode;
-        let mut c = Cur::new(host_pc, comp, sink);
+        let mut c = Cur::new(host_pc, comp, ev);
         let slot = TOL_DATA_BASE + data::PROFILE + (bucket_of(bb_entry) % 4096) * 16;
         c.ld(slot);
         c.use_load();
@@ -511,13 +507,16 @@ mod tests {
     use super::*;
     use darco_guest::exec::{AccessList, Control};
     use darco_guest::Gpr;
+    use darco_host::events::RetireSink;
     use darco_host::Owner;
 
-    fn collect(f: impl FnOnce(&mut Emitter, &mut dyn FnMut(&DynInst))) -> Vec<DynInst> {
+    fn collect(f: impl FnOnce(&mut Emitter, &mut EventBuffer<'_>)) -> Vec<DynInst> {
         let mut v = Vec::new();
         let mut e = Emitter::new();
-        let mut sink = |d: &DynInst| v.push(*d);
-        f(&mut e, &mut sink);
+        let mut sink = RetireSink(|d: &DynInst| v.push(*d));
+        let mut ev = EventBuffer::new(64, &mut sink);
+        f(&mut e, &mut ev);
+        ev.flush();
         v
     }
 
@@ -616,9 +615,11 @@ mod tests {
     fn emitted_counters_accumulate() {
         let mut e = Emitter::new();
         let mut n = 0u64;
-        let mut sink = |_: &DynInst| n += 1;
-        e.transition(&mut sink);
-        e.dispatch(&mut sink, StaticMode::Bbm);
+        let mut sink = RetireSink(|_: &DynInst| n += 1);
+        let mut ev = EventBuffer::new(64, &mut sink);
+        e.transition(&mut ev);
+        e.dispatch(&mut ev, StaticMode::Bbm);
+        ev.flush();
         let others = e.emitted[comp_idx(Component::TolOthers)];
         assert_eq!(others, n);
         assert!(others > 10);
@@ -630,12 +631,14 @@ mod tests {
         // layer's code largely fits in the L1 I-cache (paper Sec. III-C).
         let mut pcs = Vec::new();
         let mut e = Emitter::new();
-        let mut sink = |d: &DynInst| pcs.push(d.pc);
-        e.interp_step(&mut sink, 0, &step_info(Inst::Ret));
-        e.map_lookup(&mut sink, 77, false);
-        e.transition(&mut sink);
-        e.dispatch(&mut sink, StaticMode::Im);
-        e.chain(&mut sink, darco_host::layout::CODE_CACHE_BASE);
+        let mut sink = RetireSink(|d: &DynInst| pcs.push(d.pc));
+        let mut ev = EventBuffer::new(64, &mut sink);
+        e.interp_step(&mut ev, 0, &step_info(Inst::Ret));
+        e.map_lookup(&mut ev, 77, false);
+        e.transition(&mut ev);
+        e.dispatch(&mut ev, StaticMode::Im);
+        e.chain(&mut ev, darco_host::layout::CODE_CACHE_BASE);
+        ev.flush();
         for pc in pcs {
             if pc >= TOL_CODE_BASE {
                 assert!(pc < TOL_CODE_BASE + 0x2_0000, "pc {pc:#x} outside TOL code window");

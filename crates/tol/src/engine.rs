@@ -6,10 +6,15 @@
 //!
 //! [`Tol::step`] advances the emulated guest by (at least) one dispatch
 //! unit — one interpreted basic block or one run of chained translations
-//! bounded by a budget — emitting every retired host instruction to the
-//! caller's sink. The caller (DARCO's controller) feeds those to the
-//! timing simulator and co-simulates against the authoritative
-//! functional emulator between steps.
+//! bounded by a budget — emitting every retired host instruction (and
+//! module-level markers: mode entries, translations, chaining,
+//! code-cache installs, IBTC resolutions) as typed
+//! [`HostEvent`]s. Events are staged in a fixed-capacity
+//! [`EventBuffer`] and delivered to the caller's [`HostEventSink`] in
+//! retire-order batches, flushed at budget boundaries. The caller
+//! (DARCO's controller) dispatches those batches to the timing
+//! simulator and co-simulates against the authoritative functional
+//! emulator between steps.
 
 use crate::codecache::{BlockKind, CodeCache};
 use crate::config::TolConfig;
@@ -21,6 +26,7 @@ use crate::superblock::form_region;
 use crate::translate::{decode_bb, translate_region, RegionInst};
 use crate::{interp, opt};
 use darco_guest::{CpuState, DecodeError, Flags, FpReg, Gpr, GuestMem};
+use darco_host::events::{EventBuffer, ExecMode, HostEvent, HostEventSink, TranslationKind};
 use darco_host::layout::{guest_to_host, TOL_CODE_BASE};
 use darco_host::stream::{fp_reg, int_reg, NO_REG};
 use darco_host::{exec_inst, BranchKind, DynInst, Exit, HFreg, HInst, HostState, Outcome};
@@ -114,6 +120,8 @@ pub struct Tol {
     /// Last observed target per indirect exit site, for the optional
     /// speculative-resolution feature: `(block, exit) -> (guest, block)`.
     spec_targets: std::collections::HashMap<(u32, u32), (u32, u32)>,
+    /// Reused allocation for the retirement event buffer.
+    ev_storage: Vec<HostEvent>,
 }
 
 impl Tol {
@@ -135,6 +143,7 @@ impl Tol {
             counters: TolCounters::default(),
             resume_translated: false,
             spec_targets: std::collections::HashMap::new(),
+            ev_storage: Vec::new(),
             cfg,
         };
         tol.store_cpu(&CpuState::at(entry));
@@ -207,15 +216,32 @@ impl Tol {
 
     /// Advances the emulated guest by one dispatch unit, or up to
     /// `budget` guest instructions of chained translated execution.
+    /// Events are delivered to `sink` in retire-order batches of at most
+    /// [`TolConfig::event_batch`]; the buffer is always drained before
+    /// this returns (a budget boundary is a flush boundary).
     ///
     /// # Errors
     ///
     /// Returns a [`DecodeError`] if the guest jumps into undecodable
     /// bytes.
-    pub fn step<F: FnMut(&DynInst)>(
+    pub fn step(
         &mut self,
         mem: &mut GuestMem,
-        sink: &mut F,
+        sink: &mut dyn HostEventSink,
+        budget: u64,
+    ) -> Result<StepOutcome, DecodeError> {
+        let storage = std::mem::take(&mut self.ev_storage);
+        let capacity = self.cfg.event_batch;
+        let mut ev = EventBuffer::from_storage(storage, capacity, sink);
+        let out = self.step_buffered(mem, &mut ev, budget);
+        self.ev_storage = ev.into_storage();
+        out
+    }
+
+    fn step_buffered(
+        &mut self,
+        mem: &mut GuestMem,
+        ev: &mut EventBuffer<'_>,
         budget: u64,
     ) -> Result<StepOutcome, DecodeError> {
         if self.halted {
@@ -223,57 +249,75 @@ impl Tol {
         }
         let pc = self.guest_pc;
         if self.cc.lookup(pc).is_some() {
-            let n = self.run_translated(mem, sink, budget)?;
+            ev.push(HostEvent::ModeEnter(ExecMode::Sbm));
+            let n = self.run_translated(mem, ev, budget)?;
             return Ok(StepOutcome { guest_insts: n, done: self.halted, mode: Mode::Sbm });
         }
 
         // Miss: the dispatcher decides between interpretation and
         // translation (Fig. 3, left vs. middle path).
         let count = self.prof.bump_target(pc);
-        self.em.dispatch(sink, if count > self.cfg.im_bb_threshold { Mode::Bbm } else { Mode::Im });
-        self.em.map_lookup(sink, pc, false);
+        let promote = count > self.cfg.im_bb_threshold;
+        ev.push(HostEvent::ModeEnter(if promote { ExecMode::Bbm } else { ExecMode::Im }));
+        self.em.dispatch(ev, if promote { Mode::Bbm } else { Mode::Im });
+        self.em.map_lookup(ev, pc, false);
 
-        if count > self.cfg.im_bb_threshold {
+        if promote {
             let region = decode_bb(mem, pc)?;
-            self.install_bb(pc, &region, sink);
-            let n = self.run_translated(mem, sink, budget)?;
+            self.install_bb(pc, &region, ev);
+            let n = self.run_translated(mem, ev, budget)?;
             Ok(StepOutcome { guest_insts: n, done: self.halted, mode: Mode::Bbm })
         } else {
-            let n = self.interpret_bb(mem, sink)?;
+            let n = self.interpret_bb(mem, ev)?;
             Ok(StepOutcome { guest_insts: n, done: self.halted, mode: Mode::Im })
         }
     }
 
     /// Runs the program to completion (or `max_guest_insts`), returning
-    /// total guest instructions executed.
+    /// total guest instructions executed. One event buffer spans the
+    /// whole run, so batches stay full across dispatch units.
     ///
     /// # Errors
     ///
     /// Propagates guest decode errors.
-    pub fn run<F: FnMut(&DynInst)>(
+    pub fn run(
         &mut self,
         mem: &mut GuestMem,
-        sink: &mut F,
+        sink: &mut dyn HostEventSink,
         max_guest_insts: u64,
     ) -> Result<u64, DecodeError> {
+        let storage = std::mem::take(&mut self.ev_storage);
+        let capacity = self.cfg.event_batch;
+        let mut ev = EventBuffer::from_storage(storage, capacity, sink);
         let mut total = 0;
+        let mut fault = None;
         while !self.halted && total < max_guest_insts {
-            total += self.step(mem, sink, max_guest_insts - total)?.guest_insts;
+            match self.step_buffered(mem, &mut ev, max_guest_insts - total) {
+                Ok(out) => total += out.guest_insts,
+                Err(e) => {
+                    fault = Some(e);
+                    break;
+                }
+            }
         }
-        Ok(total)
+        self.ev_storage = ev.into_storage();
+        match fault {
+            Some(e) => Err(e),
+            None => Ok(total),
+        }
     }
 
-    fn interpret_bb<F: FnMut(&DynInst)>(
+    fn interpret_bb(
         &mut self,
         mem: &mut GuestMem,
-        sink: &mut F,
+        ev: &mut EventBuffer<'_>,
     ) -> Result<u64, DecodeError> {
         let mut cpu = self.emulated_state();
         let mut n = 0u64;
         loop {
             let gpc = cpu.eip;
             self.prof.mark_static([gpc], StaticMode::Im);
-            let info = interp::step(&mut cpu, mem, &mut self.em, sink)?;
+            let info = interp::step(&mut cpu, mem, &mut self.em, ev)?;
             n += 1;
             if info.inst.is_indirect() {
                 self.counters.indirect_branches += 1;
@@ -291,12 +335,7 @@ impl Tol {
     }
 
     /// Translates and installs the basic block at `entry` (BBM).
-    fn install_bb<F: FnMut(&DynInst)>(
-        &mut self,
-        entry: u32,
-        region: &[RegionInst],
-        sink: &mut F,
-    ) -> u32 {
+    fn install_bb(&mut self, entry: u32, region: &[RegionInst], ev: &mut EventBuffer<'_>) -> u32 {
         let mut block = translate_region(region);
         if self.cfg.bbm_peephole {
             opt::constprop::run(&mut block, true);
@@ -305,8 +344,9 @@ impl Tol {
         let map = bbm_allocate(&block);
         let insts = lower(&block, &map);
         let body_len = insts.len() as u32 - 1 - block.stubs.len() as u32;
+        let host_len = insts.len() as u32;
         self.em.bb_translate(
-            sink,
+            ev,
             entry,
             &region.iter().map(|r| (r.pc, r.inst)).collect::<Vec<_>>(),
             insts.len(),
@@ -326,15 +366,17 @@ impl Tol {
             self.ibtc.clear();
             self.spec_targets.clear();
         }
+        ev.push(HostEvent::Translated { entry, kind: TranslationKind::Bb, host_len });
+        ev.push(HostEvent::CacheInsert { entry, flushed });
         id
     }
 
     /// Forms, optimizes and installs a superblock rooted at `entry`.
-    fn install_sb<F: FnMut(&DynInst)>(
+    fn install_sb(
         &mut self,
         entry: u32,
         mem: &GuestMem,
-        sink: &mut F,
+        ev: &mut EventBuffer<'_>,
     ) -> Result<(u32, bool), DecodeError> {
         let (region, bbs) = form_region(mem, entry, &self.prof, &self.cfg)?;
         let block = translate_region(&region);
@@ -360,7 +402,8 @@ impl Tol {
         };
         let insts = lower(&block, &map);
         let body_len = insts.len() as u32 - 1 - block.stubs.len() as u32;
-        self.em.sb_optimize(sink, bbs as usize, ir_len, insts.len());
+        let host_len = insts.len() as u32;
+        self.em.sb_optimize(ev, bbs as usize, ir_len, insts.len());
         self.counters.sbm_invocations += 1;
         let pcs: Vec<u32> = region.iter().map(|r| r.pc).collect();
         self.prof.mark_static(pcs.iter().copied(), StaticMode::Sbm);
@@ -377,17 +420,19 @@ impl Tol {
             self.ibtc.clear();
             self.spec_targets.clear();
         }
+        ev.push(HostEvent::Translated { entry, kind: TranslationKind::Sb, host_len });
+        ev.push(HostEvent::CacheInsert { entry, flushed });
         Ok((id, flushed))
     }
 
     /// Follows promotion redirects (the patched entry jump of a promoted
     /// BBM block), charging one application-side jump per hop.
-    fn resolve_redirects<F: FnMut(&DynInst)>(&mut self, mut bid: u32, sink: &mut F) -> u32 {
+    fn resolve_redirects(&mut self, mut bid: u32, ev: &mut EventBuffer<'_>) -> u32 {
         while let Some(r) = self.cc.block(bid).redirect {
             let pc = self.cc.block(bid).host_base;
             let target = self.cc.block(r).host_base;
-            sink(
-                &DynInst::plain(pc, darco_host::ExecClass::Jump, darco_host::Component::AppCode)
+            ev.retire(
+                DynInst::plain(pc, darco_host::ExecClass::Jump, darco_host::Component::AppCode)
                     .with_branch(BranchKind::UncondDirect, target, true),
             );
             self.em.emitted[0] += 1;
@@ -399,21 +444,21 @@ impl Tol {
     /// Executes chained translations starting at the current guest pc
     /// (which must be translated), until control returns to the software
     /// layer, the program halts, or the budget expires.
-    fn run_translated<F: FnMut(&DynInst)>(
+    fn run_translated(
         &mut self,
         mem: &mut GuestMem,
-        sink: &mut F,
+        ev: &mut EventBuffer<'_>,
         budget: u64,
     ) -> Result<u64, DecodeError> {
         if !self.resume_translated {
-            self.em.transition(sink); // context restore, TOL -> app
+            self.em.transition(ev); // context restore, TOL -> app
         }
         self.resume_translated = false;
         let mut executed = 0u64;
         let mut bid = self.cc.lookup(self.guest_pc).expect("caller checked lookup");
 
         loop {
-            let (exit, exit_idx, guest_n, cond_taken) = self.exec_block(bid, mem, sink);
+            let (exit, exit_idx, guest_n, cond_taken) = self.exec_block(bid, mem, ev);
             executed += guest_n;
             self.counters.guest_insts += guest_n;
 
@@ -427,7 +472,7 @@ impl Tol {
             let mode = if kind == BlockKind::Bb { StaticMode::Bbm } else { StaticMode::Sbm };
             self.prof.count_dynamic(mode, guest_n);
             if kind == BlockKind::Bb {
-                self.em.bbm_instrumentation(sink, host_base + 4 * exit_idx as u64, entry);
+                self.em.bbm_instrumentation(ev, host_base + 4 * exit_idx as u64, entry);
                 if let Some(taken) = cond_taken {
                     self.prof.record_edge(entry, taken);
                 }
@@ -438,7 +483,7 @@ impl Tol {
             let mut next: Option<u32> = match exit {
                 Exit::Halt => {
                     self.halted = true;
-                    self.em.transition(sink);
+                    self.em.transition(ev);
                     return Ok(executed);
                 }
                 Exit::Direct { guest_target, link } => {
@@ -449,20 +494,22 @@ impl Tol {
                         // One trip into the layer either way: to patch
                         // the exit (chaining) or just to re-dispatch.
                         self.counters.tol_entries += 1;
-                        self.em.transition(sink);
+                        self.em.transition(ev);
                         if self.cfg.chaining {
-                            self.em.chain(sink, host_base + 4 * exit_idx as u64);
+                            let site = host_base + 4 * exit_idx as u64;
+                            self.em.chain(ev, site);
                             self.cc.chain(bid, exit_idx, to);
+                            ev.push(HostEvent::Chained { site });
                         } else {
-                            self.em.dispatch(sink, mode);
-                            self.em.map_lookup(sink, guest_target, true);
+                            self.em.dispatch(ev, mode);
+                            self.em.map_lookup(ev, guest_target, true);
                         }
-                        self.em.transition(sink);
+                        self.em.transition(ev);
                         Some(to)
                     } else {
                         // Unknown target: back to the dispatcher.
                         self.counters.tol_entries += 1;
-                        self.em.transition(sink);
+                        self.em.transition(ev);
                         return Ok(executed);
                     }
                 }
@@ -482,7 +529,7 @@ impl Tol {
                         if let Some(&(t, to)) = self.spec_targets.get(&spec_key) {
                             let hit = t == target;
                             let to_base = self.cc.block(to).host_base;
-                            self.em.spec_check(sink, site_pc, hit, to_base);
+                            self.em.spec_check(ev, site_pc, hit, to_base);
                             if hit {
                                 self.counters.spec_hits += 1;
                                 speculated = Some(to);
@@ -498,20 +545,22 @@ impl Tol {
                         let resolved = match self.ibtc.lookup(target) {
                             Some(to) => {
                                 let to_base = self.cc.block(to).host_base;
-                                self.em.ibtc_probe_inline(sink, site_pc, slot, true, to_base);
+                                ev.push(HostEvent::IbtcResolve { target, hit: true });
+                                self.em.ibtc_probe_inline(ev, site_pc, slot, true, to_base);
                                 Some(to)
                             }
                             None => {
-                                self.em.ibtc_probe_inline(sink, site_pc, slot, false, 0);
+                                ev.push(HostEvent::IbtcResolve { target, hit: false });
+                                self.em.ibtc_probe_inline(ev, site_pc, slot, false, 0);
                                 self.counters.tol_entries += 1;
-                                self.em.transition(sink);
+                                self.em.transition(ev);
                                 let found = self.cc.lookup(target);
-                                self.em.map_lookup(sink, target, found.is_some());
+                                self.em.map_lookup(ev, target, found.is_some());
                                 match found {
                                     Some(to) => {
                                         self.ibtc.update(target, to);
-                                        self.em.ibtc_update(sink, slot);
-                                        self.em.transition(sink);
+                                        self.em.ibtc_update(ev, slot);
+                                        self.em.transition(ev);
                                         Some(to)
                                     }
                                     None => return Ok(executed),
@@ -547,12 +596,12 @@ impl Tol {
             {
                 self.cc.block_mut(bid).promoted = true;
                 self.counters.tol_entries += 1;
-                self.em.transition(sink);
-                let (sb, flushed) = self.install_sb(entry, mem, sink)?;
+                self.em.transition(ev);
+                let (sb, flushed) = self.install_sb(entry, mem, ev)?;
                 if flushed {
                     // Every id (including `next` and chain links) is
                     // stale; re-enter through the dispatcher.
-                    self.em.transition(sink);
+                    self.em.transition(ev);
                     let _ = sb;
                     next = self.cc.lookup(self.guest_pc);
                     if next.is_none() {
@@ -560,11 +609,11 @@ impl Tol {
                     }
                 } else {
                     self.cc.block_mut(bid).redirect = Some(sb);
-                    self.em.transition(sink);
+                    self.em.transition(ev);
                 }
             }
 
-            bid = self.resolve_redirects(next.expect("next block decided"), sink);
+            bid = self.resolve_redirects(next.expect("next block decided"), ev);
 
             if executed >= budget {
                 // Budget pause (simulation artifact): no transition cost.
@@ -578,11 +627,11 @@ impl Tol {
     /// host instructions. Returns the exit, the host index of the exit
     /// instruction, guest instructions retired, and — when the block ends
     /// in a conditional branch — whether it was taken.
-    fn exec_block<F: FnMut(&DynInst)>(
+    fn exec_block(
         &mut self,
         bid: u32,
         mem: &mut GuestMem,
-        sink: &mut F,
+        ev: &mut EventBuffer<'_>,
     ) -> (Exit, usize, u64, Option<bool>) {
         let block = self.cc.block(bid);
         let host_base = block.host_base;
@@ -672,7 +721,7 @@ impl Tol {
                 _ => {}
             }
             app_insts += 1;
-            sink(&d);
+            ev.retire(d);
 
             match outcome {
                 Outcome::Next => idx += 1,
@@ -789,7 +838,7 @@ mod tests {
         cpu.set_gpr(Gpr::Esp, 0x10_0000);
         tol.set_state(&cpu);
         let mut count = 0u64;
-        let mut sink = |_: &DynInst| count += 1;
+        let mut sink = darco_host::RetireSink(|_: &DynInst| count += 1);
         tol.run(mem, &mut sink, 50_000_000).unwrap();
         (tol, count)
     }
@@ -878,7 +927,7 @@ mod tests {
         let mut cpu = CpuState::at(entry);
         cpu.set_gpr(Gpr::Esp, 0x10_0000);
         tol.set_state(&cpu);
-        let mut sink = |_: &DynInst| {};
+        let mut sink = darco_host::NullSink;
         // Tiny budgets force many pauses inside translated execution.
         while !tol.is_done() {
             tol.step(&mut mem, &mut sink, 7).unwrap();
@@ -942,11 +991,11 @@ mod tests {
         cpu.set_gpr(Gpr::Esp, 0x10_0000);
         tol.set_state(&cpu);
         let mut prefetches = 0u64;
-        let mut sink = |d: &DynInst| {
+        let mut sink = darco_host::RetireSink(|d: &DynInst| {
             if d.mem.is_some_and(|m| m.is_prefetch) {
                 prefetches += 1;
             }
-        };
+        });
         tol.run(&mut mem, &mut sink, 50_000_000).unwrap();
         assert!(ref_cpu.arch_eq(&tol.emulated_state()), "prefetching must be transparent");
         assert!(prefetches > 0, "superblocks with loads must carry prefetches");

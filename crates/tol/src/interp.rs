@@ -10,7 +10,7 @@
 use crate::emission::Emitter;
 use darco_guest::exec::{self, StepInfo};
 use darco_guest::{CpuState, DecodeError, GuestMem};
-use darco_host::DynInst;
+use darco_host::events::EventBuffer;
 
 /// Interprets one guest instruction: executes it functionally on `cpu`
 /// and emits the IM host-cost stream.
@@ -18,15 +18,15 @@ use darco_host::DynInst;
 /// # Errors
 ///
 /// Propagates decode failures from the guest instruction stream.
-pub fn step<F: FnMut(&DynInst)>(
+pub fn step(
     cpu: &mut CpuState,
     mem: &mut GuestMem,
     em: &mut Emitter,
-    sink: &mut F,
+    ev: &mut EventBuffer<'_>,
 ) -> Result<StepInfo, DecodeError> {
     let pc = cpu.eip;
     let info = exec::step(cpu, mem)?;
-    em.interp_step(sink, pc, &info);
+    em.interp_step(ev, pc, &info);
     Ok(info)
 }
 
@@ -56,10 +56,12 @@ mod tests {
         let mut interp = CpuState::at(p.base);
         let mut em = Emitter::new();
         let mut n = 0u64;
-        let mut sink = |_: &DynInst| n += 1;
+        let mut sink = darco_host::events::RetireSink(|_: &darco_host::DynInst| n += 1);
+        let mut ev = EventBuffer::new(64, &mut sink);
         while !interp.halted {
-            step(&mut interp, &mut mem_b, &mut em, &mut sink).unwrap();
+            step(&mut interp, &mut mem_b, &mut em, &mut ev).unwrap();
         }
+        ev.flush();
 
         assert!(direct.arch_eq(&interp));
         assert!(n > 20, "interpretation must cost host instructions, got {n}");
@@ -71,7 +73,8 @@ mod tests {
         mem.write_u8(0x100, 0xFF); // invalid opcode
         let mut cpu = CpuState::at(0x100);
         let mut em = Emitter::new();
-        let mut sink = |_: &DynInst| {};
-        assert!(step(&mut cpu, &mut mem, &mut em, &mut sink).is_err());
+        let mut sink = darco_host::events::NullSink;
+        let mut ev = EventBuffer::new(64, &mut sink);
+        assert!(step(&mut cpu, &mut mem, &mut em, &mut ev).is_err());
     }
 }

@@ -41,7 +41,8 @@
 //!
 //! let mut tol = Tol::new(TolConfig::default(), p.base);
 //! let mut host_insts = 0u64;
-//! tol.run(&mut mem, &mut |_d| host_insts += 1, u64::MAX)?;
+//! let mut sink = darco_host::RetireSink(|_d: &darco_host::DynInst| host_insts += 1);
+//! tol.run(&mut mem, &mut sink, u64::MAX)?;
 //! assert_eq!(tol.emulated_state().gpr(Gpr::Eax), 42);
 //! assert!(host_insts > 3, "emulation costs host instructions");
 //! # Ok::<(), darco_guest::DecodeError>(())

@@ -16,7 +16,7 @@
 
 use darco::guest::asm::Asm;
 use darco::guest::{exec, AluOp, Cond, CpuState, Gpr, GuestMem, Inst, MemRef};
-use darco::host::DynInst;
+use darco::host::{DynInst, RetireSink};
 use darco::timing::{Pipeline, TimingConfig};
 use darco::tol::{Tol, TolConfig};
 
@@ -89,7 +89,7 @@ fn main() {
     tol.set_state(&initial);
     let mut pipeline = Pipeline::new(TimingConfig::default());
     let mut emu_mem = mem;
-    let mut sink = |d: &DynInst| pipeline.retire(d);
+    let mut sink = RetireSink(|d: &DynInst| pipeline.retire(d));
     let guest_insts = tol.run(&mut emu_mem, &mut sink, u64::MAX).expect("tol run");
 
     // Verify against the reference, then report.

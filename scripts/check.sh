@@ -11,6 +11,9 @@ cargo fmt --check
 echo "== cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo build --release --workspace"
+cargo build --release --workspace
+
 echo "== cargo test -q --workspace"
 cargo test -q --workspace
 

@@ -1,0 +1,89 @@
+//! Determinism of the host-event stream across timing-sink schedules.
+//!
+//! The contract of the event bus (DESIGN.md §9) is that consumers see
+//! the exact retire-order stream in the exact same batches regardless of
+//! where they run. These tests pin the strongest observable consequence:
+//! a run with the timing pipelines overlapped on a worker thread
+//! produces a byte-identical [`Report`] to the inline run.
+//!
+//! [`Report`]: darco::core::Report
+
+use darco::core::{Report, System, SystemConfig};
+use darco::workloads::{generate, suites};
+
+fn run(profile_idx: usize, scale: f64, threaded: bool, cosim: bool) -> Report {
+    let profiles = suites::all_profiles();
+    let cfg = SystemConfig {
+        cosim,
+        app_only_pipeline: true,
+        tol_only_pipeline: true,
+        window_guest_insts: 20_000,
+        threaded_timing: threaded,
+        ..SystemConfig::default()
+    };
+    let mut sys = System::new(generate(&profiles[profile_idx], scale), cfg);
+    sys.run_to_completion()
+}
+
+/// Serializes a value (for a whole [`Report`]: timing stats, filtered
+/// pipelines, timeline windows, TOL summary, trace statistics) so any
+/// divergence anywhere fails the comparison.
+fn fingerprint<T: serde::Serialize>(v: &T) -> String {
+    serde_json::to_string(v).expect("serialize")
+}
+
+#[test]
+fn threaded_timing_is_bit_identical_across_profiles() {
+    for idx in 0..3 {
+        let inline = run(idx, 0.05, false, false);
+        let threaded = run(idx, 0.05, true, false);
+        assert!(inline.timing.total_cycles > 0);
+        assert!(inline.trace.batches > 0, "event stream must be batched");
+        assert_eq!(
+            fingerprint(&inline),
+            fingerprint(&threaded),
+            "profile {} diverged between inline and threaded timing",
+            inline.name
+        );
+    }
+}
+
+#[test]
+fn threaded_timing_is_bit_identical_with_cosim() {
+    let inline = run(0, 0.03, false, true);
+    let threaded = run(0, 0.03, true, true);
+    assert!(inline.cosim_checks > 0, "checker must run as a sink");
+    assert_eq!(fingerprint(&inline), fingerprint(&threaded));
+}
+
+#[test]
+fn per_instruction_batching_matches_default() {
+    // `event_batch = 1` degenerates to per-instruction delivery; the
+    // stream contents (and thus the report) must not depend on the
+    // batch size, only the batch structure does.
+    let mut cfg = SystemConfig {
+        cosim: false,
+        app_only_pipeline: true,
+        tol_only_pipeline: true,
+        window_guest_insts: 20_000,
+        ..SystemConfig::default()
+    };
+    let profiles = suites::all_profiles();
+    let batched = {
+        let mut sys = System::new(generate(&profiles[0], 0.05), cfg.clone());
+        sys.run_to_completion()
+    };
+    cfg.tol.event_batch = 1;
+    let per_inst = {
+        let mut sys = System::new(generate(&profiles[0], 0.05), cfg);
+        sys.run_to_completion()
+    };
+    assert!(batched.trace.max_batch > 1);
+    assert_eq!(per_inst.trace.max_batch, 1);
+    // Everything except the batch accounting is identical.
+    assert_eq!(batched.timing.total_cycles, per_inst.timing.total_cycles);
+    assert_eq!(batched.guest_insts, per_inst.guest_insts);
+    assert_eq!(batched.trace.retired, per_inst.trace.retired);
+    assert_eq!(batched.trace.component_insts, per_inst.trace.component_insts);
+    assert_eq!(fingerprint(&batched.timeline), fingerprint(&per_inst.timeline));
+}

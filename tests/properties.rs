@@ -12,7 +12,7 @@ use darco::guest::asm::Asm;
 use darco::guest::{
     exec, AluOp, Cond, CpuState, FpOp, FpReg, Gpr, GuestMem, Inst, MemRef, MemWidth, Scale, ShiftOp,
 };
-use darco::host::DynInst;
+use darco::host::NullSink;
 use darco::tol::{Tol, TolConfig};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -199,7 +199,7 @@ fn run_tol(mem: &GuestMem, cpu: &CpuState, cfg: TolConfig) -> (CpuState, u64) {
     let mut mem = mem.clone();
     let mut tol = Tol::new(cfg, cpu.eip);
     tol.set_state(cpu);
-    let mut sink = |_: &DynInst| {};
+    let mut sink = NullSink;
     let n = tol.run(&mut mem, &mut sink, 10_000_000).expect("tol run");
     (tol.emulated_state(), n)
 }
