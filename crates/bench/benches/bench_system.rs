@@ -1,0 +1,40 @@
+//! End-to-end system throughput: one small profile through the full
+//! `System::run_to_completion` (functional emulation, TOL, event bus and
+//! all three timing pipelines), in the shipping configuration.
+//!
+//! This is the number `scripts/bench.sh` reports: it reflects every
+//! layer at once, so it moves with any retirement-path change even when
+//! a microbenchmark would not.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use darco_core::{System, SystemConfig};
+use darco_workloads::{generate, suites};
+
+const SCALE: f64 = 0.05;
+
+fn run_once() -> u64 {
+    let cfg = SystemConfig {
+        cosim: false,
+        app_only_pipeline: true,
+        tol_only_pipeline: true,
+        ..SystemConfig::default()
+    };
+    let w = generate(&suites::quicktest_profile(), SCALE);
+    let mut sys = System::new(w, cfg);
+    sys.run_to_completion().trace.retired
+}
+
+fn bench(c: &mut Criterion) {
+    let events = run_once();
+    let mut g = c.benchmark_group("bench_system");
+    g.throughput(Throughput::Elements(events));
+    g.bench_function("quicktest_full_system", |b| b.iter(|| black_box(run_once())));
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

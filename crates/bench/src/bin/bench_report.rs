@@ -1,0 +1,116 @@
+//! End-to-end throughput report: runs one small profile through the full
+//! system a few times, keeps the best wall-clock, and writes a
+//! machine-readable JSON summary (`scripts/bench.sh` drives this).
+//!
+//! ```text
+//! bench_report [OUT.json] [--scale S] [--reps N]
+//! ```
+//!
+//! Reported metrics:
+//!
+//! * `guest_mips`            — emulated guest instructions per second,
+//! * `host_events_per_sec`   — retired host events through the bus,
+//! * `mode_shares`           — dynamic guest-instruction share per
+//!   execution mode `[IM, BBM, SBM]` (they describe the workload, and
+//!   pin that a speed change did not alter what was simulated).
+
+use darco_core::{Report, System, SystemConfig};
+use darco_workloads::{generate, suites};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct ModeShares {
+    im: f64,
+    bbm: f64,
+    sbm: f64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    benchmark: String,
+    scale: f64,
+    reps: usize,
+    best_wall_seconds: f64,
+    guest_insts: u64,
+    host_events: u64,
+    guest_mips: f64,
+    host_events_per_sec: f64,
+    mode_shares: ModeShares,
+}
+
+fn run_once(scale: f64) -> (Report, f64) {
+    let cfg = SystemConfig {
+        cosim: false,
+        app_only_pipeline: true,
+        tol_only_pipeline: true,
+        ..SystemConfig::default()
+    };
+    let w = generate(&suites::quicktest_profile(), scale);
+    let mut sys = System::new(w, cfg);
+    let t0 = std::time::Instant::now();
+    let report = sys.run_to_completion();
+    (report, t0.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = String::from("BENCH_report.json");
+    let mut scale = 0.05;
+    let mut reps = 3usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("error: --scale needs a number");
+                    std::process::exit(2)
+                });
+            }
+            "--reps" => {
+                reps = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("error: --reps needs a count");
+                    std::process::exit(2)
+                });
+            }
+            path if !path.starts_with('-') => out = path.to_owned(),
+            other => {
+                eprintln!("error: unknown flag {other}");
+                std::process::exit(2)
+            }
+        }
+    }
+
+    // One warm-up run, then keep the fastest of `reps` timed runs.
+    let (report, _) = run_once(scale);
+    let mut best = f64::MAX;
+    for _ in 0..reps.max(1) {
+        let (_, secs) = run_once(scale);
+        best = best.min(secs);
+    }
+
+    let dyn_dist = report.tol.dyn_dist;
+    let dyn_total: u64 = dyn_dist.iter().sum();
+    let share = |n: u64| n as f64 / dyn_total.max(1) as f64;
+    let summary = BenchReport {
+        benchmark: report.name.clone(),
+        scale,
+        reps,
+        best_wall_seconds: best,
+        guest_insts: report.guest_insts,
+        host_events: report.trace.retired,
+        guest_mips: report.guest_insts as f64 / best / 1e6,
+        host_events_per_sec: report.trace.retired as f64 / best,
+        mode_shares: ModeShares {
+            im: share(dyn_dist[0]),
+            bbm: share(dyn_dist[1]),
+            sbm: share(dyn_dist[2]),
+        },
+    };
+    let json = serde_json::to_string_pretty(&summary).expect("serialize report");
+    std::fs::write(&out, &json).unwrap_or_else(|e| {
+        eprintln!("error: write {out}: {e}");
+        std::process::exit(1)
+    });
+    println!("{json}");
+    eprintln!("wrote {out}");
+}

@@ -1,7 +1,7 @@
 //! Regenerates every figure of the paper's evaluation section.
 //!
 //! ```text
-//! figures <command> [--scale S] [--quick] [--json FILE]
+//! figures <command> [--scale S] [--quick] [--jobs N] [--json FILE]
 //!
 //! commands:
 //!   all        every figure below
@@ -35,6 +35,7 @@ fn main() {
     let mut command = String::from("all");
     let mut scale: Option<f64> = None;
     let mut quick = false;
+    let mut jobs: Option<usize> = None;
     let mut json_path: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -47,6 +48,16 @@ fn main() {
                 );
             }
             "--quick" => quick = true,
+            "--jobs" => {
+                let n: usize = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--jobs needs a thread count"));
+                if n == 0 {
+                    die("--jobs must be at least 1");
+                }
+                jobs = Some(n);
+            }
             "--json" => {
                 json_path = Some(it.next().unwrap_or_else(|| die("--json needs a path")).clone());
             }
@@ -76,7 +87,7 @@ fn main() {
     }
 
     eprintln!("running {} benchmarks at scale {} ...", suites::all_profiles().len(), cfg.scale);
-    let runs = run_all(&cfg);
+    let runs = run_all(&cfg, jobs);
     if let Some(path) = &json_path {
         let json = serde_json::to_string_pretty(&runs).expect("serialize runs");
         std::fs::write(path, json).unwrap_or_else(|e| die(&format!("write {path}: {e}")));
@@ -108,18 +119,22 @@ fn main() {
 
 const HELP: &str = "figures <all|table1|fig5a|fig5b|fig6|fig7|fig8|fig9|fig10|fig11|startup|\
 ablate-thresholds|ablate-ibtc|ablate-passes|ablate-codecache|ablate-future> \
-[--scale S] [--quick] [--json FILE]";
+[--scale S] [--quick] [--jobs N] [--json FILE]";
 
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}\n{HELP}");
     std::process::exit(2)
 }
 
-fn run_all(cfg: &RunConfig) -> Vec<BenchRun> {
+fn run_all(cfg: &RunConfig, jobs: Option<usize>) -> Vec<BenchRun> {
     let profiles = suites::all_profiles();
-    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let threads =
+        jobs.unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
     eprintln!("  using {threads} worker threads");
-    experiments::run_set_parallel(&profiles, cfg, threads)
+    let t0 = std::time::Instant::now();
+    let runs = experiments::run_set_parallel(&profiles, cfg, threads);
+    eprintln!("  {} runs in {:.2?} with --jobs {threads}", runs.len(), t0.elapsed());
+    runs
 }
 
 fn heading(title: &str) {

@@ -6,6 +6,8 @@
 //! ```text
 //! darco list                         # the 48-benchmark roster
 //! darco run <benchmark> [opts]      # full system run + report
+//! darco run-set [benchmark ...]     # batch of runs across worker
+//!                                    # threads (default: whole roster)
 //! darco verify <benchmark> [opts]   # run with the IR verifier forced on
 //! darco trace <benchmark> [opts]    # guest instruction trace
 //! darco disasm <benchmark> [opts]   # hottest translations, disassembled
@@ -18,8 +20,10 @@
 //!          --cosim              enable co-simulation checking (run)
 //!          --threaded-timing    overlap the timing simulator on a
 //!                               worker thread (bit-identical results)
+//!          --jobs N             worker threads for run-set (default:
+//!                               all available cores)
 //!          --n N                rows/instructions to print (trace/disasm)
-//!          --json               machine-readable output (run)
+//!          --json               machine-readable output (run, run-set)
 //! ```
 
 use darco_core::{Report, System, SystemConfig};
@@ -38,6 +42,7 @@ fn main() {
     match command.as_str() {
         "list" => list(),
         "run" => run(rest),
+        "run-set" => run_set(rest),
         "verify" => verify(rest),
         "trace" => trace(rest),
         "disasm" => disasm(rest),
@@ -54,8 +59,8 @@ fn main() {
 
 fn usage() {
     eprintln!(
-        "darco <list|run|verify|trace|disasm|timeline|export-profile> [benchmark] \
-         [--profile FILE] [--scale S] [--cosim] [--threaded-timing] [--n N] [--json]"
+        "darco <list|run|run-set|verify|trace|disasm|timeline|export-profile> [benchmark ...] \
+         [--profile FILE] [--scale S] [--cosim] [--threaded-timing] [--jobs N] [--n N] [--json]"
     );
 }
 
@@ -167,6 +172,88 @@ fn run(rest: &[String]) {
         return;
     }
     print_report(&report);
+}
+
+// -------------------------------------------------------------- run-set
+
+/// `darco run-set`: runs a batch of benchmarks (the whole roster when
+/// none are named) across `--jobs` worker threads. Each benchmark is an
+/// independent system, so results are identical at any thread count;
+/// only the wall-clock changes.
+fn run_set(rest: &[String]) {
+    let mut names: Vec<String> = Vec::new();
+    let mut scale = 0.5;
+    let mut jobs: Option<usize> = None;
+    let mut cosim = false;
+    let mut threaded_timing = false;
+    let mut json = false;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| bail("--scale needs a number"));
+            }
+            "--jobs" => {
+                let n: usize = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| bail("--jobs needs a thread count"));
+                if n == 0 {
+                    bail("--jobs must be at least 1");
+                }
+                jobs = Some(n);
+            }
+            "--cosim" => cosim = true,
+            "--threaded-timing" => threaded_timing = true,
+            "--json" => json = true,
+            name if !name.starts_with('-') => names.push(name.to_owned()),
+            other => bail(&format!("unknown flag {other}")),
+        }
+    }
+    let profiles: Vec<BenchProfile> = if names.is_empty() {
+        suites::all_profiles()
+    } else {
+        names
+            .iter()
+            .map(|n| {
+                suites::by_name(n).unwrap_or_else(|| {
+                    if n == "quicktest" {
+                        suites::quicktest_profile()
+                    } else {
+                        bail(&format!("unknown benchmark {n}; try `darco list`"))
+                    }
+                })
+            })
+            .collect()
+    };
+    let jobs = jobs.unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+    let cfg = darco_core::RunConfig { scale, cosim, threaded_timing, ..Default::default() };
+    eprintln!("running {} benchmark(s) at scale {scale} on {jobs} thread(s) ...", profiles.len());
+    let t0 = std::time::Instant::now();
+    let runs = darco_core::experiments::run_set_parallel(&profiles, &cfg, jobs);
+    let elapsed = t0.elapsed();
+    if json {
+        println!("{}", serde_json::to_string_pretty(&runs).expect("serialize"));
+    } else {
+        println!(
+            "{:22} {:>14} {:>14} {:>7} {:>9}",
+            "benchmark", "guest insts", "host cycles", "IPC", "TOL ovh"
+        );
+        for r in &runs {
+            println!(
+                "{:22} {:>14} {:>14} {:>7.3} {:>8.1}%",
+                r.name,
+                r.report.guest_insts,
+                r.report.timing.total_cycles,
+                r.report.timing.ipc(),
+                r.report.timing.tol_overhead_share() * 100.0,
+            );
+        }
+    }
+    eprintln!("run-set: {} benchmark(s) in {:.2?} with --jobs {jobs}", runs.len(), elapsed);
 }
 
 // --------------------------------------------------------------- verify

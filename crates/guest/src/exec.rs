@@ -171,6 +171,13 @@ pub fn step(cpu: &mut CpuState, mem: &mut GuestMem) -> Result<StepInfo, DecodeEr
     debug_assert!(!cpu.halted, "step() after halt");
     let window = mem.window(cpu.eip, MAX_INST_LEN);
     let (inst, len) = decode(&window)?;
+    Ok(exec_decoded(cpu, mem, inst, len))
+}
+
+/// Executes an already-decoded instruction at `cpu.eip` (`len` is its
+/// encoded length). This is [`step`] minus the fetch/decode, for callers
+/// that cache decode results; execution itself cannot fail.
+pub fn exec_decoded(cpu: &mut CpuState, mem: &mut GuestMem, inst: Inst, len: usize) -> StepInfo {
     let next = cpu.eip.wrapping_add(len as u32);
     let mut accesses = AccessList::default();
     let mut control = Control::Next;
@@ -387,7 +394,7 @@ pub fn step(cpu: &mut CpuState, mem: &mut GuestMem) -> Result<StepInfo, DecodeEr
         Control::Halt => cpu.eip,
     };
 
-    Ok(StepInfo { inst, len, control, accesses })
+    StepInfo { inst, len, control, accesses }
 }
 
 #[cfg(test)]

@@ -10,9 +10,17 @@ const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
 const PAGE_MASK: u32 = (PAGE_SIZE as u32) - 1;
 
 /// Sparse 32-bit guest address space with 4 KiB pages.
+///
+/// Every write bumps a global write-generation counter and stamps the
+/// touched page with it, so consumers that cache derived views of memory
+/// (e.g. the interpreter's decoded-instruction cache) can detect
+/// self-modifying code with one [`GuestMem::page_gen`] comparison.
 #[derive(Debug, Clone, Default)]
 pub struct GuestMem {
     pages: std::collections::HashMap<u32, Box<[u8; PAGE_SIZE]>>,
+    /// Write generation per touched page (absent pages are generation 0).
+    gens: std::collections::HashMap<u32, u64>,
+    write_gen: u64,
 }
 
 impl GuestMem {
@@ -38,9 +46,24 @@ impl GuestMem {
     /// Writes one byte, allocating the page if needed.
     #[inline]
     pub fn write_u8(&mut self, addr: u32, val: u8) {
-        let page =
-            self.pages.entry(addr >> PAGE_SHIFT).or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+        let pn = addr >> PAGE_SHIFT;
+        self.write_gen += 1;
+        self.gens.insert(pn, self.write_gen);
+        let page = self.pages.entry(pn).or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
         page[(addr & PAGE_MASK) as usize] = val;
+    }
+
+    /// Write generation of the page containing `addr`: strictly
+    /// monotonic across writes anywhere, per-page precise. A page never
+    /// written is generation 0.
+    #[inline]
+    pub fn page_gen(&self, addr: u32) -> u64 {
+        self.gens.get(&(addr >> PAGE_SHIFT)).copied().unwrap_or(0)
+    }
+
+    /// The global write-generation counter (total writes performed).
+    pub fn write_gen(&self) -> u64 {
+        self.write_gen
     }
 
     /// Reads a little-endian 16-bit halfword.
@@ -186,6 +209,23 @@ mod tests {
         let mut back = vec![0u8; 256];
         m.read_bytes(0x5000, &mut back);
         assert_eq!(back, data);
+    }
+
+    #[test]
+    fn write_generations_are_per_page_precise() {
+        let mut m = GuestMem::new();
+        assert_eq!(m.page_gen(0x1000), 0);
+        m.write_u8(0x1000, 1);
+        let g1 = m.page_gen(0x1000);
+        assert!(g1 > 0);
+        // A write to a *different* page leaves this page's stamp alone.
+        m.write_u8(0x5000, 2);
+        assert_eq!(m.page_gen(0x1000), g1);
+        assert!(m.page_gen(0x5000) > g1);
+        // A second write to the same page advances its stamp.
+        m.write_u8(0x1FFF, 3);
+        assert!(m.page_gen(0x1000) > g1);
+        assert_eq!(m.write_gen(), 3);
     }
 
     #[test]

@@ -177,6 +177,7 @@ impl<'a> EventBuffer<'a> {
     }
 
     /// Appends one event, flushing if the batch is full.
+    #[inline]
     pub fn push(&mut self, e: HostEvent) {
         self.buf.push(e);
         if self.buf.len() >= self.capacity {

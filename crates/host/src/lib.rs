@@ -43,6 +43,7 @@ pub mod isa;
 pub mod layout;
 pub mod state;
 pub mod stream;
+pub mod template;
 
 pub use events::{
     EventBuffer, ExecMode, HostEvent, HostEventSink, NullSink, RetireSink, TraceStats,
@@ -51,3 +52,4 @@ pub use events::{
 pub use isa::{Exit, FlagsKind, HAluOp, HCond, HFreg, HInst, HReg, Width};
 pub use state::{eval_alu, exec_inst, HostState, Outcome};
 pub use stream::{BranchKind, Component, DynInst, ExecClass, MemEvent, Owner};
+pub use template::{compile_block, RetireDyn, RetireTemplate};

@@ -9,7 +9,7 @@
 //! software layer (Sec. III-B).
 
 use darco_host::layout::CODE_CACHE_BASE;
-use darco_host::{Exit, HInst};
+use darco_host::{compile_block, Exit, HInst, RetireTemplate};
 use std::collections::HashMap;
 
 /// Which mode produced a translation.
@@ -31,6 +31,10 @@ pub struct TranslatedBlock {
     /// The translated host code: body, then fall-through exit, then
     /// side-exit stubs.
     pub insts: Vec<HInst>,
+    /// Per-instruction retirement templates (parallel to `insts`),
+    /// compiled once at install time so the execution loop never
+    /// re-derives static retirement metadata.
+    pub templates: Vec<RetireTemplate>,
     /// Producing mode.
     pub kind: BlockKind,
     /// Host-instruction index of the fall-through exit (= body length).
@@ -134,10 +138,12 @@ impl CodeCache {
         self.used += insts.len() as u32;
         self.stats.installed += 1;
         let id = self.blocks.len() as u32;
+        let templates = compile_block(&insts, host_base);
         self.blocks.push(TranslatedBlock {
             guest_entry,
             host_base,
             insts,
+            templates,
             kind,
             body_len,
             stub_guest_counts,
@@ -225,6 +231,16 @@ mod tests {
         assert_eq!(cc.lookup(0x104), None);
         assert_eq!(cc.block(id).guest_len, 3);
         assert_eq!(cc.used(), 2);
+    }
+
+    #[test]
+    fn install_compiles_templates() {
+        let mut cc = CodeCache::new(100);
+        let (id, _) = cc.install(0x100, tiny_block(), BlockKind::Bb, 1, vec![], 3, vec![0x100]);
+        let b = cc.block(id);
+        assert_eq!(b.templates.len(), b.insts.len());
+        assert_eq!(b.templates[0].inst.pc, b.host_base);
+        assert_eq!(b.templates[1].inst.pc, b.host_base + 4);
     }
 
     #[test]

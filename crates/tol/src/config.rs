@@ -66,6 +66,22 @@ pub struct TolConfig {
     /// [`EventBuffer`]: darco_host::events::EventBuffer
     /// [`HostEvent`]: darco_host::events::HostEvent
     pub event_batch: usize,
+    /// Retire translated code and interpreter cost streams through
+    /// precompiled templates ([`RetireTemplate`] per block instruction,
+    /// per-shape interpreter emission templates) instead of re-deriving
+    /// every record on the hot path. `false` keeps the straight
+    /// re-derivation paths reachable as an oracle for equivalence tests
+    /// and benchmarks; the emitted streams are bit-identical either way.
+    ///
+    /// [`RetireTemplate`]: darco_host::template::RetireTemplate
+    pub retire_templates: bool,
+    /// Cache decoded guest instructions in the interpreter (direct-mapped
+    /// by guest pc, invalidated by the [`GuestMem`] per-page write
+    /// generation), so hot not-yet-translated loops skip `decode()`.
+    /// Purely a simulator-speed switch: the emitted stream is unchanged.
+    ///
+    /// [`GuestMem`]: darco_guest::GuestMem
+    pub interp_decode_cache: bool,
 }
 
 impl Default for TolConfig {
@@ -90,6 +106,8 @@ impl Default for TolConfig {
             codecache_scattered: false,
             verify: false,
             event_batch: darco_host::events::EVENT_BATCH,
+            retire_templates: true,
+            interp_decode_cache: true,
         }
     }
 }

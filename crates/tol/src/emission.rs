@@ -24,7 +24,8 @@
 //! DESIGN.md §2.
 
 use crate::profile::StaticMode;
-use darco_guest::exec::StepInfo;
+use crate::translate::RegionInst;
+use darco_guest::exec::{Control, StepInfo};
 use darco_guest::{GuestClass, Inst};
 use darco_host::events::EventBuffer;
 use darco_host::layout::{guest_to_host, TOL_CODE_BASE, TOL_DATA_BASE};
@@ -82,25 +83,192 @@ pub struct Emitter {
     /// Per-component dynamic instruction counters (for reports that do
     /// not involve the timing simulator).
     pub emitted: [u64; 7],
+    /// Build [`Emitter::interp_step`] streams from per-shape templates
+    /// (patching only the per-step fields) instead of re-emitting the
+    /// whole sequence each step. Output is bit-identical either way —
+    /// both paths run the same emission code, once at template-build
+    /// time versus every step.
+    pub interp_templates: bool,
+    /// Per-shape interpreter stream templates, indexed by
+    /// [`shape_key`]. Filled lazily on first encounter of a shape.
+    interp_tpl: Vec<Option<InterpTemplate>>,
+}
+
+/// A recorded interpreter stream for one step shape, plus the indices of
+/// the instructions whose fields vary per step.
+#[derive(Debug)]
+struct InterpTemplate {
+    insts: Vec<DynInst>,
+    marks: InterpMarks,
+}
+
+/// Patch points of an [`InterpTemplate`]: indices into its `insts`.
+#[derive(Debug, Clone, Copy, Default)]
+struct InterpMarks {
+    /// First guest-code fetch (mem addr tracks the guest pc).
+    fetch0: usize,
+    /// Second guest-code fetch (guest pc + 4).
+    fetch1: usize,
+    /// The dispatch branch (its *own* pc is hashed from the guest pc;
+    /// the handler target is shape-static).
+    dispatch: usize,
+    /// Guest data accesses (mem addrs are per-step).
+    acc: [usize; 2],
+    /// The guest-direction conditional branch (taken bit is per-step).
+    jump: usize,
+}
+
+/// Number of distinct interpreter step shapes: opcode (11) × writes-flags
+/// (2) × access pattern (none/load/store per slot, order-preserving: 9)
+/// × has-control-jump (2).
+const INTERP_SHAPES: usize = 11 * 2 * 9 * 2;
+
+/// Flat index of a step's emission shape. Two steps with the same key
+/// emit identical streams up to the fields recorded in [`InterpMarks`]:
+/// the handler body depends only on the class (determined by the
+/// opcode), and every pc and scratch register in the sequence is reset
+/// per call.
+fn shape_key(info: &StepInfo) -> usize {
+    let opcode = opcode_of(&info.inst) as usize;
+    let wf = usize::from(info.inst.writes_flags());
+    let mut acc = 0usize;
+    for (i, a) in info.accesses.iter().enumerate() {
+        let kind = if a.is_store { 2 } else { 1 };
+        acc += kind * 3usize.pow(i as u32);
+    }
+    let jump = usize::from(matches!(info.control, Control::Jump { .. }));
+    ((opcode * 2 + wf) * 9 + acc) * 2 + jump
+}
+
+/// The single implementation of the interpreter's per-step host-cost
+/// stream, generic over the retire target so the live path and the
+/// template recorder run identical code. When `marks` is given, the
+/// indices of the per-step-variable instructions are recorded into it.
+fn emit_interp<T: RetireTarget>(
+    c: &mut Cur<'_, T>,
+    guest_pc: u32,
+    info: &StepInfo,
+    mut marks: Option<&mut InterpMarks>,
+) {
+    let comp = c.comp;
+    let opcode = opcode_of(&info.inst);
+    // Fetch guest code bytes as data (variable length: two probes).
+    if let Some(m) = marks.as_deref_mut() {
+        m.fetch0 = c.count as usize;
+    }
+    c.ld(guest_to_host(guest_pc));
+    c.use_load();
+    if let Some(m) = marks.as_deref_mut() {
+        m.fetch1 = c.count as usize;
+    }
+    c.ld(guest_to_host(guest_pc.wrapping_add(4)));
+    c.alu(2);
+    // Decode-table lookup (small, hot table).
+    c.ld(TOL_DATA_BASE + data::DECODE_TABLE + opcode * 64);
+    c.use_load();
+    // Dispatch: indirect jump to the handler for this opcode. The
+    // interpreter is context-threaded — the dispatch point is
+    // replicated per guest instruction (hashed), so the BTB learns
+    // per-site targets on repeats; predictability still tracks the
+    // guest instruction mix and footprint (the Sec. III-C effect).
+    let handler = TOL_CODE_BASE + code::HANDLERS + opcode * 0x80;
+    c.pc = TOL_CODE_BASE + code::INTERP + 0x400 + ((guest_pc as u64 >> 1) & 0xFF) * 4;
+    if let Some(m) = marks.as_deref_mut() {
+        m.dispatch = c.count as usize;
+    }
+    c.br(BranchKind::Indirect, handler, true);
+    // Handler body.
+    c.pc = handler;
+    match info.inst.class() {
+        GuestClass::Int | GuestClass::Other => c.alu(costs::INTERP_BASE_ALU),
+        GuestClass::IntComplex => {
+            c.alu(costs::INTERP_BASE_ALU);
+            let d = DynInst::plain(c.pc, ExecClass::ComplexInt, comp).with_dst(int_reg(c.reg()));
+            c.push(d);
+        }
+        GuestClass::Fp | GuestClass::FpComplex => {
+            c.alu(costs::INTERP_BASE_ALU - 2);
+            let class = if info.inst.class() == GuestClass::Fp {
+                ExecClass::SimpleFp
+            } else {
+                ExecClass::ComplexFp
+            };
+            c.push(DynInst::plain(c.pc, class, comp));
+        }
+        GuestClass::Load | GuestClass::Store => c.alu(3), // EA computation
+        GuestClass::Branch | GuestClass::Call | GuestClass::Ret | GuestClass::IndirectBranch => {
+            c.alu(4) // target computation
+        }
+    }
+    // The emulated guest data accesses, at their real addresses.
+    for (i, a) in info.accesses.iter().enumerate() {
+        let addr = guest_to_host(a.addr);
+        if let Some(m) = marks.as_deref_mut() {
+            m.acc[i] = c.count as usize;
+        }
+        if a.is_store {
+            c.st(addr);
+        } else {
+            c.ld(addr);
+            c.use_load();
+        }
+    }
+    // Flag emulation.
+    if info.inst.writes_flags() {
+        c.alu(2);
+    }
+    // Guest branch direction decided by a TOL-side conditional branch
+    // whose outcome follows the guest's — one shared static branch
+    // for all guest branches, hence poorly predictable guests hurt.
+    if let Control::Jump { taken, .. } = info.control {
+        if let Some(m) = marks {
+            m.jump = c.count as usize;
+        }
+        c.br(BranchKind::CondDirect, TOL_CODE_BASE + code::INTERP + 0x200, taken);
+    }
+    // Loop back to the interpreter top.
+    c.br(BranchKind::UncondDirect, TOL_CODE_BASE + code::INTERP, true);
 }
 
 fn comp_idx(c: Component) -> usize {
     Component::ALL.iter().position(|x| *x == c).expect("component in ALL")
 }
 
+/// Where a stream-building cursor retires to: the live event buffer, or
+/// a plain vector when recording a template. Using one generic emission
+/// function for both guarantees a template can never diverge from the
+/// stream it stands in for.
+trait RetireTarget {
+    fn retire(&mut self, d: DynInst);
+}
+
+impl RetireTarget for EventBuffer<'_> {
+    #[inline]
+    fn retire(&mut self, d: DynInst) {
+        EventBuffer::retire(self, d);
+    }
+}
+
+impl RetireTarget for Vec<DynInst> {
+    #[inline]
+    fn retire(&mut self, d: DynInst) {
+        self.push(d);
+    }
+}
+
 /// Stream-building cursor: sequential PCs, cycling TOL scratch registers,
 /// one-deep load-use chaining.
-struct Cur<'a, 'b> {
+struct Cur<'a, T: RetireTarget> {
     pc: u64,
     comp: Component,
-    ev: &'a mut EventBuffer<'b>,
+    ev: &'a mut T,
     next_reg: u8,
     last_load: u8,
     count: u64,
 }
 
-impl<'a, 'b> Cur<'a, 'b> {
-    fn new(pc: u64, comp: Component, ev: &'a mut EventBuffer<'b>) -> Self {
+impl<'a, T: RetireTarget> Cur<'a, T> {
+    fn new(pc: u64, comp: Component, ev: &'a mut T) -> Self {
         Cur { pc, comp, ev, next_reg: 48, last_load: 40, count: 0 }
     }
 
@@ -195,83 +363,59 @@ impl Default for Emitter {
 impl Emitter {
     /// Creates an emitter.
     pub fn new() -> Emitter {
-        Emitter { emit_cursor: darco_host::layout::CODE_CACHE_BASE, emitted: [0; 7] }
+        Emitter {
+            emit_cursor: darco_host::layout::CODE_CACHE_BASE,
+            emitted: [0; 7],
+            interp_templates: true,
+            interp_tpl: std::iter::repeat_with(|| None).take(INTERP_SHAPES).collect(),
+        }
     }
 
-    fn track(&mut self, comp: Component, cur: Cur<'_, '_>) {
+    fn track<T: RetireTarget>(&mut self, comp: Component, cur: Cur<'_, T>) {
         self.emitted[comp_idx(comp)] += cur.count;
     }
 
     /// One interpreted guest instruction (IM): dispatch, decode, handler
     /// body, guest data accesses, loop back.
+    ///
+    /// With [`Emitter::interp_templates`] on, the stream for this step's
+    /// shape is recorded once (through the same [`emit_interp`] code the
+    /// direct path runs) and replayed with only the per-step fields
+    /// patched; otherwise the sequence is rebuilt from scratch.
     pub fn interp_step(&mut self, ev: &mut EventBuffer<'_>, guest_pc: u32, info: &StepInfo) {
         let comp = Component::TolIm;
-        let opcode = opcode_of(&info.inst);
-        let mut c = Cur::new(TOL_CODE_BASE + code::INTERP, comp, ev);
-        // Fetch guest code bytes as data (variable length: two probes).
-        c.ld(guest_to_host(guest_pc));
-        c.use_load();
-        c.ld(guest_to_host(guest_pc.wrapping_add(4)));
-        c.alu(2);
-        // Decode-table lookup (small, hot table).
-        c.ld(TOL_DATA_BASE + data::DECODE_TABLE + opcode * 64);
-        c.use_load();
-        // Dispatch: indirect jump to the handler for this opcode. The
-        // interpreter is context-threaded — the dispatch point is
-        // replicated per guest instruction (hashed), so the BTB learns
-        // per-site targets on repeats; predictability still tracks the
-        // guest instruction mix and footprint (the Sec. III-C effect).
-        let handler = TOL_CODE_BASE + code::HANDLERS + opcode * 0x80;
-        c.pc = TOL_CODE_BASE + code::INTERP + 0x400 + ((guest_pc as u64 >> 1) & 0xFF) * 4;
-        c.br(BranchKind::Indirect, handler, true);
-        // Handler body.
-        c.pc = handler;
-        match info.inst.class() {
-            GuestClass::Int | GuestClass::Other => c.alu(costs::INTERP_BASE_ALU),
-            GuestClass::IntComplex => {
-                c.alu(costs::INTERP_BASE_ALU);
-                let d =
-                    DynInst::plain(c.pc, ExecClass::ComplexInt, comp).with_dst(int_reg(c.reg()));
-                c.push(d);
-            }
-            GuestClass::Fp | GuestClass::FpComplex => {
-                c.alu(costs::INTERP_BASE_ALU - 2);
-                let class = if info.inst.class() == GuestClass::Fp {
-                    ExecClass::SimpleFp
-                } else {
-                    ExecClass::ComplexFp
-                };
-                c.push(DynInst::plain(c.pc, class, comp));
-            }
-            GuestClass::Load | GuestClass::Store => c.alu(3), // EA computation
-            GuestClass::Branch
-            | GuestClass::Call
-            | GuestClass::Ret
-            | GuestClass::IndirectBranch => c.alu(4), // target computation
+        if !self.interp_templates {
+            let mut c = Cur::new(TOL_CODE_BASE + code::INTERP, comp, ev);
+            emit_interp(&mut c, guest_pc, info, None);
+            self.track(comp, c);
+            return;
         }
-        // The emulated guest data accesses, at their real addresses.
-        for a in info.accesses.iter() {
-            let addr = guest_to_host(a.addr);
-            if a.is_store {
-                c.st(addr);
-            } else {
-                c.ld(addr);
-                c.use_load();
-            }
+        let key = shape_key(info);
+        if self.interp_tpl[key].is_none() {
+            let mut insts = Vec::new();
+            let mut marks = InterpMarks::default();
+            let mut c = Cur::new(TOL_CODE_BASE + code::INTERP, comp, &mut insts);
+            emit_interp(&mut c, guest_pc, info, Some(&mut marks));
+            self.interp_tpl[key] = Some(InterpTemplate { insts, marks });
         }
-        // Flag emulation.
-        if info.inst.writes_flags() {
-            c.alu(2);
+        let tpl = self.interp_tpl[key].as_mut().expect("template just ensured");
+        let m = tpl.marks;
+        tpl.insts[m.fetch0].mem.as_mut().expect("fetch is a load").addr = guest_to_host(guest_pc);
+        tpl.insts[m.fetch1].mem.as_mut().expect("fetch is a load").addr =
+            guest_to_host(guest_pc.wrapping_add(4));
+        tpl.insts[m.dispatch].pc =
+            TOL_CODE_BASE + code::INTERP + 0x400 + ((guest_pc as u64 >> 1) & 0xFF) * 4;
+        for (i, a) in info.accesses.iter().enumerate() {
+            tpl.insts[m.acc[i]].mem.as_mut().expect("access has a mem event").addr =
+                guest_to_host(a.addr);
         }
-        // Guest branch direction decided by a TOL-side conditional branch
-        // whose outcome follows the guest's — one shared static branch
-        // for all guest branches, hence poorly predictable guests hurt.
-        if let darco_guest::exec::Control::Jump { taken, .. } = info.control {
-            c.br(BranchKind::CondDirect, TOL_CODE_BASE + code::INTERP + 0x200, taken);
+        if let Control::Jump { taken, .. } = info.control {
+            tpl.insts[m.jump].branch.as_mut().expect("jump has a branch").2 = taken;
         }
-        // Loop back to the interpreter top.
-        c.br(BranchKind::UncondDirect, TOL_CODE_BASE + code::INTERP, true);
-        self.track(comp, c);
+        for d in &tpl.insts {
+            ev.retire(*d);
+        }
+        self.emitted[comp_idx(comp)] += tpl.insts.len() as u64;
     }
 
     /// Basic-block translation (BBM): decode each guest instruction and
@@ -280,14 +424,14 @@ impl Emitter {
         &mut self,
         ev: &mut EventBuffer<'_>,
         guest_entry: u32,
-        insts: &[(u32, Inst)],
+        insts: &[RegionInst],
         host_len: usize,
     ) {
         let comp = Component::TolBbm;
         let mut c = Cur::new(TOL_CODE_BASE + code::TRANSLATOR, comp, ev);
-        for (pc, inst) in insts {
-            let opcode = opcode_of(inst);
-            c.ld(guest_to_host(*pc)); // read guest code
+        for r in insts {
+            let opcode = opcode_of(&r.inst);
+            c.ld(guest_to_host(r.pc)); // read guest code
             c.use_load();
             c.ld(TOL_DATA_BASE + data::DECODE_TABLE + opcode * 64);
             c.use_load();
@@ -302,7 +446,7 @@ impl Emitter {
             );
             c.alu(costs::TRANSLATE_PER_INST_ALU);
             // Flag-writing guests need the EFLAGS emulation path too.
-            if inst.writes_flags() {
+            if r.inst.writes_flags() {
                 c.alu(4);
                 c.br(BranchKind::CondDirect, TOL_CODE_BASE + code::TRANSLATOR + 0x800, true);
             }
@@ -524,6 +668,10 @@ mod tests {
         StepInfo { inst, len: 2, control: Control::Next, accesses: AccessList::default() }
     }
 
+    fn ri(pc: u32, inst: Inst) -> RegionInst {
+        RegionInst { pc, inst, len: 2, follow_taken: false }
+    }
+
     #[test]
     fn interp_step_costs_tens_of_instructions() {
         let v = collect(|e, s| {
@@ -557,13 +705,13 @@ mod tests {
         assert!(add.len() > mov.len());
 
         let t_mov = collect(|e, s| {
-            e.bb_translate(s, 0, &[(0, Inst::MovRR { dst: Gpr::Eax, src: Gpr::Ebx })], 2)
+            e.bb_translate(s, 0, &[ri(0, Inst::MovRR { dst: Gpr::Eax, src: Gpr::Ebx })], 2)
         });
         let t_add = collect(|e, s| {
             e.bb_translate(
                 s,
                 0,
-                &[(0, Inst::AluRR { op: darco_guest::AluOp::Add, dst: Gpr::Eax, src: Gpr::Ebx })],
+                &[ri(0, Inst::AluRR { op: darco_guest::AluOp::Add, dst: Gpr::Eax, src: Gpr::Ebx })],
                 3,
             )
         });
@@ -572,7 +720,7 @@ mod tests {
 
     #[test]
     fn optimization_costs_dominate_translation() {
-        let t = collect(|e, s| e.bb_translate(s, 0, &[(0, Inst::Nop); 8], 16));
+        let t = collect(|e, s| e.bb_translate(s, 0, &[ri(0, Inst::Nop); 8], 16));
         let o = collect(|e, s| e.sb_optimize(s, 4, 32, 40));
         assert!(o.len() > 3 * t.len(), "SBM {} vs BBM {}", o.len(), t.len());
         assert!(o.iter().all(|d| d.component == Component::TolSbm));

@@ -16,7 +16,7 @@
 //! simulator and co-simulates against the authoritative functional
 //! emulator between steps.
 
-use crate::codecache::{BlockKind, CodeCache};
+use crate::codecache::{BlockKind, CodeCache, TranslatedBlock};
 use crate::config::TolConfig;
 use crate::emission::Emitter;
 use crate::ibtc::Ibtc;
@@ -29,7 +29,9 @@ use darco_guest::{CpuState, DecodeError, Flags, FpReg, Gpr, GuestMem};
 use darco_host::events::{EventBuffer, ExecMode, HostEvent, HostEventSink, TranslationKind};
 use darco_host::layout::{guest_to_host, TOL_CODE_BASE};
 use darco_host::stream::{fp_reg, int_reg, NO_REG};
-use darco_host::{exec_inst, BranchKind, DynInst, Exit, HFreg, HInst, HostState, Outcome};
+use darco_host::{
+    exec_inst, BranchKind, DynInst, Exit, HFreg, HInst, HostState, Outcome, RetireDyn,
+};
 use serde::{Deserialize, Serialize};
 
 /// Execution mode (re-export of the profiler's mode classification).
@@ -122,6 +124,8 @@ pub struct Tol {
     spec_targets: std::collections::HashMap<(u32, u32), (u32, u32)>,
     /// Reused allocation for the retirement event buffer.
     ev_storage: Vec<HostEvent>,
+    /// The interpreter's decoded-instruction cache.
+    dcache: interp::DecodeCache,
 }
 
 impl Tol {
@@ -132,11 +136,13 @@ impl Tol {
         } else {
             CodeCache::new(cfg.code_cache_capacity)
         };
+        let mut em = Emitter::new();
+        em.interp_templates = cfg.retire_templates;
         let mut tol = Tol {
             cc,
             ibtc: Ibtc::new(cfg.ibtc_entries),
             prof: Profiler::new(),
-            em: Emitter::new(),
+            em,
             host: HostState::new(),
             guest_pc: entry,
             halted: false,
@@ -144,6 +150,7 @@ impl Tol {
             resume_translated: false,
             spec_targets: std::collections::HashMap::new(),
             ev_storage: Vec::new(),
+            dcache: interp::DecodeCache::new(),
             cfg,
         };
         tol.store_cpu(&CpuState::at(entry));
@@ -317,7 +324,11 @@ impl Tol {
         loop {
             let gpc = cpu.eip;
             self.prof.mark_static([gpc], StaticMode::Im);
-            let info = interp::step(&mut cpu, mem, &mut self.em, ev)?;
+            let info = if self.cfg.interp_decode_cache {
+                interp::step_cached(&mut cpu, mem, &mut self.em, &mut self.dcache, ev)?
+            } else {
+                interp::step(&mut cpu, mem, &mut self.em, ev)?
+            };
             n += 1;
             if info.inst.is_indirect() {
                 self.counters.indirect_branches += 1;
@@ -345,22 +356,16 @@ impl Tol {
         let insts = lower(&block, &map);
         let body_len = insts.len() as u32 - 1 - block.stubs.len() as u32;
         let host_len = insts.len() as u32;
-        self.em.bb_translate(
-            ev,
-            entry,
-            &region.iter().map(|r| (r.pc, r.inst)).collect::<Vec<_>>(),
-            insts.len(),
-        );
-        let pcs: Vec<u32> = region.iter().map(|r| r.pc).collect();
-        self.prof.mark_static(pcs.iter().copied(), StaticMode::Bbm);
+        self.em.bb_translate(ev, entry, region, insts.len());
+        self.prof.mark_static(region.iter().map(|r| r.pc), StaticMode::Bbm);
         let (id, flushed) = self.cc.install(
             entry,
             insts,
             BlockKind::Bb,
             body_len,
-            block.stub_guest_counts.clone(),
+            std::mem::take(&mut block.stub_guest_counts),
             block.guest_len,
-            pcs,
+            region.iter().map(|r| r.pc).collect(),
         );
         if flushed {
             self.ibtc.clear();
@@ -381,7 +386,7 @@ impl Tol {
         let (region, bbs) = form_region(mem, entry, &self.prof, &self.cfg)?;
         let block = translate_region(&region);
         let ir_len = block.ops.len();
-        let (block, map) = match opt::optimize_stats(block.clone(), &self.cfg) {
+        let (mut block, map) = match opt::optimize_stats(block.clone(), &self.cfg) {
             Ok((opt_block, map, stats)) => {
                 self.counters.verified_blocks += stats.blocks_verified;
                 self.counters.tv_differential += stats.tv_differential;
@@ -405,16 +410,15 @@ impl Tol {
         let host_len = insts.len() as u32;
         self.em.sb_optimize(ev, bbs as usize, ir_len, insts.len());
         self.counters.sbm_invocations += 1;
-        let pcs: Vec<u32> = region.iter().map(|r| r.pc).collect();
-        self.prof.mark_static(pcs.iter().copied(), StaticMode::Sbm);
+        self.prof.mark_static(region.iter().map(|r| r.pc), StaticMode::Sbm);
         let (id, flushed) = self.cc.install(
             entry,
             insts,
             BlockKind::Sb,
             body_len,
-            block.stub_guest_counts.clone(),
+            std::mem::take(&mut block.stub_guest_counts),
             block.guest_len,
-            pcs,
+            region.iter().map(|r| r.pc).collect(),
         );
         if flushed {
             self.ibtc.clear();
@@ -627,7 +631,93 @@ impl Tol {
     /// host instructions. Returns the exit, the host index of the exit
     /// instruction, guest instructions retired, and — when the block ends
     /// in a conditional branch — whether it was taken.
+    ///
+    /// Dispatches to the template fast path or to the straight
+    /// re-derivation oracle per [`TolConfig::retire_templates`]; both
+    /// produce bit-identical retirement streams (asserted by the
+    /// template-equivalence tests).
     fn exec_block(
+        &mut self,
+        bid: u32,
+        mem: &mut GuestMem,
+        ev: &mut EventBuffer<'_>,
+    ) -> (Exit, usize, u64, Option<bool>) {
+        if self.cfg.retire_templates {
+            self.exec_block_templates(bid, mem, ev)
+        } else {
+            self.exec_block_rederive(bid, mem, ev)
+        }
+    }
+
+    /// Template fast path: execute, copy the prebuilt record, patch only
+    /// the dynamic fields, retire. No per-retire metadata derivation and
+    /// no match over [`HInst`].
+    fn exec_block_templates(
+        &mut self,
+        bid: u32,
+        mem: &mut GuestMem,
+        ev: &mut EventBuffer<'_>,
+    ) -> (Exit, usize, u64, Option<bool>) {
+        let block = self.cc.block(bid);
+        let mut idx = 0usize;
+        let mut app_insts = 0u64;
+        loop {
+            let inst = &block.insts[idx];
+            let tpl = &block.templates[idx];
+            let mut d = tpl.inst;
+
+            // The effective address must be read before execution: the
+            // instruction may overwrite its own base register.
+            if let RetireDyn::Mem { base, off } = tpl.dyn_kind {
+                let addr = guest_to_host(self.host.reg(base).wrapping_add(off as u32));
+                if let Some(m) = d.mem.as_mut() {
+                    m.addr = addr;
+                }
+            }
+
+            let outcome = exec_inst(&mut self.host, inst, mem);
+
+            match tpl.dyn_kind {
+                RetireDyn::CondBranch => {
+                    if let Some(b) = d.branch.as_mut() {
+                        b.2 = matches!(outcome, Outcome::Taken(_));
+                    }
+                }
+                RetireDyn::DirectExit => {
+                    if let Outcome::Exited(Exit::Direct { link, .. }) = outcome {
+                        // Chained exits jump block-to-block; unchained
+                        // ones jump into the dispatcher. The link is
+                        // patched after install (chaining), so it must be
+                        // resolved here, not baked into the template.
+                        let target = match link {
+                            Some(to) => self.cc.block(to).host_base,
+                            None => TOL_CODE_BASE,
+                        };
+                        d = d.with_branch(BranchKind::UncondDirect, target, true);
+                    }
+                }
+                RetireDyn::Fixed | RetireDyn::Mem { .. } => {}
+            }
+            app_insts += 1;
+            ev.retire(d);
+
+            match outcome {
+                Outcome::Next => idx += 1,
+                Outcome::Taken(t) => idx = t as usize,
+                Outcome::Exited(e) => {
+                    let (guest_n, cond_taken) = exit_info(block, idx);
+                    self.em.emitted[0] += app_insts; // AppCode counter
+                    return (e, idx, guest_n, cond_taken);
+                }
+            }
+        }
+    }
+
+    /// The re-derivation oracle: builds every retirement record from the
+    /// instruction's own metadata, exactly as before templates existed.
+    /// Kept reachable (`retire_templates: false`) so tests and benches
+    /// can prove the fast path emits the same stream.
+    fn exec_block_rederive(
         &mut self,
         bid: u32,
         mem: &mut GuestMem,
@@ -635,7 +725,6 @@ impl Tol {
     ) -> (Exit, usize, u64, Option<bool>) {
         let block = self.cc.block(bid);
         let host_base = block.host_base;
-        let body_len = block.body_len as usize;
         let mut idx = 0usize;
         let mut app_insts = 0u64;
         loop {
@@ -727,27 +816,32 @@ impl Tol {
                 Outcome::Next => idx += 1,
                 Outcome::Taken(t) => idx = t as usize,
                 Outcome::Exited(e) => {
-                    let block = self.cc.block(bid);
-                    let guest_n = if idx == body_len {
-                        block.guest_len as u64
-                    } else {
-                        block.stub_guest_counts[idx - body_len - 1] as u64
-                    };
-                    // Edge direction for a BBM block whose last guest
-                    // instruction is a conditional branch: exiting via a
-                    // stub means taken, via fall-through means not taken.
-                    let cond_taken =
-                        if block.kind == BlockKind::Bb && !block.stub_guest_counts.is_empty() {
-                            Some(idx != body_len)
-                        } else {
-                            None
-                        };
+                    let (guest_n, cond_taken) = exit_info(block, idx);
                     self.em.emitted[0] += app_insts; // AppCode counter
                     return (e, idx, guest_n, cond_taken);
                 }
             }
         }
     }
+}
+
+/// Guest instructions retired and — for a BBM block whose last guest
+/// instruction is a conditional branch — the edge direction, given the
+/// host index of the exit taken: leaving via a stub means the branch was
+/// taken, via fall-through means not taken.
+fn exit_info(block: &TranslatedBlock, idx: usize) -> (u64, Option<bool>) {
+    let body_len = block.body_len as usize;
+    let guest_n = if idx == body_len {
+        block.guest_len as u64
+    } else {
+        block.stub_guest_counts[idx - body_len - 1] as u64
+    };
+    let cond_taken = if block.kind == BlockKind::Bb && !block.stub_guest_counts.is_empty() {
+        Some(idx != body_len)
+    } else {
+        None
+    };
+    (guest_n, cond_taken)
 }
 
 /// BBM register allocation: temporaries never live across guest

@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# End-to-end performance gate: runs the full-system criterion bench and
+# then writes BENCH_report.json (guest MIPS, host-events/sec, per-mode
+# dynamic shares) from repeated timed runs of the same configuration.
+#
+#   scripts/bench.sh [--scale S] [--reps N]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== cargo bench --bench bench_system (full System::run_to_completion)"
+cargo bench -p darco-bench --bench bench_system
+
+echo "== cargo bench --bench retire_throughput (retirement-path ablation)"
+cargo bench -p darco-bench --bench retire_throughput
+
+echo "== bench_report -> BENCH_report.json"
+cargo run --release -p darco-bench --bin bench_report -- BENCH_report.json "$@"

@@ -17,4 +17,10 @@ cargo build --release --workspace
 echo "== cargo test -q --workspace"
 cargo test -q --workspace
 
+echo "== cargo bench --workspace --no-run"
+cargo bench --workspace --no-run
+
+echo "== cargo test -q --release --test event_stream --test properties"
+cargo test -q --release --test event_stream --test properties
+
 echo "all checks passed"

@@ -25,6 +25,24 @@ fn run(profile_idx: usize, scale: f64, threaded: bool, cosim: bool) -> Report {
     sys.run_to_completion()
 }
 
+/// Like [`run`], but with the retirement-template and decode-cache fast
+/// paths switched together (both on = shipping config, both off = the
+/// per-retire re-derivation oracle kept for exactly this comparison).
+fn run_fast_paths(profile_idx: usize, scale: f64, cosim: bool, fast: bool) -> Report {
+    let profiles = suites::all_profiles();
+    let mut cfg = SystemConfig {
+        cosim,
+        app_only_pipeline: true,
+        tol_only_pipeline: true,
+        window_guest_insts: 20_000,
+        ..SystemConfig::default()
+    };
+    cfg.tol.retire_templates = fast;
+    cfg.tol.interp_decode_cache = fast;
+    let mut sys = System::new(generate(&profiles[profile_idx], scale), cfg);
+    sys.run_to_completion()
+}
+
 /// Serializes a value (for a whole [`Report`]: timing stats, filtered
 /// pipelines, timeline windows, TOL summary, trace statistics) so any
 /// divergence anywhere fails the comparison.
@@ -54,6 +72,34 @@ fn threaded_timing_is_bit_identical_with_cosim() {
     let threaded = run(0, 0.03, true, true);
     assert!(inline.cosim_checks > 0, "checker must run as a sink");
     assert_eq!(fingerprint(&inline), fingerprint(&threaded));
+}
+
+#[test]
+fn retirement_templates_are_bit_identical_across_profiles() {
+    // The precomputed-template exec path and the interpreter decode
+    // cache are pure simulator-speed optimizations: the whole Report
+    // (timing, filtered pipelines, timeline, TOL summary, trace) must
+    // match the re-derivation oracle byte for byte.
+    for idx in 0..3 {
+        let fast = run_fast_paths(idx, 0.05, false, true);
+        let oracle = run_fast_paths(idx, 0.05, false, false);
+        assert!(fast.timing.total_cycles > 0);
+        assert_eq!(
+            fingerprint(&fast),
+            fingerprint(&oracle),
+            "profile {} diverged between template and re-derivation paths",
+            fast.name
+        );
+    }
+}
+
+#[test]
+fn retirement_templates_are_bit_identical_with_cosim() {
+    let fast = run_fast_paths(0, 0.03, true, true);
+    let oracle = run_fast_paths(0, 0.03, true, false);
+    assert!(fast.cosim_checks > 0, "checker must run as a sink");
+    assert_eq!(fast.cosim_checks, oracle.cosim_checks);
+    assert_eq!(fingerprint(&fast), fingerprint(&oracle));
 }
 
 #[test]

@@ -239,6 +239,49 @@ fn translation_preserves_architecture() {
     }
 }
 
+/// The retirement-template fast path must emit the *exact* same
+/// `DynInst` stream as a straight re-derivation: for random programs,
+/// run the full TOL twice — templates plus decode cache on, then both
+/// off (the oracle) — and compare the streams element-wise.
+#[test]
+fn retirement_templates_match_rederivation_oracle() {
+    use darco::host::{events::RetireSink, DynInst};
+    for case in 0u64..12 {
+        let mut rng = SmallRng::seed_from_u64(0xDA_0007 + case);
+        let len = rng.gen_range(4usize..40);
+        let body: Vec<Inst> = (0..len).map(|_| any_inst(&mut rng)).collect();
+        let iters = rng.gen_range(3i32..40);
+        let (mem, cpu) = build_program(&body, iters);
+
+        let stream = |fast: bool| -> (CpuState, Vec<DynInst>) {
+            let mut mem = mem.clone();
+            let cfg = TolConfig {
+                im_bb_threshold: 1,
+                bb_sb_threshold: 2,
+                retire_templates: fast,
+                interp_decode_cache: fast,
+                ..TolConfig::default()
+            };
+            let mut tol = Tol::new(cfg, cpu.eip);
+            tol.set_state(&cpu);
+            let mut v = Vec::new();
+            let mut sink = RetireSink(|d: &DynInst| v.push(*d));
+            tol.run(&mut mem, &mut sink, 10_000_000).expect("tol run");
+            (tol.emulated_state(), v)
+        };
+        let (cpu_fast, fast) = stream(true);
+        let (cpu_oracle, oracle) = stream(false);
+        assert!(cpu_fast.arch_eq(&cpu_oracle), "case {case}: state mismatch");
+        assert_eq!(fast.len(), oracle.len(), "case {case}: stream length");
+        if let Some(i) = fast.iter().zip(oracle.iter()).position(|(a, b)| a != b) {
+            panic!(
+                "case {case}: DynInst {i} differs\ntemplate: {:?}\noracle:   {:?}",
+                fast[i], oracle[i]
+            );
+        }
+    }
+}
+
 /// Decoder round-trip on random straight-line instructions.
 #[test]
 fn encode_decode_roundtrip() {
