@@ -7,7 +7,9 @@
 //! * `inline_per_inst`  — `event_batch = 1`, reproducing the old
 //!   one-callback-per-retired-instruction delivery,
 //! * `threaded_batched` — default batch size, timing overlapped on a
-//!   worker thread.
+//!   worker thread,
+//! * `fanout_batched`   — default batch size, one worker per timing
+//!   pipeline fed by the zero-copy `Arc` broadcast.
 //!
 //! Plus the template ablation, twice:
 //!
@@ -24,7 +26,7 @@
 //! EXPERIMENTS.md.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
-use darco_core::{System, SystemConfig};
+use darco_core::{System, SystemConfig, TimingBackendKind};
 use darco_guest::asm::Asm;
 use darco_guest::{AluOp, Cond, Gpr, GuestMem, Inst, MemRef, Scale};
 use darco_host::events::EventBuffer;
@@ -189,6 +191,7 @@ fn replay_rederive(insts: &[HInst], regs: &[u32; 64], replays: usize, ev: &mut E
                 }
             }
             d.srcs = srcs;
+            d.recompute_ops();
             match *inst {
                 HInst::Br { target, .. } | HInst::BrFlags { target, .. } => {
                     d = d.with_branch(
@@ -274,12 +277,12 @@ fn tol_run(mem: &GuestMem, entry: u32, templates: bool) -> u64 {
     tol.run(&mut mem, &mut sink, u64::MAX).expect("tol run")
 }
 
-fn run_once(event_batch: usize, threaded: bool) -> u64 {
+fn run_once(event_batch: usize, backend: TimingBackendKind) -> u64 {
     let mut cfg = SystemConfig {
         cosim: false,
         app_only_pipeline: true,
         tol_only_pipeline: true,
-        threaded_timing: threaded,
+        timing_backend: backend,
         ..SystemConfig::default()
     };
     cfg.tol.event_batch = event_batch;
@@ -290,16 +293,21 @@ fn run_once(event_batch: usize, threaded: bool) -> u64 {
 
 fn bench(c: &mut Criterion) {
     // One throwaway run sizes the throughput declaration.
-    let events = run_once(darco_host::events::EVENT_BATCH, false);
+    let events = run_once(darco_host::events::EVENT_BATCH, TimingBackendKind::Inline);
 
     let mut g = c.benchmark_group("retire_throughput");
     g.throughput(Throughput::Elements(events));
     g.bench_function("inline_batched", |b| {
-        b.iter(|| black_box(run_once(darco_host::events::EVENT_BATCH, false)))
+        b.iter(|| black_box(run_once(darco_host::events::EVENT_BATCH, TimingBackendKind::Inline)))
     });
-    g.bench_function("inline_per_inst", |b| b.iter(|| black_box(run_once(1, false))));
+    g.bench_function("inline_per_inst", |b| {
+        b.iter(|| black_box(run_once(1, TimingBackendKind::Inline)))
+    });
     g.bench_function("threaded_batched", |b| {
-        b.iter(|| black_box(run_once(darco_host::events::EVENT_BATCH, true)))
+        b.iter(|| black_box(run_once(darco_host::events::EVENT_BATCH, TimingBackendKind::Threaded)))
+    });
+    g.bench_function("fanout_batched", |b| {
+        b.iter(|| black_box(run_once(darco_host::events::EVENT_BATCH, TimingBackendKind::Fanout)))
     });
     g.finish();
 

@@ -12,9 +12,16 @@
 //! * `host_events_per_sec`   — retired host events through the bus,
 //! * `mode_shares`           — dynamic guest-instruction share per
 //!   execution mode `[IM, BBM, SBM]` (they describe the workload, and
-//!   pin that a speed change did not alter what was simulated).
+//!   pin that a speed change did not alter what was simulated),
+//! * `timing`                — the timing layer in isolation: a
+//!   prerecorded host-event stream replayed through the `TimingSink`
+//!   (1 vs 3 pipelines, shipping memory model vs the legacy full-probe
+//!   oracle) and through each full backend (inline/threaded/fanout);
+//!   events/sec, per-backend wall seconds, and the sink-level speedup
+//!   of the shipping model over the oracle.
 
-use darco_core::{Report, System, SystemConfig};
+use darco_bench::replay::{record_stream, replay_backend, replay_sink};
+use darco_core::{Report, System, SystemConfig, TimingBackendKind};
 use darco_workloads::{generate, suites};
 use serde::Serialize;
 
@@ -23,6 +30,33 @@ struct ModeShares {
     im: f64,
     bbm: f64,
     sbm: f64,
+}
+
+#[derive(Serialize)]
+struct SinkRates {
+    one_pipeline: f64,
+    three_pipeline: f64,
+}
+
+#[derive(Serialize)]
+struct BackendWall {
+    inline: f64,
+    threaded: f64,
+    fanout: f64,
+}
+
+#[derive(Serialize)]
+struct TimingBlock {
+    /// Events in the replayed stream.
+    replay_events: u64,
+    /// `TimingSink::consume` events/sec, shipping memory model.
+    sink_events_per_sec: SinkRates,
+    /// Same replay, legacy layout + shortcuts off (PR 3 configuration).
+    oracle_events_per_sec: SinkRates,
+    /// Shipping model over oracle, 3-pipeline sink replay.
+    sink_speedup_3p: f64,
+    /// Full-backend wall seconds (spawn + broadcast + join), 3 pipelines.
+    backend_wall_seconds: BackendWall,
 }
 
 #[derive(Serialize)]
@@ -36,6 +70,7 @@ struct BenchReport {
     guest_mips: f64,
     host_events_per_sec: f64,
     mode_shares: ModeShares,
+    timing: TimingBlock,
 }
 
 fn run_once(scale: f64) -> (Report, f64) {
@@ -50,6 +85,46 @@ fn run_once(scale: f64) -> (Report, f64) {
     let t0 = std::time::Instant::now();
     let report = sys.run_to_completion();
     (report, t0.elapsed().as_secs_f64())
+}
+
+/// Best-of-`reps` wall seconds of `f` (one warm-up pass first).
+fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    let _ = f();
+    let mut best = f64::MAX;
+    for _ in 0..reps.max(1) {
+        let t0 = std::time::Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn timing_block(reps: usize) -> TimingBlock {
+    let batches = record_stream();
+    let events: u64 = batches.iter().map(|b| b.len() as u64).sum();
+    let rate = |secs: f64| events as f64 / secs;
+
+    let fast_1p = best_of(reps, || replay_sink(&batches, 1, true));
+    let oracle_1p = best_of(reps, || replay_sink(&batches, 1, false));
+    let fast_3p = best_of(reps, || replay_sink(&batches, 3, true));
+    let oracle_3p = best_of(reps, || replay_sink(&batches, 3, false));
+    TimingBlock {
+        replay_events: events,
+        sink_events_per_sec: SinkRates {
+            one_pipeline: rate(fast_1p),
+            three_pipeline: rate(fast_3p),
+        },
+        oracle_events_per_sec: SinkRates {
+            one_pipeline: rate(oracle_1p),
+            three_pipeline: rate(oracle_3p),
+        },
+        sink_speedup_3p: oracle_3p / fast_3p,
+        backend_wall_seconds: BackendWall {
+            inline: best_of(reps, || replay_backend(&batches, TimingBackendKind::Inline)),
+            threaded: best_of(reps, || replay_backend(&batches, TimingBackendKind::Threaded)),
+            fanout: best_of(reps, || replay_backend(&batches, TimingBackendKind::Fanout)),
+        },
+    }
 }
 
 fn main() {
@@ -105,6 +180,7 @@ fn main() {
             bbm: share(dyn_dist[1]),
             sbm: share(dyn_dist[2]),
         },
+        timing: timing_block(reps),
     };
     let json = serde_json::to_string_pretty(&summary).expect("serialize report");
     std::fs::write(&out, &json).unwrap_or_else(|e| {

@@ -10,6 +10,8 @@
 //!   the infrastructure itself and exercise each figure's pipeline at a
 //!   small scale.
 
+pub mod replay;
+
 use darco_core::{run_bench, BenchRun, RunConfig};
 use darco_workloads::suites;
 

@@ -18,15 +18,18 @@
 //!
 //! options: --scale S            dynamic-length scale (default 0.5)
 //!          --cosim              enable co-simulation checking (run)
-//!          --threaded-timing    overlap the timing simulator on a
-//!                               worker thread (bit-identical results)
+//!          --timing-backend B   schedule the timing simulator: inline
+//!                               (default), threaded (one overlapped
+//!                               worker) or fanout (one worker per
+//!                               pipeline); results are bit-identical
+//!          --threaded-timing    alias for --timing-backend threaded
 //!          --jobs N             worker threads for run-set (default:
 //!                               all available cores)
 //!          --n N                rows/instructions to print (trace/disasm)
 //!          --json               machine-readable output (run, run-set)
 //! ```
 
-use darco_core::{Report, System, SystemConfig};
+use darco_core::{Report, System, SystemConfig, TimingBackendKind};
 use darco_host::{Component, HInst, Owner};
 use darco_tol::codecache::BlockKind;
 use darco_tol::{Tol, TolConfig};
@@ -60,7 +63,8 @@ fn main() {
 fn usage() {
     eprintln!(
         "darco <list|run|run-set|verify|trace|disasm|timeline|export-profile> [benchmark ...] \
-         [--profile FILE] [--scale S] [--cosim] [--threaded-timing] [--jobs N] [--n N] [--json]"
+         [--profile FILE] [--scale S] [--cosim] [--timing-backend inline|threaded|fanout] \
+         [--threaded-timing] [--jobs N] [--n N] [--json]"
     );
 }
 
@@ -68,16 +72,25 @@ struct Opts {
     profile: BenchProfile,
     scale: f64,
     cosim: bool,
-    threaded_timing: bool,
+    timing_backend: TimingBackendKind,
     n: usize,
     json: bool,
+}
+
+fn parse_backend(v: &str) -> TimingBackendKind {
+    match v {
+        "inline" => TimingBackendKind::Inline,
+        "threaded" => TimingBackendKind::Threaded,
+        "fanout" => TimingBackendKind::Fanout,
+        other => bail(&format!("unknown timing backend {other} (inline|threaded|fanout)")),
+    }
 }
 
 fn parse(rest: &[String]) -> Opts {
     let mut profile = None;
     let mut scale = 0.5;
     let mut cosim = false;
-    let mut threaded_timing = false;
+    let mut timing_backend = TimingBackendKind::Inline;
     let mut n = 20;
     let mut json = false;
     let mut it = rest.iter();
@@ -99,7 +112,11 @@ fn parse(rest: &[String]) -> Opts {
                     .unwrap_or_else(|| bail("--scale needs a number"));
             }
             "--cosim" => cosim = true,
-            "--threaded-timing" => threaded_timing = true,
+            "--timing-backend" => {
+                let v = it.next().unwrap_or_else(|| bail("--timing-backend needs a mode"));
+                timing_backend = parse_backend(v);
+            }
+            "--threaded-timing" => timing_backend = TimingBackendKind::Threaded,
             "--json" => json = true,
             "--n" => {
                 n = it
@@ -123,7 +140,7 @@ fn parse(rest: &[String]) -> Opts {
         profile: profile.unwrap_or_else(suites::quicktest_profile),
         scale,
         cosim,
-        threaded_timing,
+        timing_backend,
         n,
         json,
     }
@@ -162,7 +179,7 @@ fn run(rest: &[String]) {
     eprintln!("running {} at scale {} ...", o.profile.name, o.scale);
     let cfg = SystemConfig {
         cosim: o.cosim,
-        threaded_timing: o.threaded_timing,
+        timing_backend: o.timing_backend,
         ..SystemConfig::default()
     };
     let mut sys = System::new(generate(&o.profile, o.scale), cfg);
@@ -185,7 +202,7 @@ fn run_set(rest: &[String]) {
     let mut scale = 0.5;
     let mut jobs: Option<usize> = None;
     let mut cosim = false;
-    let mut threaded_timing = false;
+    let mut timing_backend = TimingBackendKind::Inline;
     let mut json = false;
     let mut it = rest.iter();
     while let Some(a) = it.next() {
@@ -207,7 +224,11 @@ fn run_set(rest: &[String]) {
                 jobs = Some(n);
             }
             "--cosim" => cosim = true,
-            "--threaded-timing" => threaded_timing = true,
+            "--timing-backend" => {
+                let v = it.next().unwrap_or_else(|| bail("--timing-backend needs a mode"));
+                timing_backend = parse_backend(v);
+            }
+            "--threaded-timing" => timing_backend = TimingBackendKind::Threaded,
             "--json" => json = true,
             name if !name.starts_with('-') => names.push(name.to_owned()),
             other => bail(&format!("unknown flag {other}")),
@@ -230,7 +251,7 @@ fn run_set(rest: &[String]) {
             .collect()
     };
     let jobs = jobs.unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
-    let cfg = darco_core::RunConfig { scale, cosim, threaded_timing, ..Default::default() };
+    let cfg = darco_core::RunConfig { scale, cosim, timing_backend, ..Default::default() };
     eprintln!("running {} benchmark(s) at scale {scale} on {jobs} thread(s) ...", profiles.len());
     let t0 = std::time::Instant::now();
     let runs = darco_core::experiments::run_set_parallel(&profiles, &cfg, jobs);

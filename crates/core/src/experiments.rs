@@ -11,6 +11,7 @@
 //! Each `figN` function reduces [`BenchRun`]s to the rows/series the
 //! corresponding figure plots.
 
+use crate::sinks::TimingBackendKind;
 use crate::system::{scaled_tol_config, Report, System, SystemConfig};
 use darco_host::{Component, Owner};
 use darco_timing::{BubbleCause, Stats, TimingConfig};
@@ -29,9 +30,10 @@ pub struct RunConfig {
     pub tol: TolConfig,
     /// Host parameters.
     pub timing: TimingConfig,
-    /// Run the timing pipelines overlapped on a worker thread (see
-    /// [`SystemConfig::threaded_timing`]); results are bit-identical.
-    pub threaded_timing: bool,
+    /// How the timing pipelines are scheduled (see
+    /// [`SystemConfig::timing_backend`]); results are bit-identical
+    /// across all backends.
+    pub timing_backend: TimingBackendKind,
 }
 
 impl Default for RunConfig {
@@ -41,7 +43,7 @@ impl Default for RunConfig {
             cosim: false,
             tol: scaled_tol_config(),
             timing: TimingConfig::default(),
-            threaded_timing: false,
+            timing_backend: TimingBackendKind::Inline,
         }
     }
 }
@@ -75,7 +77,7 @@ pub fn run_bench(profile: &BenchProfile, cfg: &RunConfig) -> BenchRun {
         cosim: cfg.cosim,
         app_only_pipeline: true,
         tol_only_pipeline: true,
-        threaded_timing: cfg.threaded_timing,
+        timing_backend: cfg.timing_backend,
         ..SystemConfig::default()
     };
     let mut sys = System::new(w, sys_cfg);

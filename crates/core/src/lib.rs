@@ -38,5 +38,8 @@ pub mod system;
 
 pub use checker::{Divergence, StateChecker};
 pub use experiments::{run_bench, BenchRun, RunConfig};
-pub use sinks::{CheckerSink, SinkSet, ThreadedTiming, TimingBackend, TimingSink};
+pub use sinks::{
+    CheckerSink, FanoutTiming, SinkSet, ThreadedTiming, TimingBackend, TimingBackendKind,
+    TimingSink,
+};
 pub use system::{scaled_tol_config, Report, System, SystemConfig, Window};

@@ -2,7 +2,7 @@
 //! timing pipelines, run in lockstep.
 
 use crate::checker::StateChecker;
-use crate::sinks::{CheckerSink, SinkSet, TimingBackend};
+use crate::sinks::{CheckerSink, SinkSet, TimingBackend, TimingBackendKind};
 use darco_host::{HostEvent, HostEventSink, TraceStats, TraceStatsSink};
 use darco_timing::{Stats, TimingConfig};
 use darco_tol::{RunSummary, Tol, TolConfig};
@@ -44,11 +44,12 @@ pub struct SystemConfig {
     /// (0 disables). Windows expose the start-up vs steady-state
     /// transition the paper insists on capturing (Sec. II-B).
     pub window_guest_insts: u64,
-    /// Run the timing pipelines on a worker thread, overlapped with
-    /// functional emulation, behind a bounded batch channel. Results are
-    /// bit-identical to the inline mode (same batches, same order); only
-    /// the scheduling changes.
-    pub threaded_timing: bool,
+    /// How the timing pipelines are scheduled: inline on the emulation
+    /// thread, overlapped on one worker, or fanned out one worker per
+    /// pipeline behind bounded batch channels. Results are bit-identical
+    /// across all backends (same batches, same order); only the
+    /// scheduling changes.
+    pub timing_backend: TimingBackendKind,
 }
 
 impl Default for SystemConfig {
@@ -62,13 +63,13 @@ impl Default for SystemConfig {
             step_budget: 20_000,
             max_guest_insts: 0,
             window_guest_insts: 0,
-            threaded_timing: false,
+            timing_backend: TimingBackendKind::Inline,
         }
     }
 }
 
 /// One timeline window: deltas over a fixed span of guest instructions.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Window {
     /// Guest instructions retired by the end of this window.
     pub guest_insts: u64,
@@ -150,8 +151,7 @@ impl System {
     /// The controller only drives the engine and emits boundary events;
     /// every observer — timing pipelines, co-simulation checker, trace
     /// statistics — consumes the host-event stream through the
-    /// [`SinkSet`], inline or overlapped per
-    /// [`SystemConfig::threaded_timing`].
+    /// [`SinkSet`], scheduled per [`SystemConfig::timing_backend`].
     ///
     /// # Panics
     ///

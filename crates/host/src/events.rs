@@ -17,6 +17,7 @@
 use crate::stream::DynInst;
 use darco_guest::CpuState;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Default [`EventBuffer`] capacity (events per delivered batch).
 pub const EVENT_BATCH: usize = 4096;
@@ -116,6 +117,28 @@ pub enum HostEvent {
 pub trait HostEventSink {
     /// Consumes one ordered batch of events.
     fn consume(&mut self, batch: &[HostEvent]);
+
+    /// Whether this sink prefers whole batches handed over as shared
+    /// `Arc<[HostEvent]>` allocations ([`HostEventSink::consume_shared`]).
+    ///
+    /// A broadcasting sink (one that fans the same batch out to several
+    /// workers) answers `true`: the producer then *moves* its staging
+    /// buffer into a refcounted allocation once, instead of the sink
+    /// cloning the batch per consumer. Plain sinks keep the default and
+    /// never see an `Arc`.
+    fn wants_shared(&self) -> bool {
+        false
+    }
+
+    /// Consumes one ordered batch delivered as a shared allocation.
+    ///
+    /// The default forwards to [`HostEventSink::consume`]; sinks that
+    /// broadcast batches override this to clone the `Arc` (pointer copy)
+    /// per consumer. The stream contract is unchanged: the batches and
+    /// their order are exactly those `consume` would have seen.
+    fn consume_shared(&mut self, batch: Arc<[HostEvent]>) {
+        self.consume(&batch);
+    }
 }
 
 /// Collects every event (useful in tests).
@@ -157,6 +180,7 @@ impl<F: FnMut(&DynInst)> HostEventSink for RetireSink<F> {
 pub struct EventBuffer<'a> {
     buf: Vec<HostEvent>,
     capacity: usize,
+    shared: bool,
     sink: &'a mut dyn HostEventSink,
 }
 
@@ -173,7 +197,8 @@ impl<'a> EventBuffer<'a> {
         capacity: usize,
         sink: &'a mut dyn HostEventSink,
     ) -> EventBuffer<'a> {
-        EventBuffer { buf: storage, capacity: capacity.max(1), sink }
+        let shared = sink.wants_shared();
+        EventBuffer { buf: storage, capacity: capacity.max(1), shared, sink }
     }
 
     /// Appends one event, flushing if the batch is full.
@@ -192,8 +217,21 @@ impl<'a> EventBuffer<'a> {
     }
 
     /// Delivers all buffered events to the sink, preserving order.
+    ///
+    /// For a sink that [`wants_shared`](HostEventSink::wants_shared)
+    /// batches, the staging buffer is *moved* into one refcounted
+    /// allocation (the arc-batch drain path) so a broadcasting sink can
+    /// hand it to any number of consumers without per-consumer clones;
+    /// otherwise the buffer is lent as a slice and its storage reused.
     pub fn flush(&mut self) {
-        if !self.buf.is_empty() {
+        if self.buf.is_empty() {
+            return;
+        }
+        if self.shared {
+            let batch: Arc<[HostEvent]> = std::mem::take(&mut self.buf).into();
+            self.sink.consume_shared(batch);
+            self.buf = Vec::with_capacity(self.capacity);
+        } else {
             self.sink.consume(&self.buf);
             self.buf.clear();
         }
@@ -386,6 +424,44 @@ mod tests {
         assert_eq!((s.cache_inserts, s.cache_flushes), (1, 1));
         assert_eq!((s.ibtc_hits, s.ibtc_misses), (1, 1));
         assert_eq!(s.window_marks, 1);
+    }
+
+    #[test]
+    fn shared_drain_delivers_identical_batches() {
+        // A sink that asks for shared batches receives the exact same
+        // event sequence, with the same batch boundaries, as the slice
+        // path — only the ownership transfer differs.
+        struct ArcSink {
+            batches: Vec<Arc<[HostEvent]>>,
+        }
+        impl HostEventSink for ArcSink {
+            fn consume(&mut self, batch: &[HostEvent]) {
+                self.batches.push(batch.to_vec().into());
+            }
+            fn wants_shared(&self) -> bool {
+                true
+            }
+            fn consume_shared(&mut self, batch: Arc<[HostEvent]>) {
+                self.batches.push(batch);
+            }
+        }
+        let mut arc_sink = ArcSink { batches: Vec::new() };
+        {
+            let mut buf = EventBuffer::new(16, &mut arc_sink);
+            for pc in 0..40u64 {
+                buf.push(retire_at(pc * 4));
+            }
+            buf.flush();
+        }
+        let lens: Vec<usize> = arc_sink.batches.iter().map(|b| b.len()).collect();
+        assert_eq!(lens, [16, 16, 8], "same batch boundaries as the slice path");
+        let flat: Vec<&HostEvent> = arc_sink.batches.iter().flat_map(|b| b.iter()).collect();
+        for (i, e) in flat.iter().enumerate() {
+            match e {
+                HostEvent::Retire(d) => assert_eq!(d.pc, i as u64 * 4),
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -54,7 +54,9 @@ pub mod prefetch;
 pub mod stats;
 pub mod tlb;
 
-pub use config::{Interaction, TimingConfig};
+pub use cache::{Cache, Lookup};
+pub use config::{CacheParams, Interaction, TimingConfig, TlbParams};
 pub use memsys::MemSystem;
 pub use pipeline::Pipeline;
 pub use stats::{BubbleCause, Stats};
+pub use tlb::Tlb;

@@ -74,6 +74,10 @@ impl OwnerMemStats {
     }
 }
 
+/// Sentinel for "no previous L1-D line": real line numbers fit in 58
+/// bits (lines are at least 2 bytes).
+const NO_LINE: u64 = u64::MAX;
+
 /// The modeled cache/TLB/prefetch hierarchy.
 #[derive(Debug)]
 pub struct MemSystem {
@@ -87,6 +91,12 @@ pub struct MemSystem {
     l2_hit: u32,
     mem_lat: u32,
     shared: bool,
+    /// Per-copy line number of the previous demand data access, used by
+    /// the last-line hit shortcut; [`NO_LINE`] after any L1-D fill
+    /// (a fill may disturb replacement state in the same set).
+    last_d_line: Vec<u64>,
+    d_line_shift: u32,
+    shortcuts: bool,
 }
 
 fn owner_idx(owner: Owner) -> usize {
@@ -105,16 +115,29 @@ impl MemSystem {
         };
         let mk = |f: &dyn Fn() -> Cache| (0..copies).map(|_| f()).collect::<Vec<_>>();
         MemSystem {
-            l1i: mk(&|| Cache::new(cfg.l1i)),
-            l1d: mk(&|| Cache::new(cfg.l1d)),
-            l2: mk(&|| Cache::new(cfg.l2)),
-            tlb: (0..copies).map(|_| Tlb::new(cfg.tlb1, cfg.tlb2, cfg.tlb_walk_latency)).collect(),
+            l1i: mk(&|| Cache::with_layout(cfg.l1i, cfg.flat_mem)),
+            l1d: mk(&|| Cache::with_layout(cfg.l1d, cfg.flat_mem)),
+            l2: mk(&|| Cache::with_layout(cfg.l2, cfg.flat_mem)),
+            tlb: (0..copies)
+                .map(|_| {
+                    Tlb::configured(
+                        cfg.tlb1,
+                        cfg.tlb2,
+                        cfg.tlb_walk_latency,
+                        cfg.flat_mem,
+                        cfg.mem_shortcuts,
+                    )
+                })
+                .collect(),
             prefetch: (0..copies).map(|_| StridePrefetcher::new(cfg.prefetcher_entries)).collect(),
             stats: [OwnerMemStats::default(); 2],
             l1_hit: cfg.l1d.hit_latency,
             l2_hit: cfg.l2.hit_latency,
             mem_lat: cfg.mem_latency,
             shared: copies == 1,
+            last_d_line: vec![NO_LINE; copies],
+            d_line_shift: cfg.l1d.block.trailing_zeros(),
+            shortcuts: cfg.mem_shortcuts,
         }
     }
 
@@ -134,35 +157,55 @@ impl MemSystem {
     /// software layer works with physical addresses (Sec. II-A-2).
     pub fn access_data(&mut self, owner: Owner, pc: u64, addr: u64, _is_store: bool) -> DataAccess {
         let c = self.copy(owner);
-        let s = &mut self.stats[owner_idx(owner)];
-        s.d_accesses += 1;
+        self.stats[owner_idx(owner)].d_accesses += 1;
+
+        let line = addr >> self.d_line_shift;
+        let fast_hit = self.shortcuts && line == self.last_d_line[c];
 
         let mut latency = 0;
         if is_guest_addr(addr) {
             let (outcome, tlb_lat) = self.tlb[c].access(addr);
             if outcome == crate::tlb::TlbOutcome::Walk {
-                s.tlb_walks += 1;
+                self.stats[owner_idx(owner)].tlb_walks += 1;
             }
             // An L1-TLB hit overlaps the cache access; only the excess
             // latency of lower levels is serialized.
             latency += tlb_lat.saturating_sub(1);
         }
 
-        let l1_miss = self.l1d[c].access(addr) == Lookup::Miss;
+        let mut l1_miss = false;
         let mut l2_miss = false;
-        if l1_miss {
-            s.d_misses += 1;
-            l2_miss = self.l2[c].access(addr) == Lookup::Miss;
-            latency += if l2_miss { self.mem_lat } else { self.l2_hit };
-        } else {
+        if fast_hit {
+            // Same L1-D line as the previous demand access, with no fill
+            // in between (fills clear `last_d_line`): the probe would hit
+            // and its MRU re-touch would be a PLRU no-op, so only the
+            // access counter needs to move.
+            self.l1d[c].count_hit();
             latency += self.l1_hit;
+        } else {
+            l1_miss = self.l1d[c].access(addr) == Lookup::Miss;
+            if l1_miss {
+                self.stats[owner_idx(owner)].d_misses += 1;
+                l2_miss = self.l2[c].access(addr) == Lookup::Miss;
+                latency += if l2_miss { self.mem_lat } else { self.l2_hit };
+            } else {
+                latency += self.l1_hit;
+            }
+        }
+        if self.shortcuts {
+            self.last_d_line[c] = line;
         }
 
-        // Stride prefetching on demand accesses.
+        // Stride prefetching on demand accesses. This runs on the
+        // shortcut path too: the prefetcher's stride state is observable
+        // through future fills.
         if let Some(pf_addr) = self.prefetch[c].observe(pc, addr) {
             if !self.l1d[c].contains(pf_addr) {
                 self.l1d[c].fill(pf_addr);
                 self.l2[c].fill(pf_addr);
+                // The fill may have evicted or re-ordered lines in the
+                // set the shortcut would vouch for.
+                self.last_d_line[c] = NO_LINE;
             }
         }
 
@@ -180,6 +223,7 @@ impl MemSystem {
         self.stats[owner_idx(owner)].sw_prefetches += 1;
         self.l1d[c].fill(addr);
         self.l2[c].fill(addr);
+        self.last_d_line[c] = NO_LINE;
     }
 
     /// Performs an instruction-fetch access for the line containing `pc`.
@@ -287,6 +331,53 @@ mod tests {
         assert!(!b.l1_miss);
         assert_eq!(b.latency, 1);
         assert!(m.owner_stats(Owner::App).i_miss_rate() < 1.0);
+    }
+
+    #[test]
+    fn fast_paths_match_full_probe_oracle() {
+        // Flat layout + shortcuts vs legacy layout + full probes on a
+        // mixed stream (repeats, strides, sw prefetches, both owners):
+        // every access result and all counters must be identical.
+        let fast = TimingConfig::default();
+        let slow = TimingConfig { flat_mem: false, mem_shortcuts: false, ..fast.clone() };
+        let mut f = MemSystem::new(&fast);
+        let mut s = MemSystem::new(&slow);
+        let mut x = 0x853C_49E6_748F_EA9Bu64;
+        for i in 0..30_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let owner = if x & 8 == 0 { Owner::App } else { Owner::Tol };
+            let base = if owner == Owner::App { 0 } else { TOL_DATA_BASE };
+            let addr = match i % 4 {
+                0 => base + (x % 0x40_0000),        // random
+                3 => base + (i % 512) * 8,          // sw-prefetch target pool
+                _ => base + (i / 7) * 8 % 0x1_0000, // strided with repeats
+            };
+            let pc = 0x100 + (x % 64) * 4;
+            if i % 11 == 0 {
+                f.prefetch_fill(owner, addr);
+                s.prefetch_fill(owner, addr);
+            } else {
+                assert_eq!(
+                    f.access_data(owner, pc, addr, x & 16 == 0),
+                    s.access_data(owner, pc, addr, x & 16 == 0),
+                    "access {i}"
+                );
+            }
+            if i % 5 == 0 {
+                assert_eq!(f.access_inst(owner, pc), s.access_inst(owner, pc));
+            }
+        }
+        for o in [Owner::App, Owner::Tol] {
+            let (a, b) = (f.owner_stats(o), s.owner_stats(o));
+            assert_eq!(a.d_accesses, b.d_accesses);
+            assert_eq!(a.d_misses, b.d_misses);
+            assert_eq!(a.i_misses, b.i_misses);
+            assert_eq!(a.tlb_walks, b.tlb_walks);
+            assert_eq!(a.sw_prefetches, b.sw_prefetches);
+        }
+        assert_eq!(f.prefetches(), s.prefetches());
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub struct Pipeline {
     fetch_pos: u64,
     fetch_in_cycle: u32,
     last_fetch_line: u64,
+    i_line_shift: u32,
     redirect_at: Option<(u64, Component)>,
 
     // Two units per complex class (one per pipe), unpipelined.
@@ -72,8 +73,12 @@ impl Pipeline {
             Interaction::Shared => 1,
             Interaction::Isolated => 2,
         };
+        let mem = MemSystem::new(&cfg);
+        // Line size is a power of two; cache the shift so the hot retire
+        // path never divides.
+        let i_line_shift = mem.i_line_bytes().trailing_zeros();
         Pipeline {
-            mem: MemSystem::new(&cfg),
+            mem,
             pred: (0..copies)
                 .map(|_| Predictor::new(cfg.bp_history_bits, cfg.btb_entries))
                 .collect(),
@@ -87,6 +92,7 @@ impl Pipeline {
             fetch_pos: 0,
             fetch_in_cycle: 0,
             last_fetch_line: u64::MAX,
+            i_line_shift,
             redirect_at: None,
             unit_free_cint: [0; 2],
             unit_free_sfp: [0; 2],
@@ -116,7 +122,7 @@ impl Pipeline {
             }
             self.last_fetch_line = u64::MAX; // refetch the target line
         }
-        let line = d.pc / self.mem.i_line_bytes();
+        let line = d.pc >> self.i_line_shift;
         if line != self.last_fetch_line {
             self.last_fetch_line = line;
             let acc = self.mem.access_inst(owner, d.pc);
@@ -159,11 +165,15 @@ impl Pipeline {
         let mut t_src_exec = 0u64;
         let mut src_load_miss = false;
         let mut src_producer = d.component;
-        for &s in d.srcs.iter().chain(std::iter::once(&d.dst)) {
-            // dst participates for WAW ordering on the scoreboard.
-            if s == NO_REG {
-                continue;
-            }
+        debug_assert!(d.ops_consistent(), "stale operand mask: {d:?}");
+        let mut ops = d.ops;
+        while ops != 0 {
+            let slot = ops.trailing_zeros() as usize;
+            ops &= ops - 1;
+            // Slots 0/1 are the sources; slot 2 is dst, which
+            // participates for WAW ordering on the scoreboard. The mask
+            // pre-filters NO_REG, so dead slots cost nothing here.
+            let s = if slot < 2 { d.srcs[slot] } else { d.dst };
             let r = self.reg_ready[s as usize];
             if r > t_src_exec {
                 t_src_exec = r;
@@ -311,6 +321,13 @@ impl Pipeline {
     /// totals are only filled by [`Pipeline::finish`]/[`Pipeline::snapshot`]).
     pub fn stats(&self) -> &Stats {
         &self.stats
+    }
+
+    /// Cycles elapsed so far (the completion time of the latest-finishing
+    /// instruction) — the same value [`Pipeline::snapshot`] reports as
+    /// `total_cycles`, without cloning the statistics.
+    pub fn cycles_so_far(&self) -> u64 {
+        self.max_completion
     }
 
     /// A complete statistics snapshot at the current point, without

@@ -4,11 +4,24 @@
 //! with physical addresses, so instruction fetch needs no translation
 //! (paper Sec. II-A-2). Pages are 4 KiB. A miss in both levels charges
 //! the page-walk latency.
+//!
+//! Consecutive accesses to the same page are extremely common (any walk
+//! over a data structure, any run of stack traffic), and after *any*
+//! access the page is resident and most-recently-used in L1 — a repeat
+//! access must hit, and re-touching the MRU way of a tree PLRU is a
+//! no-op. The last-page shortcut exploits this to skip the tag probe
+//! entirely while keeping counters identical to the probed path; it is
+//! gated by `TimingConfig::mem_shortcuts` so the full-probe path stays
+//! available as an oracle.
 
 use crate::cache::{Cache, Lookup};
 use crate::config::{CacheParams, TlbParams};
 
 const PAGE_SHIFT: u32 = 12;
+
+/// Sentinel for "no previous page": real page numbers are at most
+/// 2^52 - 1 (addresses are 64-bit, pages 4 KiB).
+const NO_PAGE: u64 = u64::MAX;
 
 /// Latency outcome of a TLB access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,19 +43,40 @@ pub struct Tlb {
     l1_latency: u32,
     l2_latency: u32,
     walk_latency: u32,
+    /// Page number of the previous access ([`NO_PAGE`] if none), or
+    /// [`NO_PAGE`] permanently when shortcuts are disabled.
+    last_page: u64,
+    shortcuts: bool,
 }
 
 impl Tlb {
-    /// Builds the TLB from the two level parameters and walk latency.
+    /// Builds the TLB from the two level parameters and walk latency,
+    /// with the shipping fast paths (flat layout, last-page shortcut).
     pub fn new(l1: TlbParams, l2: TlbParams, walk_latency: u32) -> Tlb {
+        Tlb::configured(l1, l2, walk_latency, true, true)
+    }
+
+    /// Builds the TLB with explicit fast-path switches (`flat` selects
+    /// the cache tag layout, `shortcuts` the last-page hit shortcut).
+    /// All combinations are bit-exact.
+    pub fn configured(
+        l1: TlbParams,
+        l2: TlbParams,
+        walk_latency: u32,
+        flat: bool,
+        shortcuts: bool,
+    ) -> Tlb {
         // Reuse the cache structure at page granularity: "block" = page.
         let mk = |p: TlbParams| {
-            Cache::new(CacheParams {
-                size: p.entries * (1 << PAGE_SHIFT), // entries * page size
-                block: 1 << PAGE_SHIFT,
-                ways: p.ways,
-                hit_latency: p.hit_latency,
-            })
+            Cache::with_layout(
+                CacheParams {
+                    size: p.entries * (1 << PAGE_SHIFT), // entries * page size
+                    block: 1 << PAGE_SHIFT,
+                    ways: p.ways,
+                    hit_latency: p.hit_latency,
+                },
+                flat,
+            )
         };
         Tlb {
             l1: mk(l1),
@@ -50,11 +84,24 @@ impl Tlb {
             l1_latency: l1.hit_latency,
             l2_latency: l2.hit_latency,
             walk_latency,
+            last_page: NO_PAGE,
+            shortcuts,
         }
     }
 
     /// Translates the page of `addr`, updating both levels.
+    #[inline]
     pub fn access(&mut self, addr: u64) -> (TlbOutcome, u32) {
+        let page = addr >> PAGE_SHIFT;
+        if self.shortcuts && page == self.last_page {
+            // The previous access left this page resident and MRU in L1:
+            // a probe would hit and its PLRU touch would be a no-op.
+            self.l1.count_hit();
+            return (TlbOutcome::L1Hit, self.l1_latency);
+        }
+        if self.shortcuts {
+            self.last_page = page;
+        }
         if self.l1.access(addr) == Lookup::Hit {
             return (TlbOutcome::L1Hit, self.l1_latency);
         }
@@ -110,5 +157,28 @@ mod tests {
         let (o, _) = t.access(0);
         assert_ne!(o, TlbOutcome::Walk, "L2 TLB must retain the page");
         assert_eq!(t.walks(), 65);
+    }
+
+    #[test]
+    fn shortcut_matches_full_probe() {
+        let c = TimingConfig::default();
+        let mut fast = Tlb::new(c.tlb1, c.tlb2, c.tlb_walk_latency);
+        let mut slow = Tlb::configured(c.tlb1, c.tlb2, c.tlb_walk_latency, false, false);
+        // A stream with heavy same-page repetition plus set-conflicting
+        // strides: outcomes, latencies and counters must match.
+        let mut x = 0x2545_F491_4F6C_DD1Du64;
+        for i in 0..20_000u64 {
+            let addr = if i % 3 != 0 {
+                x & 0xFFFF_F000 | (i & 0xFFF) // repeat recent page
+            } else {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x % (1 << 24)
+            };
+            assert_eq!(fast.access(addr), slow.access(addr), "access {i}");
+        }
+        assert_eq!(fast.walks(), slow.walks());
+        assert!((fast.l1_miss_rate() - slow.l1_miss_rate()).abs() < 1e-15);
     }
 }

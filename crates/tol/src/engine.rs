@@ -786,6 +786,7 @@ impl Tol {
                 }
             }
             d.srcs = srcs;
+            d.recompute_ops();
             match (*inst, outcome) {
                 (HInst::Br { target, .. }, out) | (HInst::BrFlags { target, .. }, out) => {
                     let taken = matches!(out, Outcome::Taken(_));

@@ -1,7 +1,9 @@
 #!/usr/bin/env sh
 # End-to-end performance gate: runs the full-system criterion bench and
 # then writes BENCH_report.json (guest MIPS, host-events/sec, per-mode
-# dynamic shares) from repeated timed runs of the same configuration.
+# dynamic shares, and the timing-layer replay block: sink events/sec
+# fast vs oracle, per-backend wall seconds) from repeated timed runs of
+# the same configuration.
 #
 #   scripts/bench.sh [--scale S] [--reps N]
 set -eu
@@ -13,6 +15,9 @@ cargo bench -p darco-bench --bench bench_system
 
 echo "== cargo bench --bench retire_throughput (retirement-path ablation)"
 cargo bench -p darco-bench --bench retire_throughput
+
+echo "== cargo bench --bench timing_throughput (timing-layer replay)"
+cargo bench -p darco-bench --bench timing_throughput
 
 echo "== bench_report -> BENCH_report.json"
 cargo run --release -p darco-bench --bin bench_report -- BENCH_report.json "$@"

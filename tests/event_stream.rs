@@ -3,26 +3,44 @@
 //! The contract of the event bus (DESIGN.md §9) is that consumers see
 //! the exact retire-order stream in the exact same batches regardless of
 //! where they run. These tests pin the strongest observable consequence:
-//! a run with the timing pipelines overlapped on a worker thread
-//! produces a byte-identical [`Report`] to the inline run.
+//! a run with the timing pipelines overlapped on one worker thread
+//! (`Threaded`) or fanned out one worker per pipeline (`Fanout`)
+//! produces a byte-identical [`Report`] to the inline run — at any
+//! event-batch size.
 //!
 //! [`Report`]: darco::core::Report
 
-use darco::core::{Report, System, SystemConfig};
+use darco::core::{Report, System, SystemConfig, TimingBackendKind};
 use darco::workloads::{generate, suites};
 
-fn run(profile_idx: usize, scale: f64, threaded: bool, cosim: bool) -> Report {
+const BACKENDS: [TimingBackendKind; 3] =
+    [TimingBackendKind::Inline, TimingBackendKind::Threaded, TimingBackendKind::Fanout];
+
+fn run_with(
+    profile_idx: usize,
+    scale: f64,
+    backend: TimingBackendKind,
+    cosim: bool,
+    event_batch: usize,
+) -> Report {
     let profiles = suites::all_profiles();
-    let cfg = SystemConfig {
+    let mut cfg = SystemConfig {
         cosim,
         app_only_pipeline: true,
         tol_only_pipeline: true,
         window_guest_insts: 20_000,
-        threaded_timing: threaded,
+        timing_backend: backend,
         ..SystemConfig::default()
     };
+    if event_batch > 0 {
+        cfg.tol.event_batch = event_batch;
+    }
     let mut sys = System::new(generate(&profiles[profile_idx], scale), cfg);
     sys.run_to_completion()
+}
+
+fn run(profile_idx: usize, scale: f64, backend: TimingBackendKind, cosim: bool) -> Report {
+    run_with(profile_idx, scale, backend, cosim, 0)
 }
 
 /// Like [`run`], but with the retirement-template and decode-cache fast
@@ -43,6 +61,24 @@ fn run_fast_paths(profile_idx: usize, scale: f64, cosim: bool, fast: bool) -> Re
     sys.run_to_completion()
 }
 
+/// Like [`run`], but with the memory-model fast paths (flat tag layout
+/// and last-line/last-page shortcuts) switched together — both off is
+/// the full-probe legacy-layout oracle.
+fn run_mem_paths(profile_idx: usize, scale: f64, cosim: bool, fast: bool) -> Report {
+    let profiles = suites::all_profiles();
+    let mut cfg = SystemConfig {
+        cosim,
+        app_only_pipeline: true,
+        tol_only_pipeline: true,
+        window_guest_insts: 20_000,
+        ..SystemConfig::default()
+    };
+    cfg.timing.flat_mem = fast;
+    cfg.timing.mem_shortcuts = fast;
+    let mut sys = System::new(generate(&profiles[profile_idx], scale), cfg);
+    sys.run_to_completion()
+}
+
 /// Serializes a value (for a whole [`Report`]: timing stats, filtered
 /// pipelines, timeline windows, TOL summary, trace statistics) so any
 /// divergence anywhere fails the comparison.
@@ -53,8 +89,8 @@ fn fingerprint<T: serde::Serialize>(v: &T) -> String {
 #[test]
 fn threaded_timing_is_bit_identical_across_profiles() {
     for idx in 0..3 {
-        let inline = run(idx, 0.05, false, false);
-        let threaded = run(idx, 0.05, true, false);
+        let inline = run(idx, 0.05, TimingBackendKind::Inline, false);
+        let threaded = run(idx, 0.05, TimingBackendKind::Threaded, false);
         assert!(inline.timing.total_cycles > 0);
         assert!(inline.trace.batches > 0, "event stream must be batched");
         assert_eq!(
@@ -67,11 +103,54 @@ fn threaded_timing_is_bit_identical_across_profiles() {
 }
 
 #[test]
+fn fanout_timing_is_bit_identical_across_profiles() {
+    for idx in 0..3 {
+        let inline = run(idx, 0.05, TimingBackendKind::Inline, false);
+        let fanout = run(idx, 0.05, TimingBackendKind::Fanout, false);
+        assert!(inline.app_only.is_some() && inline.tol_only.is_some());
+        assert_eq!(
+            fingerprint(&inline),
+            fingerprint(&fanout),
+            "profile {} diverged between inline and fan-out timing",
+            inline.name
+        );
+    }
+}
+
+#[test]
+fn all_backends_agree_at_extreme_batch_sizes() {
+    // The acceptance matrix: every backend, at per-instruction delivery
+    // (batch 1), a mid batch and the default-sized 4096 batch, produces
+    // the same report byte for byte. Only trace batch *accounting*
+    // (batches/max_batch) legitimately differs across batch sizes, so
+    // compare fingerprints within one batch size across backends.
+    for &batch in &[1usize, 64, 4096] {
+        let reference = run_with(0, 0.04, TimingBackendKind::Inline, false, batch);
+        for &backend in &BACKENDS[1..] {
+            let other = run_with(0, 0.04, backend, false, batch);
+            assert_eq!(
+                fingerprint(&reference),
+                fingerprint(&other),
+                "backend {backend:?} diverged at event_batch {batch}"
+            );
+        }
+    }
+}
+
+#[test]
 fn threaded_timing_is_bit_identical_with_cosim() {
-    let inline = run(0, 0.03, false, true);
-    let threaded = run(0, 0.03, true, true);
+    let inline = run(0, 0.03, TimingBackendKind::Inline, true);
+    let threaded = run(0, 0.03, TimingBackendKind::Threaded, true);
     assert!(inline.cosim_checks > 0, "checker must run as a sink");
     assert_eq!(fingerprint(&inline), fingerprint(&threaded));
+}
+
+#[test]
+fn fanout_timing_is_bit_identical_with_cosim() {
+    let inline = run(0, 0.03, TimingBackendKind::Inline, true);
+    let fanout = run(0, 0.03, TimingBackendKind::Fanout, true);
+    assert!(fanout.cosim_checks > 0, "checker stays inline under fan-out");
+    assert_eq!(fingerprint(&inline), fingerprint(&fanout));
 }
 
 #[test]
@@ -100,6 +179,25 @@ fn retirement_templates_are_bit_identical_with_cosim() {
     assert!(fast.cosim_checks > 0, "checker must run as a sink");
     assert_eq!(fast.cosim_checks, oracle.cosim_checks);
     assert_eq!(fingerprint(&fast), fingerprint(&oracle));
+}
+
+#[test]
+fn memory_fast_paths_are_bit_identical_across_profiles() {
+    // The flattened cache/TLB layout and the last-line/last-page hit
+    // shortcuts are pure simulator-speed optimizations: same hits, same
+    // victims, same counters, same cycles — the whole Report must match
+    // the full-probe legacy-layout oracle byte for byte.
+    for idx in 0..3 {
+        let fast = run_mem_paths(idx, 0.05, false, true);
+        let oracle = run_mem_paths(idx, 0.05, false, false);
+        assert!(fast.timing.total_cycles > 0);
+        assert_eq!(
+            fingerprint(&fast),
+            fingerprint(&oracle),
+            "profile {} diverged between flat/shortcut and legacy memory paths",
+            fast.name
+        );
+    }
 }
 
 #[test]
