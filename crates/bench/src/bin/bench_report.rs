@@ -18,10 +18,15 @@
 //!   (1 vs 3 pipelines, shipping memory model vs the legacy full-probe
 //!   oracle) and through each full backend (inline/threaded/fanout);
 //!   events/sec, per-backend wall seconds, and the sink-level speedup
-//!   of the shipping model over the oracle.
+//!   of the shipping model over the oracle,
+//! * `analysis`              — the IR analysis framework: guest MIPS
+//!   with `deadflags`/`rangesimp` on vs off, dead flag defs killed,
+//!   branches folded, host-insts-per-guest-inst both ways, and per-pass
+//!   wall time.
 
 use darco_bench::replay::{record_stream, replay_backend, replay_sink};
 use darco_core::{Report, System, SystemConfig, TimingBackendKind};
+use darco_host::Owner;
 use darco_workloads::{generate, suites};
 use serde::Serialize;
 
@@ -60,6 +65,47 @@ struct TimingBlock {
 }
 
 #[derive(Serialize)]
+struct PassRow {
+    pass: String,
+    runs: u64,
+    insts_removed: i64,
+    flags_killed: u64,
+    branches_folded: u64,
+    wall_ms: f64,
+}
+
+#[derive(Serialize)]
+struct AnalysisBlock {
+    /// Guest MIPS with the analysis passes on (shipping) vs off (the
+    /// intrinsic-elision oracle) — the simulator-throughput cost of
+    /// running the dataflow analyses on every translation.
+    guest_mips_on: f64,
+    guest_mips_off: f64,
+    /// Dead `FlagsArith` definitions deleted across the run.
+    flags_killed: u64,
+    /// Statically folded `BrFlags`.
+    branches_folded: u64,
+    /// Average dead flag defs per translated region.
+    flags_killed_per_translation: f64,
+    /// Host instructions per guest instruction, both configurations
+    /// (equal when `deadflags` fully converges and nothing folds).
+    host_insts_per_guest_on: f64,
+    host_insts_per_guest_off: f64,
+    /// The same ratio split by owner: App-owned instructions are the
+    /// translated guest code (quality of emitted code), Tol-owned are
+    /// the software layer's own modeled execution (where the cost of
+    /// eager flag emission plus the analysis passes shows up).
+    app_insts_per_guest_on: f64,
+    app_insts_per_guest_off: f64,
+    tol_insts_per_guest_on: f64,
+    tol_insts_per_guest_off: f64,
+    /// Wall-clock milliseconds in `deadflags` + `rangesimp` (on-run).
+    analysis_wall_ms: f64,
+    /// Per-pass accounting with wall time, pipeline order.
+    passes: Vec<PassRow>,
+}
+
+#[derive(Serialize)]
 struct BenchReport {
     benchmark: String,
     scale: f64,
@@ -71,6 +117,7 @@ struct BenchReport {
     host_events_per_sec: f64,
     mode_shares: ModeShares,
     timing: TimingBlock,
+    analysis: AnalysisBlock,
 }
 
 fn run_once(scale: f64) -> (Report, f64) {
@@ -124,6 +171,77 @@ fn timing_block(reps: usize) -> TimingBlock {
             threaded: best_of(reps, || replay_backend(&batches, TimingBackendKind::Threaded)),
             fanout: best_of(reps, || replay_backend(&batches, TimingBackendKind::Fanout)),
         },
+    }
+}
+
+/// One run with the analysis passes toggled; returns the report, the
+/// per-pass wall-clock samples, the analysis-pass total, and wall secs.
+fn run_analysis(scale: f64, analysis_on: bool) -> (Report, Vec<(String, u64)>, u64, f64) {
+    let mut cfg = SystemConfig {
+        cosim: false,
+        app_only_pipeline: true,
+        tol_only_pipeline: true,
+        ..SystemConfig::default()
+    };
+    cfg.tol.opt_deadflags = analysis_on;
+    cfg.tol.opt_rangesimp = analysis_on;
+    let w = generate(&suites::quicktest_profile(), scale);
+    let mut sys = System::new(w, cfg);
+    let t0 = std::time::Instant::now();
+    let report = sys.run_to_completion();
+    let secs = t0.elapsed().as_secs_f64();
+    (report, sys.tol().pass_nanos().to_vec(), sys.tol().analysis_ns(), secs)
+}
+
+fn analysis_block(scale: f64, reps: usize) -> AnalysisBlock {
+    // Warm-up, then best-of-reps per configuration; results are
+    // deterministic, so any rep's report serves.
+    let (report, nanos, analysis_ns, _) = run_analysis(scale, true);
+    let mut best_on = f64::MAX;
+    for _ in 0..reps.max(1) {
+        best_on = best_on.min(run_analysis(scale, true).3);
+    }
+    let (report_off, _, _, _) = run_analysis(scale, false);
+    let mut best_off = f64::MAX;
+    for _ in 0..reps.max(1) {
+        best_off = best_off.min(run_analysis(scale, false).3);
+    }
+
+    let c = &report.tol.counters;
+    let translations = report.tol.installed.max(1);
+    let passes = report
+        .tol
+        .pass_deltas
+        .iter()
+        .map(|d| PassRow {
+            pass: d.pass.clone(),
+            runs: d.runs,
+            insts_removed: d.insts_removed,
+            flags_killed: d.flags_killed,
+            branches_folded: d.branches_folded,
+            wall_ms: nanos.iter().find(|(p, _)| *p == d.pass).map_or(0.0, |(_, n)| *n as f64 / 1e6),
+        })
+        .collect();
+    AnalysisBlock {
+        guest_mips_on: report.guest_insts as f64 / best_on / 1e6,
+        guest_mips_off: report_off.guest_insts as f64 / best_off / 1e6,
+        flags_killed: c.flags_killed,
+        branches_folded: c.branches_folded,
+        flags_killed_per_translation: c.flags_killed as f64 / translations as f64,
+        host_insts_per_guest_on: report.timing.total_insts() as f64
+            / report.guest_insts.max(1) as f64,
+        host_insts_per_guest_off: report_off.timing.total_insts() as f64
+            / report_off.guest_insts.max(1) as f64,
+        app_insts_per_guest_on: report.timing.owner_insts(Owner::App) as f64
+            / report.guest_insts.max(1) as f64,
+        app_insts_per_guest_off: report_off.timing.owner_insts(Owner::App) as f64
+            / report_off.guest_insts.max(1) as f64,
+        tol_insts_per_guest_on: report.timing.owner_insts(Owner::Tol) as f64
+            / report.guest_insts.max(1) as f64,
+        tol_insts_per_guest_off: report_off.timing.owner_insts(Owner::Tol) as f64
+            / report_off.guest_insts.max(1) as f64,
+        analysis_wall_ms: analysis_ns as f64 / 1e6,
+        passes,
     }
 }
 
@@ -181,6 +299,7 @@ fn main() {
             sbm: share(dyn_dist[2]),
         },
         timing: timing_block(reps),
+        analysis: analysis_block(scale, reps),
     };
     let json = serde_json::to_string_pretty(&summary).expect("serialize report");
     std::fs::write(&out, &json).unwrap_or_else(|e| {

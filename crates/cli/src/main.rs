@@ -9,6 +9,7 @@
 //! darco run-set [benchmark ...]     # batch of runs across worker
 //!                                    # threads (default: whole roster)
 //! darco verify <benchmark> [opts]   # run with the IR verifier forced on
+//! darco analyze <benchmark> [opts]  # dataflow facts + analysis-pass report
 //! darco trace <benchmark> [opts]    # guest instruction trace
 //! darco disasm <benchmark> [opts]   # hottest translations, disassembled
 //! darco timeline <benchmark> [opts] # start-up/steady-state windows
@@ -47,6 +48,7 @@ fn main() {
         "run" => run(rest),
         "run-set" => run_set(rest),
         "verify" => verify(rest),
+        "analyze" => analyze(rest),
         "trace" => trace(rest),
         "disasm" => disasm(rest),
         "timeline" => timeline(rest),
@@ -62,7 +64,7 @@ fn main() {
 
 fn usage() {
     eprintln!(
-        "darco <list|run|run-set|verify|trace|disasm|timeline|export-profile> [benchmark ...] \
+        "darco <list|run|run-set|verify|analyze|trace|disasm|timeline|export-profile> [benchmark ...] \
          [--profile FILE] [--scale S] [--cosim] [--timing-backend inline|threaded|fanout] \
          [--threaded-timing] [--jobs N] [--n N] [--json]"
     );
@@ -307,6 +309,97 @@ fn verify(rest: &[String]) {
     eprintln!(
         "verify: OK — {} superblock(s) verified, {} co-sim checks passed",
         c.verified_blocks, report.cosim_checks
+    );
+}
+
+// -------------------------------------------------------------- analyze
+
+/// `darco analyze`: a full run followed by the static-analysis report —
+/// per-region known-bits/liveness facts for the hottest translations
+/// (what `deadflags`/`rangesimp` saw), the per-pass instruction deltas,
+/// and the aggregate analysis counters. `--n` bounds how many regions
+/// are dumped.
+fn analyze(rest: &[String]) {
+    let o = parse(rest);
+    eprintln!("analyzing {} at scale {} ...", o.profile.name, o.scale);
+    let w = generate(&o.profile, o.scale);
+    // Pre-execution snapshot of guest memory, for re-decoding the
+    // regions the layer translated (workload code is not self-modifying).
+    let analysis_mem = w.mem.clone();
+    let cfg = SystemConfig {
+        cosim: o.cosim,
+        timing_backend: o.timing_backend,
+        ..SystemConfig::default()
+    };
+    let mut sys = System::new(w, cfg);
+    let report = sys.run_to_completion();
+    if o.json {
+        println!("{}", serde_json::to_string_pretty(&report).expect("serialize"));
+        return;
+    }
+    let tol = sys.tol();
+
+    // Hottest translated regions, deduplicated by guest entry.
+    let mut blocks: Vec<u32> = (0..tol.cc.resident() as u32).collect();
+    blocks.sort_by_key(|&b| std::cmp::Reverse(tol.cc.block(b).exec_count));
+    let mut seen = std::collections::HashSet::new();
+    let mut dumped = 0usize;
+    for &b in &blocks {
+        if dumped >= o.n {
+            break;
+        }
+        let entry = tol.cc.block(b).guest_entry;
+        if !seen.insert(entry) {
+            continue;
+        }
+        match darco_tol::analyze_region_text(&analysis_mem, entry) {
+            Ok(text) => {
+                println!("{text}");
+                dumped += 1;
+            }
+            Err(e) => eprintln!("region {entry:#x}: decode fault: {e}"),
+        }
+    }
+
+    // Per-pass deltas with the wall-clock timing the serialized report
+    // deliberately omits.
+    let nanos = tol.pass_nanos();
+    println!(
+        "{:18} {:>7} {:>14} {:>13} {:>16} {:>10}",
+        "pass", "runs", "insts removed", "flags killed", "branches folded", "time"
+    );
+    for d in &report.tol.pass_deltas {
+        let ns = nanos.iter().find(|(p, _)| *p == d.pass).map_or(0, |(_, n)| *n);
+        println!(
+            "{:18} {:>7} {:>14} {:>13} {:>16} {:>9.2}ms",
+            d.pass,
+            d.runs,
+            d.insts_removed,
+            d.flags_killed,
+            d.branches_folded,
+            ns as f64 / 1e6,
+        );
+    }
+    let c = &report.tol.counters;
+    println!(
+        "\nanalysis: {} dead FlagsArith killed, {} branches folded, {:.2}ms in analysis passes",
+        c.flags_killed,
+        c.branches_folded,
+        tol.analysis_ns() as f64 / 1e6,
+    );
+    println!(
+        "host insts {} over {} guest insts ({:.3} host/guest)",
+        report.timing.total_insts(),
+        report.guest_insts,
+        report.timing.total_insts() as f64 / report.guest_insts.max(1) as f64,
+    );
+    // The owner split separates translated-code quality (App) from the
+    // software layer's own modeled execution (Tol).
+    let guests = report.guest_insts.max(1) as f64;
+    println!(
+        "  app-owned {:.3} host/guest, tol-owned {:.3} host/guest",
+        report.timing.owner_insts(Owner::App) as f64 / guests,
+        report.timing.owner_insts(Owner::Tol) as f64 / guests,
     );
 }
 

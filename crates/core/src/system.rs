@@ -145,6 +145,14 @@ impl System {
         System::new(generate(profile, 1.0), SystemConfig::default())
     }
 
+    /// The software layer, for inspection after a run — e.g. the
+    /// wall-clock pass timings ([`Tol::analysis_ns`],
+    /// [`Tol::pass_nanos`]) that are deliberately kept out of the
+    /// serialized [`Report`].
+    pub fn tol(&self) -> &Tol {
+        &self.tol
+    }
+
     /// Runs the workload to completion (or the configured cap) and
     /// returns the report.
     ///

@@ -38,6 +38,8 @@
 //! assert_eq!(add.to_string(), "addi r1, r0, 42");
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod events;
 pub mod isa;
 pub mod layout;
@@ -50,6 +52,6 @@ pub use events::{
     TraceStatsSink, TranslationKind,
 };
 pub use isa::{Exit, FlagsKind, HAluOp, HCond, HFreg, HInst, HReg, Width};
-pub use state::{eval_alu, exec_inst, HostState, Outcome};
+pub use state::{eval_alu, eval_flags, exec_inst, HostState, Outcome};
 pub use stream::{BranchKind, Component, DynInst, ExecClass, MemEvent, Owner};
 pub use template::{compile_block, RetireDyn, RetireTemplate};

@@ -87,6 +87,14 @@ fn alu(op: HAluOp, a: u32, b: u32) -> u32 {
     }
 }
 
+/// Evaluates the flags word a [`FlagsKind`] materialization produces
+/// for operands `a`, `b` — the same computation `exec_inst` performs
+/// for `HInst::FlagsArith`. Exposed so the software layer's abstract
+/// interpreter and constant folder agree with execution exactly.
+pub fn eval_flags(kind: FlagsKind, a: u32, b: u32) -> u32 {
+    flags_word(kind, a, b)
+}
+
 fn flags_word(kind: FlagsKind, a: u32, b: u32) -> u32 {
     let f = match kind {
         FlagsKind::Add => Flags::add(a, b),

@@ -1,0 +1,186 @@
+//! Backward flag- and register-liveness over the linear IR.
+//!
+//! The boundary condition encodes the architectural contract of
+//! translated code: every exit point — each `BrFlags` side exit and
+//! the fall-through at the body end — observes the entire pinned guest
+//! state (GPRs, the flags word, the exit-target register, FPRs). A
+//! pinned definition is therefore dead only when another definition
+//! overwrites it before any use, side exit, or the body end; virtual
+//! temporaries are dead when no later op reads them.
+
+use super::{Analysis, Direction, Lattice};
+use crate::ir::{IrBlock, IrFreg, IrInst, IrOp, IrReg, FSCRATCH_BASE};
+use darco_host::{HFreg, HReg};
+use std::collections::HashSet;
+
+/// The set of registers live at a program point.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LiveSet {
+    /// Live integer registers (pinned and virtual).
+    pub int: HashSet<IrReg>,
+    /// Live FP registers (pinned and virtual).
+    pub fp: HashSet<IrFreg>,
+}
+
+impl LiveSet {
+    /// Whether integer register `r` is live.
+    pub fn contains_int(&self, r: IrReg) -> bool {
+        self.int.contains(&r)
+    }
+}
+
+impl Lattice for LiveSet {
+    fn join(&mut self, other: &LiveSet) {
+        self.int.extend(other.int.iter().copied());
+        self.fp.extend(other.fp.iter().copied());
+    }
+}
+
+/// The full pinned architectural state (what every exit observes):
+/// integer r1..=r10 (guest GPRs, flags, exit target) and FP f0..f7.
+fn pinned() -> LiveSet {
+    LiveSet {
+        int: (1..=10).map(|r| IrReg::Phys(HReg(r))).collect(),
+        fp: (0..FSCRATCH_BASE).map(|f| IrFreg::Phys(HFreg(f))).collect(),
+    }
+}
+
+/// The backward liveness analysis.
+pub struct Liveness;
+
+impl Analysis for Liveness {
+    type Fact = LiveSet;
+    const DIRECTION: Direction = Direction::Backward;
+
+    fn boundary(&self, _block: &IrBlock) -> LiveSet {
+        pinned()
+    }
+
+    fn transfer(&self, op: &IrOp, _idx: usize, fact: &mut LiveSet, _block: &IrBlock) {
+        if op.inst == IrInst::Nop {
+            return;
+        }
+        if op.inst.is_branch() {
+            // A side exit may leave the block: everything pinned is
+            // observable there, in addition to whatever the fall-through
+            // path needs.
+            fact.join(&pinned());
+        }
+        if let Some(d) = op.inst.dst() {
+            fact.int.remove(&d);
+        }
+        if let Some(d) = op.inst.fdst() {
+            fact.fp.remove(&d);
+        }
+        for s in op.inst.srcs().into_iter().flatten() {
+            fact.int.insert(s);
+        }
+        for s in op.inst.fsrcs().into_iter().flatten() {
+            fact.fp.insert(s);
+        }
+    }
+}
+
+/// Liveness facts per program point: `facts[i]` holds before op `i`,
+/// so the set live *after* op `i` is `facts[i + 1]`.
+pub fn facts(block: &IrBlock) -> Vec<LiveSet> {
+    super::solve(&Liveness, block)
+}
+
+/// Indices of `FlagsArith` ops whose definition is dead: no later op
+/// reads it before it is overwritten, and control cannot leave the
+/// block in between. These are exactly the materializations the
+/// translator's intrinsic elision would have skipped.
+pub fn dead_flag_defs(block: &IrBlock) -> Vec<usize> {
+    let live = facts(block);
+    block
+        .ops
+        .iter()
+        .enumerate()
+        .filter(|(i, op)| match op.inst {
+            IrInst::FlagsArith { rd, .. } => !live[i + 1].contains_int(rd),
+            _ => false,
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{IrOp, FLAGS_REG};
+    use darco_guest::Cond;
+    use darco_host::{Exit, FlagsKind, HAluOp};
+
+    const FLAGS: IrReg = IrReg::Phys(FLAGS_REG);
+
+    fn block(ops: Vec<IrInst>, stubs: usize) -> IrBlock {
+        IrBlock {
+            ops: ops.into_iter().map(|inst| IrOp { inst, guest_idx: 0 }).collect(),
+            stubs: vec![Exit::Halt; stubs],
+            stub_guest_counts: vec![1; stubs],
+            fallthrough: Exit::Halt,
+            guest_len: 1,
+        }
+    }
+
+    fn fa(ra: IrReg) -> IrInst {
+        IrInst::FlagsArith { kind: FlagsKind::Sub, rd: FLAGS, ra, rb: IrReg::Phys(HReg(2)) }
+    }
+
+    #[test]
+    fn flag_def_overwritten_before_any_use_is_dead() {
+        let b = block(
+            vec![
+                fa(IrReg::Phys(HReg(1))), // dead: overwritten below, no exit between
+                fa(IrReg::Phys(HReg(3))), // live-out at the body end
+            ],
+            0,
+        );
+        assert_eq!(dead_flag_defs(&b), vec![0]);
+    }
+
+    #[test]
+    fn branch_between_def_and_redef_keeps_flags_live() {
+        let b = block(
+            vec![
+                fa(IrReg::Phys(HReg(1))),
+                IrInst::BrFlags { cond: Cond::E, flags: FLAGS, stub: 0 },
+                fa(IrReg::Phys(HReg(3))),
+            ],
+            1,
+        );
+        assert_eq!(dead_flag_defs(&b), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn dead_virtual_flag_def_is_reported() {
+        let b = block(vec![fa(IrReg::Phys(HReg(1)))], 0);
+        // Redirect the def to a virtual nobody reads.
+        let mut b = b;
+        if let IrInst::FlagsArith { rd, .. } = &mut b.ops[0].inst {
+            *rd = IrReg::Virt(0);
+        }
+        assert_eq!(dead_flag_defs(&b), vec![0]);
+    }
+
+    #[test]
+    fn plain_defs_kill_and_uses_gen() {
+        let b = block(
+            vec![
+                IrInst::Li { rd: IrReg::Virt(0), imm: 1 },
+                IrInst::AluI {
+                    op: HAluOp::Add,
+                    rd: IrReg::Phys(HReg(1)),
+                    ra: IrReg::Virt(0),
+                    imm: 0,
+                },
+            ],
+            0,
+        );
+        let live = facts(&b);
+        assert!(live[1].contains_int(IrReg::Virt(0)), "live between def and use");
+        assert!(!live[0].contains_int(IrReg::Virt(0)), "dead before its def");
+        assert!(live[0].contains_int(IrReg::Phys(HReg(2))), "pinned live-in");
+    }
+}

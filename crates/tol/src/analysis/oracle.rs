@@ -1,0 +1,127 @@
+//! Runtime soundness oracle for the abstract interpreter.
+//!
+//! Static analyses earn no trust by construction: this oracle replays a
+//! block concretely through the reference host semantics (the same
+//! [`exec_inst`]-backed interpreter translation validation uses) on
+//! randomized pinned states and seeded memory, and asserts after every
+//! op that the concrete destination value satisfies the known-bits/range
+//! fact the analysis claimed for that program point — and that every
+//! statically decided `BrFlags` resolves the way the concrete execution
+//! actually went. Any violation is a soundness bug in the analysis, not
+//! in the block, and is reported as a miscompile by the pipeline when
+//! checking is enabled (debug and cosim builds).
+//!
+//! [`exec_inst`]: darco_host::exec_inst
+
+use super::knownbits::{self, AbsVal};
+use crate::ir::{IrBlock, IrInst};
+use crate::verify::tv;
+
+/// Replays `block` concretely `trials` times, asserting every abstract
+/// fact against the executed values.
+///
+/// # Errors
+///
+/// A description of the first violated claim: the op index, the
+/// register, the claimed fact, and the concrete value that escapes it.
+pub fn check_block(block: &IrBlock, trials: u64) -> Result<(), String> {
+    let facts = knownbits::facts(block);
+    // Decorrelate from the differential validator's trial stream.
+    let mut rng = tv::SplitMix64(tv::block_seed(block) ^ 0xA5A5_5A5A_0BAD_CAFE);
+    for trial in 0..trials {
+        let (init, mut mem) = tv::random_init(&mut rng);
+        let mut violation: Option<String> = None;
+        let mut env = tv::ExecEnv::new(init);
+        env.run_with(block, &mut mem, |i, env, taken| {
+            if violation.is_some() {
+                return;
+            }
+            let op = &block.ops[i];
+            if let IrInst::BrFlags { cond, flags, .. } = op.inst {
+                let f = facts[i].get(flags).unwrap_or_else(AbsVal::top);
+                if let (Some(dec), Some(t)) = (knownbits::decide(cond, &f), taken) {
+                    if dec != t {
+                        violation = Some(format!(
+                            "trial {trial}, op {i} ({}): branch decided {dec} but concretely taken={t} (flags fact {f})",
+                            op.inst
+                        ));
+                    }
+                }
+                return;
+            }
+            if let Some(d) = op.inst.dst() {
+                if let Some(fact) = facts[i + 1].get(d) {
+                    let v = env.read(d);
+                    if !fact.contains(v) {
+                        violation = Some(format!(
+                            "trial {trial}, op {i} ({}): {d} = {v:#x} escapes claimed fact {fact}",
+                            op.inst
+                        ));
+                    }
+                }
+            }
+        });
+        if let Some(v) = violation {
+            return Err(v);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{IrOp, IrReg};
+    use darco_host::{Exit, HAluOp, HReg, Width};
+
+    fn block(ops: Vec<IrInst>, stubs: usize) -> IrBlock {
+        IrBlock {
+            ops: ops.into_iter().map(|inst| IrOp { inst, guest_idx: 0 }).collect(),
+            stubs: vec![Exit::Halt; stubs],
+            stub_guest_counts: vec![1; stubs],
+            fallthrough: Exit::Halt,
+            guest_len: 1,
+        }
+    }
+
+    fn phys(i: u8) -> IrReg {
+        IrReg::Phys(HReg(i))
+    }
+
+    #[test]
+    fn facts_hold_on_a_mixed_block() {
+        let b = block(
+            vec![
+                IrInst::AluI { op: HAluOp::And, rd: IrReg::Virt(0), ra: phys(2), imm: 0xFF },
+                IrInst::Ld { rd: phys(3), base: phys(1), off: 0, width: Width::W1 },
+                IrInst::Alu { op: HAluOp::Add, rd: phys(4), ra: IrReg::Virt(0), rb: phys(3) },
+                IrInst::AluI { op: HAluOp::Shr, rd: phys(5), ra: phys(4), imm: 4 },
+            ],
+            0,
+        );
+        check_block(&b, 8).expect("abstract facts must hold concretely");
+    }
+
+    #[test]
+    fn decided_branches_match_concrete_execution() {
+        use crate::ir::FLAGS_REG;
+        use darco_guest::Cond;
+        use darco_host::FlagsKind;
+        // v0 = r2 & 0xFF; flags = sub(v0, 0x100): always below -> B taken.
+        let b = block(
+            vec![
+                IrInst::AluI { op: HAluOp::And, rd: IrReg::Virt(0), ra: phys(2), imm: 0xFF },
+                IrInst::Li { rd: IrReg::Virt(1), imm: 0x100 },
+                IrInst::FlagsArith {
+                    kind: FlagsKind::Sub,
+                    rd: IrReg::Phys(FLAGS_REG),
+                    ra: IrReg::Virt(0),
+                    rb: IrReg::Virt(1),
+                },
+                IrInst::BrFlags { cond: Cond::B, flags: IrReg::Phys(FLAGS_REG), stub: 0 },
+            ],
+            1,
+        );
+        check_block(&b, 8).expect("decided branch agrees with execution");
+    }
+}

@@ -23,7 +23,7 @@ use crate::ibtc::Ibtc;
 use crate::ir::{self, lower, RegMap, EXIT_TARGET_REG, FLAGS_REG};
 use crate::profile::{Profiler, StaticMode};
 use crate::superblock::form_region;
-use crate::translate::{decode_bb, translate_region, RegionInst};
+use crate::translate::{decode_bb, translate_region, translate_region_with, RegionInst};
 use crate::{interp, opt};
 use darco_guest::{CpuState, DecodeError, Flags, FpReg, Gpr, GuestMem};
 use darco_host::events::{EventBuffer, ExecMode, HostEvent, HostEventSink, TranslationKind};
@@ -64,6 +64,11 @@ pub struct TolCounters {
     /// Verifier-detected miscompiles: the optimized block was discarded
     /// and the unoptimized lowering installed instead.
     pub verify_failures: u64,
+    /// Dead `FlagsArith` definitions deleted by the `deadflags` pass
+    /// (BBM and SBM combined).
+    pub flags_killed: u64,
+    /// `BrFlags` statically folded by the `rangesimp` pass.
+    pub branches_folded: u64,
 }
 
 /// What one [`Tol::step`] did.
@@ -98,6 +103,9 @@ pub struct RunSummary {
     pub ibtc_misses: u64,
     /// Host instructions emitted per component (engine-side counts).
     pub emitted: [u64; 7],
+    /// Per-pass instruction deltas across every optimized block, in
+    /// pipeline order (`darco verify` / `darco analyze` report these).
+    pub pass_deltas: Vec<crate::verify::PassDelta>,
 }
 
 /// The Translation Optimization Layer engine.
@@ -126,6 +134,14 @@ pub struct Tol {
     ev_storage: Vec<HostEvent>,
     /// The interpreter's decoded-instruction cache.
     dcache: interp::DecodeCache,
+    /// Accumulated per-pass deltas across every optimized block.
+    pass_deltas: Vec<crate::verify::PassDelta>,
+    /// Wall-clock nanoseconds per pass, keyed like `pass_deltas`. Kept
+    /// outside [`TolCounters`] so serialized reports stay deterministic.
+    pass_nanos: Vec<(String, u64)>,
+    /// Total wall-clock nanoseconds in the analysis-driven passes
+    /// (`deadflags` + `rangesimp`), BBM and SBM combined.
+    analysis_ns: u64,
 }
 
 impl Tol {
@@ -151,6 +167,9 @@ impl Tol {
             spec_targets: std::collections::HashMap::new(),
             ev_storage: Vec::new(),
             dcache: interp::DecodeCache::new(),
+            pass_deltas: Vec::new(),
+            pass_nanos: Vec::new(),
+            analysis_ns: 0,
             cfg,
         };
         tol.store_cpu(&CpuState::at(entry));
@@ -195,6 +214,21 @@ impl Tol {
         self.counters
     }
 
+    /// Wall-clock nanoseconds spent in the analysis-driven passes
+    /// (`deadflags` + `rangesimp`) so far. Deliberately not part of
+    /// [`TolCounters`] or [`RunSummary`]: serialized reports must stay
+    /// bit-identical across reruns.
+    pub fn analysis_ns(&self) -> u64 {
+        self.analysis_ns
+    }
+
+    /// Wall-clock nanoseconds per optimization pass, keyed like
+    /// [`RunSummary::pass_deltas`]. Same determinism caveat as
+    /// [`Tol::analysis_ns`].
+    pub fn pass_nanos(&self) -> &[(String, u64)] {
+        &self.pass_nanos
+    }
+
     /// Whether the guest has halted.
     pub fn is_done(&self) -> bool {
         self.halted
@@ -218,6 +252,7 @@ impl Tol {
             ibtc_hits: self.ibtc.hits(),
             ibtc_misses: self.ibtc.misses(),
             emitted: self.em.emitted,
+            pass_deltas: self.pass_deltas.clone(),
         }
     }
 
@@ -347,7 +382,29 @@ impl Tol {
 
     /// Translates and installs the basic block at `entry` (BBM).
     fn install_bb(&mut self, entry: u32, region: &[RegionInst], ev: &mut EventBuffer<'_>) -> u32 {
-        let mut block = translate_region(region);
+        let mut block = translate_region_with(region, self.cfg.opt_deadflags);
+        if self.cfg.opt_deadflags {
+            // Eager flag materialization + liveness-driven kill converges
+            // to the same host code the intrinsic elision produces.
+            let live_before = block.ops.iter().filter(|o| o.inst != ir::IrInst::Nop).count();
+            let start = std::time::Instant::now();
+            let killed = opt::deadflags::run(&mut block);
+            let nanos = start.elapsed().as_nanos() as u64;
+            self.counters.flags_killed += u64::from(killed);
+            self.analysis_ns += nanos;
+            crate::verify::merge_nanos(&mut self.pass_nanos, "deadflags", nanos);
+            let live_after = block.ops.iter().filter(|o| o.inst != ir::IrInst::Nop).count();
+            crate::verify::merge_delta(
+                &mut self.pass_deltas,
+                &crate::verify::PassDelta {
+                    pass: "deadflags".to_string(),
+                    runs: 1,
+                    insts_removed: live_before as i64 - live_after as i64,
+                    flags_killed: u64::from(killed),
+                    branches_folded: 0,
+                },
+            );
+        }
         if self.cfg.bbm_peephole {
             opt::constprop::run(&mut block, true);
             opt::dce::run(&mut block);
@@ -384,16 +441,31 @@ impl Tol {
         ev: &mut EventBuffer<'_>,
     ) -> Result<(u32, bool), DecodeError> {
         let (region, bbs) = form_region(mem, entry, &self.prof, &self.cfg)?;
-        let block = translate_region(&region);
+        let block = translate_region_with(&region, self.cfg.opt_deadflags);
         let ir_len = block.ops.len();
-        let (mut block, map) = match opt::optimize_stats(block.clone(), &self.cfg) {
+        let (mut block, map) = match opt::optimize_stats(block, &self.cfg) {
             Ok((opt_block, map, stats)) => {
                 self.counters.verified_blocks += stats.blocks_verified;
                 self.counters.tv_differential += stats.tv_differential;
+                for d in &stats.pass_deltas {
+                    self.counters.flags_killed += d.flags_killed;
+                    self.counters.branches_folded += d.branches_folded;
+                    crate::verify::merge_delta(&mut self.pass_deltas, d);
+                }
+                for (pass, ns) in &stats.pass_nanos {
+                    if pass == "deadflags" || pass == "rangesimp" {
+                        self.analysis_ns += ns;
+                    }
+                    crate::verify::merge_nanos(&mut self.pass_nanos, pass, *ns);
+                }
                 (opt_block, map)
             }
             Err(opt::OptError::OutOfRegisters) => {
                 self.counters.opt_bailouts += 1;
+                // Fall back to the intrinsically elided translation so
+                // the unoptimized lowering matches the non-eager path
+                // exactly.
+                let block = translate_region(&region);
                 let map = bbm_allocate(&block);
                 (block, map)
             }
@@ -401,6 +473,7 @@ impl Tol {
                 // The verifier rejected a pass's output: never install
                 // unverified code; fall back to the unoptimized lowering.
                 self.counters.verify_failures += 1;
+                let block = translate_region(&region);
                 let map = bbm_allocate(&block);
                 (block, map)
             }

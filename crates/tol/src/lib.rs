@@ -48,6 +48,9 @@
 //! # Ok::<(), darco_guest::DecodeError>(())
 //! ```
 
+#![warn(missing_docs)]
+
+pub mod analysis;
 pub mod codecache;
 pub mod config;
 pub mod emission;
@@ -61,6 +64,7 @@ pub mod superblock;
 pub mod translate;
 pub mod verify;
 
+pub use analysis::analyze_region_text;
 pub use config::TolConfig;
 pub use engine::{Mode, RunSummary, StepOutcome, Tol, TolCounters};
-pub use verify::{VerifyFailure, VerifyStats};
+pub use verify::{PassDelta, VerifyFailure, VerifyStats};

@@ -22,13 +22,15 @@
 pub mod constprop;
 pub mod cse;
 pub mod dce;
+pub mod deadflags;
+pub mod rangesimp;
 pub mod regalloc;
 pub mod schedule;
 pub mod swprefetch;
 
 use crate::config::TolConfig;
-use crate::ir::{IrBlock, RegMap};
-use crate::verify::{self, PassKind, VerifyFailure, VerifyStats};
+use crate::ir::{self, IrBlock, IrInst, RegMap};
+use crate::verify::{self, PassDelta, PassKind, VerifyFailure, VerifyStats};
 
 /// Why optimization could not complete.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -54,35 +56,86 @@ impl std::fmt::Display for OptError {
 
 impl std::error::Error for OptError {}
 
+/// Analysis-level effects a pass reports back to the pipeline driver
+/// for the per-pass accounting (`RunSummary::pass_deltas`).
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct PassEffect {
+    /// Dead `FlagsArith` definitions deleted.
+    pub flags_killed: u32,
+    /// `BrFlags` statically folded.
+    pub branches_folded: u32,
+}
+
 /// One pipeline pass: a name for verifier reports, the transformation
 /// shape the verifier holds it to, and the transformation itself.
 pub(crate) struct Pass {
     pub name: &'static str,
     pub kind: PassKind,
-    pub run: fn(&mut IrBlock, &TolConfig),
+    pub run: fn(&mut IrBlock, &TolConfig) -> PassEffect,
 }
 
-/// Builds the canonical pass order for `cfg` (Sec. II-A-1).
+/// Builds the canonical pass order for `cfg` (Sec. II-A-1), extended
+/// with the analysis-driven passes (DESIGN.md §13): `deadflags` first —
+/// it restores the intrinsically elided flag shapes the later passes
+/// expect — and `rangesimp` after the propagation passes have seeded
+/// constants, before DCE sweeps what folding freed.
 fn pipeline(cfg: &TolConfig) -> Vec<Pass> {
     let mut passes = Vec::new();
+    if cfg.opt_deadflags {
+        passes.push(Pass {
+            name: "deadflags",
+            kind: PassKind::DeadFlags,
+            run: |b, _| PassEffect { flags_killed: deadflags::run(b), branches_folded: 0 },
+        });
+    }
     if cfg.opt_const_prop || cfg.opt_const_fold {
         passes.push(Pass {
             name: "constprop",
             kind: PassKind::Rewrite,
-            run: |b, c| constprop::run(b, c.opt_const_fold),
+            run: |b, c| {
+                constprop::run(b, c.opt_const_fold);
+                PassEffect::default()
+            },
         });
     }
     if cfg.opt_cse {
-        passes.push(Pass { name: "cse", kind: PassKind::Rewrite, run: |b, _| cse::run(b) });
+        passes.push(Pass {
+            name: "cse",
+            kind: PassKind::Rewrite,
+            run: |b, _| {
+                cse::run(b);
+                PassEffect::default()
+            },
+        });
         // CSE introduces copies; clean them up.
         passes.push(Pass {
             name: "constprop-cleanup",
             kind: PassKind::Rewrite,
-            run: |b, c| constprop::run(b, c.opt_const_fold),
+            run: |b, c| {
+                constprop::run(b, c.opt_const_fold);
+                PassEffect::default()
+            },
+        });
+    }
+    if cfg.opt_rangesimp {
+        passes.push(Pass {
+            name: "rangesimp",
+            kind: PassKind::BranchFold,
+            run: |b, _| {
+                let stats = rangesimp::run(b);
+                PassEffect { flags_killed: 0, branches_folded: stats.branches_folded }
+            },
         });
     }
     if cfg.opt_dce {
-        passes.push(Pass { name: "dce", kind: PassKind::Dce, run: |b, _| dce::run(b) });
+        passes.push(Pass {
+            name: "dce",
+            kind: PassKind::Dce,
+            run: |b, _| {
+                dce::run(b);
+                PassEffect::default()
+            },
+        });
     }
     if cfg.opt_sw_prefetch {
         passes.push(Pass {
@@ -90,6 +143,7 @@ fn pipeline(cfg: &TolConfig) -> Vec<Pass> {
             kind: PassKind::Insert,
             run: |b, _| {
                 swprefetch::run(b);
+                PassEffect::default()
             },
         });
     }
@@ -97,10 +151,22 @@ fn pipeline(cfg: &TolConfig) -> Vec<Pass> {
         passes.push(Pass {
             name: "schedule",
             kind: PassKind::Schedule,
-            run: |b, _| schedule::run(b),
+            run: |b, _| {
+                schedule::run(b);
+                PassEffect::default()
+            },
         });
     }
     passes
+}
+
+/// Concrete replay trials the soundness oracle runs per optimized
+/// block when checking is enabled.
+const ORACLE_TRIALS: u64 = 2;
+
+/// Non-`Nop` instruction count (the measure the per-pass deltas use).
+fn count_live(block: &IrBlock) -> usize {
+    block.ops.iter().filter(|o| o.inst != IrInst::Nop).count()
 }
 
 /// Runs the enabled passes over `block` and allocates registers.
@@ -142,12 +208,38 @@ pub(crate) fn run_pipeline(
     let original = checking.then(|| block.clone());
     for pass in passes {
         let pre = checking.then(|| block.clone());
-        (pass.run)(&mut block, cfg);
+        let live_before = count_live(&block);
+        let start = std::time::Instant::now();
+        let effect = (pass.run)(&mut block, cfg);
+        verify::merge_nanos(&mut stats.pass_nanos, pass.name, start.elapsed().as_nanos() as u64);
+        verify::merge_delta(
+            &mut stats.pass_deltas,
+            &PassDelta {
+                pass: pass.name.to_string(),
+                runs: 1,
+                insts_removed: live_before as i64 - count_live(&block) as i64,
+                flags_killed: u64::from(effect.flags_killed),
+                branches_folded: u64::from(effect.branches_folded),
+            },
+        );
         if let Some(pre) = &pre {
             if *pre != block {
                 verify::check_pass(pass.name, pass.kind, pre, &block, &mut stats)
                     .map_err(OptError::Miscompile)?;
             }
+        }
+    }
+    if checking {
+        // Soundness oracle: replay the optimized block concretely and
+        // assert every abstract fact the analyses claim about it.
+        if let Err(detail) = crate::analysis::oracle::check_block(&block, ORACLE_TRIALS) {
+            return Err(OptError::Miscompile(Box::new(VerifyFailure {
+                pass: "analysis",
+                invariant: "abstract facts sound on concrete execution",
+                detail,
+                pre_ir: ir::pretty(&block),
+                post_ir: ir::pretty(&block),
+            })));
         }
     }
     let map = regalloc::run(&block)?;
@@ -249,6 +341,7 @@ mod tests {
                 if let Some(op) = b.ops.iter_mut().find(|o| o.inst.is_store()) {
                     op.inst = IrInst::Nop;
                 }
+                PassEffect::default()
             },
         };
         let b = block(vec![
@@ -289,6 +382,7 @@ mod tests {
                         op.inst = IrInst::Li { rd, imm: imm + 1 };
                     }
                 }
+                PassEffect::default()
             },
         };
         let b = block(vec![IrInst::Li { rd: IrReg::Phys(HReg(1)), imm: 5 }]);
@@ -303,8 +397,14 @@ mod tests {
     /// caught structurally.
     #[test]
     fn broken_schedule_violating_raw_is_caught() {
-        let broken =
-            Pass { name: "schedule", kind: PassKind::Schedule, run: |b, _| b.ops.reverse() };
+        let broken = Pass {
+            name: "schedule",
+            kind: PassKind::Schedule,
+            run: |b, _| {
+                b.ops.reverse();
+                PassEffect::default()
+            },
+        };
         let b = block(vec![
             IrInst::Li { rd: IrReg::Virt(0), imm: 7 },
             IrInst::Alu {

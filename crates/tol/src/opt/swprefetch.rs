@@ -22,8 +22,13 @@ const LINE: i32 = 64;
 const MIN_OPS: usize = 8;
 
 /// Runs the pass in place; returns the number of prefetches inserted.
+///
+/// Block length and prefetch distance are measured in *live* (non-`Nop`)
+/// instructions: earlier passes tombstone what they delete, and a pile
+/// of tombstones must not talk a short block into prefetching or shrink
+/// the real distance between a prefetch and its load.
 pub fn run(block: &mut IrBlock) -> usize {
-    if block.ops.len() < MIN_OPS {
+    if block.ops.iter().filter(|o| o.inst != IrInst::Nop).count() < MIN_OPS {
         return 0;
     }
     let mut seen: HashSet<(crate::ir::IrReg, i32)> = HashSet::new();
@@ -38,11 +43,18 @@ pub fn run(block: &mut IrBlock) -> usize {
         if !seen.insert((base, off.wrapping_add(LINE) / LINE)) {
             continue;
         }
-        // Insert a few ops ahead of the load (clamped to the block
+        // Insert a few live ops ahead of the load (clamped to the block
         // start); the scheduler may hoist it further. A virtual base
         // must not be read before its definition, so the prefetch never
         // hoists past it.
-        let mut at = i.saturating_sub(4);
+        let mut at = i;
+        let mut dist = 0;
+        while at > 0 && dist < 4 {
+            at -= 1;
+            if block.ops[at].inst != IrInst::Nop {
+                dist += 1;
+            }
+        }
         if matches!(base, IrReg::Virt(_)) {
             if let Some(def) = block.ops[..i].iter().position(|o| o.inst.dst() == Some(base)) {
                 at = at.max(def + 1);

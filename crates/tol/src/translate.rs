@@ -207,6 +207,22 @@ const FLAGS: IrReg = IrReg::Phys(FLAGS_REG);
 /// Panics if an internal instruction is a call, return or indirect jump
 /// (superblock formation must stop at those).
 pub fn translate_region(region: &[RegionInst]) -> IrBlock {
+    translate_region_with(region, false)
+}
+
+/// [`translate_region`] with a choice of flag-materialization policy.
+///
+/// With `eager_flags` the translator emits a `FlagsArith` for **every**
+/// flag-writing guest instruction and leaves the elision decision to
+/// the IR-level `deadflags` pass (DESIGN.md §13), which the analysis
+/// framework drives; without it the intrinsic guest-level elision of
+/// [`flags_live_after`] applies. Both policies converge to the same
+/// final host code when the pass pipeline runs.
+///
+/// # Panics
+///
+/// Same as [`translate_region`].
+pub fn translate_region_with(region: &[RegionInst], eager_flags: bool) -> IrBlock {
     assert!(!region.is_empty(), "empty translation region");
     let mut cx = Ctx {
         ops: Vec::new(),
@@ -219,7 +235,7 @@ pub fn translate_region(region: &[RegionInst]) -> IrBlock {
     for (i, r) in region.iter().enumerate() {
         cx.gi = i as u32;
         let last = i == region.len() - 1;
-        let flags_live = r.inst.writes_flags() && flags_live_after(region, i);
+        let flags_live = r.inst.writes_flags() && (eager_flags || flags_live_after(region, i));
         match r.inst {
             inst if !inst.is_block_end() => emit_straightline(&mut cx, &inst, flags_live),
             Inst::Jcc { cond, target } => {

@@ -43,6 +43,13 @@ pub enum PassKind {
     Insert,
     /// Permuting instructions within dependence order (scheduling).
     Schedule,
+    /// Deleting `FlagsArith` ops whose flags word is dead, plus the
+    /// immediate-refold and virtual cleanup that shape implies
+    /// (deadflags).
+    DeadFlags,
+    /// Folding statically decided branches and strength-reducing
+    /// masked ALU ops (rangesimp).
+    BranchFold,
 }
 
 /// A verification failure: which pass broke which invariant, with the
@@ -113,8 +120,29 @@ pub(crate) fn fail<T>(
     }))
 }
 
+/// Per-pass transformation accounting: how often a pass ran and how
+/// much it shrank the instruction stream. Deliberately holds no
+/// wall-clock data — it is serialized into [`Report`] fingerprints that
+/// must be bit-identical across reruns; pass timing travels separately
+/// through [`VerifyStats::pass_nanos`].
+///
+/// [`Report`]: ../../darco_core/struct.Report.html
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct PassDelta {
+    /// Pass name (matches the pipeline's pass registry).
+    pub pass: String,
+    /// How many blocks the pass ran over.
+    pub runs: u64,
+    /// Net non-`Nop` instructions removed (negative if it grew).
+    pub insts_removed: i64,
+    /// `FlagsArith` definitions deleted.
+    pub flags_killed: u64,
+    /// `BrFlags` statically folded.
+    pub branches_folded: u64,
+}
+
 /// Counters describing how blocks were verified, reported by the engine.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct VerifyStats {
     /// Blocks that went through full post-pipeline verification.
     pub blocks_verified: u64,
@@ -124,15 +152,51 @@ pub struct VerifyStats {
     pub tv_symbolic: u64,
     /// Translation validations that needed the differential fallback.
     pub tv_differential: u64,
+    /// Per-pass instruction deltas, in pipeline order.
+    pub pass_deltas: Vec<PassDelta>,
+    /// Wall-clock nanoseconds per pass, keyed like `pass_deltas`. Kept
+    /// out of [`PassDelta`] (and thus out of every serialized report) so
+    /// reports stay deterministic across reruns.
+    pub pass_nanos: Vec<(String, u64)>,
 }
 
 impl VerifyStats {
-    /// Accumulates another stats record into this one.
+    /// Accumulates another stats record into this one; per-pass deltas
+    /// merge by pass name.
     pub fn merge(&mut self, other: &VerifyStats) {
         self.blocks_verified += other.blocks_verified;
         self.passes_checked += other.passes_checked;
         self.tv_symbolic += other.tv_symbolic;
         self.tv_differential += other.tv_differential;
+        for d in &other.pass_deltas {
+            merge_delta(&mut self.pass_deltas, d);
+        }
+        for (pass, ns) in &other.pass_nanos {
+            merge_nanos(&mut self.pass_nanos, pass, *ns);
+        }
+    }
+}
+
+/// Folds one delta into a list keyed by pass name (appending new
+/// passes in encounter order, which is pipeline order).
+pub fn merge_delta(deltas: &mut Vec<PassDelta>, d: &PassDelta) {
+    if let Some(e) = deltas.iter_mut().find(|e| e.pass == d.pass) {
+        e.runs += d.runs;
+        e.insts_removed += d.insts_removed;
+        e.flags_killed += d.flags_killed;
+        e.branches_folded += d.branches_folded;
+    } else {
+        deltas.push(d.clone());
+    }
+}
+
+/// Folds one pass-timing sample into a `(pass, nanos)` list keyed by
+/// pass name, appending new passes in encounter order.
+pub fn merge_nanos(nanos: &mut Vec<(String, u64)>, pass: &str, ns: u64) {
+    if let Some(e) = nanos.iter_mut().find(|(p, _)| p == pass) {
+        e.1 += ns;
+    } else {
+        nanos.push((pass.to_string(), ns));
     }
 }
 

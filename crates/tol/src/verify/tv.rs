@@ -294,7 +294,7 @@ fn sym_eval(block: &IrBlock, tt: &mut Interner) -> SymObs {
 
 /// Where a concrete execution of the block left to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum ConcreteExit {
+pub(crate) enum ConcreteExit {
     Stub(u32),
     Fallthrough,
 }
@@ -312,15 +312,21 @@ const FSTAGE_D: HFreg = HFreg(ir::FSCRATCH_BASE + 2);
 
 /// Concrete IR interpreter: virtuals live in side tables, pinned
 /// registers in a [`HostState`], and every instruction is delegated to
-/// the host's [`exec_inst`] via the staging registers.
-struct ExecEnv {
-    st: HostState,
+/// the host's [`exec_inst`] via the staging registers. Shared with the
+/// analysis soundness oracle, which replays blocks through it while
+/// asserting abstract facts.
+pub(crate) struct ExecEnv {
+    pub(crate) st: HostState,
     virt: HashMap<u32, u32>,
     fvirt: HashMap<u32, f64>,
 }
 
 impl ExecEnv {
-    fn read(&self, r: IrReg) -> u32 {
+    pub(crate) fn new(st: HostState) -> ExecEnv {
+        ExecEnv { st, virt: HashMap::new(), fvirt: HashMap::new() }
+    }
+
+    pub(crate) fn read(&self, r: IrReg) -> u32 {
         match r {
             IrReg::Phys(p) => self.st.reg(p),
             IrReg::Virt(v) => self.virt.get(&v).copied().unwrap_or(0),
@@ -362,7 +368,21 @@ impl ExecEnv {
     }
 
     fn run(&mut self, block: &IrBlock, mem: &mut GuestMem) -> ConcreteExit {
-        for op in &block.ops {
+        self.run_with(block, mem, |_, _, _| {})
+    }
+
+    /// Runs the block, invoking `observe(idx, env, taken)` after every
+    /// executed op — `taken` is `Some(t)` for a `BrFlags` (and the run
+    /// stops when `t` is true), `None` otherwise. This is the hook the
+    /// soundness oracle uses to compare abstract facts against the
+    /// concrete state at each program point.
+    pub(crate) fn run_with(
+        &mut self,
+        block: &IrBlock,
+        mem: &mut GuestMem,
+        mut observe: impl FnMut(usize, &ExecEnv, Option<bool>),
+    ) -> ConcreteExit {
+        for (i, op) in block.ops.iter().enumerate() {
             match op.inst {
                 IrInst::Nop | IrInst::Prefetch { .. } => {}
                 IrInst::Alu { op: o, rd, ra, rb } => {
@@ -469,11 +489,15 @@ impl ExecEnv {
                         &HInst::BrFlags { cond, flags: STAGE_A, target: 1 },
                         mem,
                     );
-                    if out == Outcome::Taken(1) {
+                    let taken = out == Outcome::Taken(1);
+                    observe(i, self, Some(taken));
+                    if taken {
                         return ConcreteExit::Stub(stub);
                     }
+                    continue;
                 }
             }
+            observe(i, self, None);
         }
         ConcreteExit::Fallthrough
     }
@@ -481,10 +505,10 @@ impl ExecEnv {
 
 /// Minimal deterministic PRNG (SplitMix64) so the validator needs no
 /// external randomness source and stays reproducible.
-struct SplitMix64(u64);
+pub(crate) struct SplitMix64(pub(crate) u64);
 
 impl SplitMix64 {
-    fn next(&mut self) -> u64 {
+    pub(crate) fn next(&mut self) -> u64 {
         self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = self.0;
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -492,14 +516,14 @@ impl SplitMix64 {
         z ^ (z >> 31)
     }
 
-    fn next_u32(&mut self) -> u32 {
+    pub(crate) fn next_u32(&mut self) -> u32 {
         (self.next() >> 32) as u32
     }
 }
 
 /// Deterministic seed derived from the block's instruction sequence, so
 /// every validation of the same block replays the same trials.
-fn block_seed(block: &IrBlock) -> u64 {
+pub(crate) fn block_seed(block: &IrBlock) -> u64 {
     let mut h = std::collections::hash_map::DefaultHasher::new();
     for op in &block.ops {
         op.inst.hash(&mut h);
@@ -508,9 +532,10 @@ fn block_seed(block: &IrBlock) -> u64 {
     h.finish()
 }
 
-/// One random trial: identical initial state fed to both blocks; returns
-/// a description of the first divergence, if any.
-fn diff_trial(pre: &IrBlock, post: &IrBlock, rng: &mut SplitMix64) -> Option<String> {
+/// Draws one random pinned state and seeded guest memory — the input
+/// distribution shared by the differential fallback and the analysis
+/// soundness oracle.
+pub(crate) fn random_init(rng: &mut SplitMix64) -> (HostState, GuestMem) {
     let mut init = HostState::new();
     for r in 1..=10u8 {
         // Bias half the registers toward low addresses so loads hit the
@@ -526,12 +551,19 @@ fn diff_trial(pre: &IrBlock, post: &IrBlock, rng: &mut SplitMix64) -> Option<Str
         let a = rng.next_u32() & 0x7_FFFC;
         mem0.write_u32(a, rng.next_u32());
     }
+    (init, mem0)
+}
 
-    let mut env_a = ExecEnv { st: init.clone(), virt: HashMap::new(), fvirt: HashMap::new() };
+/// One random trial: identical initial state fed to both blocks; returns
+/// a description of the first divergence, if any.
+fn diff_trial(pre: &IrBlock, post: &IrBlock, rng: &mut SplitMix64) -> Option<String> {
+    let (init, mem0) = random_init(rng);
+
+    let mut env_a = ExecEnv::new(init.clone());
     let mut mem_a = mem0.clone();
     let exit_a = env_a.run(pre, &mut mem_a);
 
-    let mut env_b = ExecEnv { st: init, virt: HashMap::new(), fvirt: HashMap::new() };
+    let mut env_b = ExecEnv::new(init);
     let mut mem_b = mem0;
     let exit_b = env_b.run(post, &mut mem_b);
 

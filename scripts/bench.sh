@@ -1,9 +1,11 @@
 #!/usr/bin/env sh
 # End-to-end performance gate: runs the full-system criterion bench and
 # then writes BENCH_report.json (guest MIPS, host-events/sec, per-mode
-# dynamic shares, and the timing-layer replay block: sink events/sec
-# fast vs oracle, per-backend wall seconds) from repeated timed runs of
-# the same configuration.
+# dynamic shares, the timing-layer replay block: sink events/sec fast
+# vs oracle, per-backend wall seconds, and the `analysis` block: guest
+# MIPS with the deadflags/rangesimp passes on vs off, dead flag defs
+# killed, per-pass wall time) from repeated timed runs of the same
+# configuration.
 #
 #   scripts/bench.sh [--scale S] [--reps N]
 set -eu

@@ -1,15 +1,42 @@
 #!/usr/bin/env sh
 # Full local gate: formatting, lints as errors, and the whole test
 # suite. CI and pre-commit both run exactly this.
+#
+#   scripts/check.sh           # the full gate
+#   scripts/check.sh --tsan    # ThreadSanitizer pass over the threaded
+#                              # and fan-out event-stream tests (needs
+#                              # nightly + rust-src; skips gracefully)
 set -eu
 
 cd "$(dirname "$0")/.."
 
+if [ "${1:-}" = "--tsan" ]; then
+    # ThreadSanitizer needs an instrumented std (-Zbuild-std), hence
+    # nightly with the rust-src component. Skip — not fail — when the
+    # toolchain isn't available, so the mode is safe to wire anywhere.
+    if ! rustup toolchain list 2>/dev/null | grep -q '^nightly'; then
+        echo "tsan: nightly toolchain not installed; skipping"
+        exit 0
+    fi
+    if ! rustup component list --toolchain nightly --installed 2>/dev/null \
+            | grep -q '^rust-src'; then
+        echo "tsan: rust-src not installed for nightly; skipping"
+        exit 0
+    fi
+    host=$(rustc +nightly -vV | sed -n 's/^host: //p')
+    echo "== tsan: event_stream threaded/fanout tests on $host"
+    RUSTFLAGS="-Zsanitizer=thread" \
+        cargo +nightly test -Zbuild-std --target "$host" \
+        --test event_stream -- threaded fanout
+    echo "tsan checks passed"
+    exit 0
+fi
+
 echo "== cargo fmt --check"
 cargo fmt --check
 
-echo "== cargo clippy --workspace -- -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
+echo "== cargo clippy --workspace --all-targets --all-features -- -D warnings"
+cargo clippy --workspace --all-targets --all-features -- -D warnings
 
 echo "== cargo build --release --workspace"
 cargo build --release --workspace

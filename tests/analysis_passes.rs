@@ -1,0 +1,86 @@
+//! The analysis-driven passes (`deadflags`, `rangesimp`) are pure
+//! host-code transformations: switching them off (the oracle
+//! configuration, using the translator's intrinsic flag elision and no
+//! branch folding) must leave every guest-architectural result of a run
+//! untouched. Host-side code layout and timing may legitimately differ
+//! — rangesimp can delete never-taken branches — so these tests compare
+//! the guest-visible projection of the [`Report`], not its fingerprint.
+//!
+//! [`Report`]: darco::core::Report
+
+use darco::core::{Report, System, SystemConfig};
+use darco::workloads::{generate, suites};
+
+fn run(profile_idx: usize, cosim: bool, analysis_on: bool) -> Report {
+    let profiles = suites::all_profiles();
+    let mut cfg = SystemConfig {
+        cosim,
+        app_only_pipeline: true,
+        tol_only_pipeline: true,
+        ..SystemConfig::default()
+    };
+    cfg.tol.opt_deadflags = analysis_on;
+    cfg.tol.opt_rangesimp = analysis_on;
+    let mut sys = System::new(generate(&profiles[profile_idx], 0.05), cfg);
+    sys.run_to_completion()
+}
+
+fn assert_guest_architectural_match(on: &Report, off: &Report) {
+    assert_eq!(on.guest_insts, off.guest_insts, "{}: guest length", on.name);
+    assert_eq!(on.tol.counters.guest_insts, off.tol.counters.guest_insts, "{}", on.name);
+    assert_eq!(
+        on.tol.counters.indirect_branches, off.tol.counters.indirect_branches,
+        "{}: indirect branches",
+        on.name
+    );
+    assert_eq!(on.tol.dyn_dist, off.tol.dyn_dist, "{}: dynamic mode distribution", on.name);
+    assert_eq!(on.tol.static_dist, off.tol.static_dist, "{}: static mode distribution", on.name);
+    assert_eq!(on.cosim_checks, off.cosim_checks, "{}: checker cadence", on.name);
+}
+
+#[test]
+fn analysis_passes_preserve_guest_results_across_profiles() {
+    for idx in 0..3 {
+        let on = run(idx, false, true);
+        let off = run(idx, false, false);
+        assert_guest_architectural_match(&on, &off);
+        assert!(
+            on.tol.counters.flags_killed > 0,
+            "{}: eager translation must give deadflags work",
+            on.name
+        );
+        assert_eq!(off.tol.counters.flags_killed, 0, "{}: oracle config kills nothing", off.name);
+        assert_eq!(
+            off.tol.counters.branches_folded, 0,
+            "{}: oracle config folds nothing",
+            off.name
+        );
+    }
+}
+
+#[test]
+fn analysis_passes_preserve_guest_results_under_cosim() {
+    // Co-simulation checks every architectural register and every store
+    // against the authoritative emulator — running it at all is the
+    // strongest per-instruction oracle; equal check counts pin that both
+    // configurations took the identical guest path.
+    let on = run(0, true, true);
+    let off = run(0, true, false);
+    assert!(on.cosim_checks > 0, "checker must run");
+    assert_guest_architectural_match(&on, &off);
+}
+
+#[test]
+fn deadflags_reports_per_pass_shrinkage() {
+    let on = run(0, false, true);
+    let df = on
+        .tol
+        .pass_deltas
+        .iter()
+        .find(|d| d.pass == "deadflags")
+        .expect("deadflags delta reported");
+    assert!(df.runs > 0);
+    assert!(df.flags_killed > 0);
+    assert!(df.insts_removed > 0, "killing flag defs shrinks blocks");
+    assert_eq!(df.flags_killed, on.tol.counters.flags_killed);
+}
