@@ -22,7 +22,12 @@
 //! * `analysis`              — the IR analysis framework: guest MIPS
 //!   with `deadflags`/`rangesimp` on vs off, dead flag defs killed,
 //!   branches folded, host-insts-per-guest-inst both ways, and per-pass
-//!   wall time.
+//!   wall time,
+//! * `code_cache`            — the translation lifecycle under a
+//!   deliberately constrained capacity: whole-cache flush vs partial
+//!   FIFO eviction (retranslations, evictions, unchains, occupancy,
+//!   dead-space ratio), with identical guest-architectural results
+//!   asserted across the two policies.
 
 use darco_bench::replay::{record_stream, replay_backend, replay_sink};
 use darco_core::{Report, System, SystemConfig, TimingBackendKind};
@@ -106,6 +111,32 @@ struct AnalysisBlock {
 }
 
 #[derive(Serialize)]
+struct PolicyRow {
+    installed: u64,
+    flushes: u64,
+    evictions: u64,
+    unchains: u64,
+    retranslations: u64,
+    /// End-of-run fraction of the capacity allocated (live + dead).
+    occupancy: f64,
+    /// End-of-run fraction of allocated space that is dead (replaced
+    /// blocks the flush policy cannot reclaim until the next flush).
+    dead_space_ratio: f64,
+    resident: u32,
+    wall_seconds: f64,
+}
+
+#[derive(Serialize)]
+struct CodeCacheBlock {
+    /// Constrained capacity (host instructions) used for the
+    /// flush-vs-fifo comparison; small enough that the quicktest
+    /// working set does not fit.
+    capacity: u32,
+    flush: PolicyRow,
+    fifo: PolicyRow,
+}
+
+#[derive(Serialize)]
 struct BenchReport {
     benchmark: String,
     scale: f64,
@@ -118,6 +149,7 @@ struct BenchReport {
     mode_shares: ModeShares,
     timing: TimingBlock,
     analysis: AnalysisBlock,
+    code_cache: CodeCacheBlock,
 }
 
 fn run_once(scale: f64) -> (Report, f64) {
@@ -245,6 +277,62 @@ fn analysis_block(scale: f64, reps: usize) -> AnalysisBlock {
     }
 }
 
+/// Capacity (host instructions) for the lifecycle comparison: small
+/// enough that the quicktest working set churns the cache even at the
+/// default `--scale 0.05` (whose hot translations occupy ~1.6k host
+/// instructions), so flush actually flushes and fifo actually evicts.
+const CACHE_COMPARE_CAPACITY: u32 = 1_200;
+
+fn run_policy(scale: f64, policy: darco_tol::codecache::CachePolicy) -> (Report, f64) {
+    let mut cfg = SystemConfig { cosim: false, ..SystemConfig::default() };
+    cfg.tol.code_cache_capacity = CACHE_COMPARE_CAPACITY;
+    cfg.tol.cache_policy = policy;
+    let w = generate(&suites::quicktest_profile(), scale);
+    let mut sys = System::new(w, cfg);
+    let t0 = std::time::Instant::now();
+    let report = sys.run_to_completion();
+    (report, t0.elapsed().as_secs_f64())
+}
+
+fn policy_row(report: &Report, wall: f64) -> PolicyRow {
+    let c = &report.tol.cache;
+    PolicyRow {
+        installed: report.tol.installed,
+        flushes: report.tol.flushes,
+        evictions: c.evictions,
+        unchains: c.unchains,
+        retranslations: c.retranslations,
+        occupancy: c.occupancy(),
+        dead_space_ratio: c.dead_space_ratio(),
+        resident: c.resident,
+        wall_seconds: wall,
+    }
+}
+
+fn code_cache_block(scale: f64, reps: usize) -> CodeCacheBlock {
+    use darco_tol::codecache::CachePolicy;
+    let (flush_report, _) = run_policy(scale, CachePolicy::Flush);
+    let mut flush_wall = f64::MAX;
+    for _ in 0..reps.max(1) {
+        flush_wall = flush_wall.min(run_policy(scale, CachePolicy::Flush).1);
+    }
+    let (fifo_report, _) = run_policy(scale, CachePolicy::Fifo);
+    let mut fifo_wall = f64::MAX;
+    for _ in 0..reps.max(1) {
+        fifo_wall = fifo_wall.min(run_policy(scale, CachePolicy::Fifo).1);
+    }
+    // The policies trade cache behavior, never guest-visible results.
+    assert_eq!(
+        flush_report.guest_insts, fifo_report.guest_insts,
+        "cache policy changed guest-architectural execution"
+    );
+    CodeCacheBlock {
+        capacity: CACHE_COMPARE_CAPACITY,
+        flush: policy_row(&flush_report, flush_wall),
+        fifo: policy_row(&fifo_report, fifo_wall),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out = String::from("BENCH_report.json");
@@ -300,6 +388,7 @@ fn main() {
         },
         timing: timing_block(reps),
         analysis: analysis_block(scale, reps),
+        code_cache: code_cache_block(scale, reps),
     };
     let json = serde_json::to_string_pretty(&summary).expect("serialize report");
     std::fs::write(&out, &json).unwrap_or_else(|e| {

@@ -18,6 +18,10 @@
 //! darco run --profile <file.json>   # run a custom edited profile
 //!
 //! options: --scale S            dynamic-length scale (default 0.5)
+//!          --cache-policy P     code-cache overflow policy: flush
+//!                               (default, whole-cache flush) or fifo
+//!                               (partial eviction with space reuse and
+//!                               selective unchaining)
 //!          --cosim              enable co-simulation checking (run)
 //!          --timing-backend B   schedule the timing simulator: inline
 //!                               (default), threaded (one overlapped
@@ -32,7 +36,7 @@
 
 use darco_core::{Report, System, SystemConfig, TimingBackendKind};
 use darco_host::{Component, HInst, Owner};
-use darco_tol::codecache::BlockKind;
+use darco_tol::codecache::{BlockKind, CachePolicy};
 use darco_tol::{Tol, TolConfig};
 use darco_workloads::{generate, suites, BenchProfile};
 
@@ -65,8 +69,8 @@ fn main() {
 fn usage() {
     eprintln!(
         "darco <list|run|run-set|verify|analyze|trace|disasm|timeline|export-profile> [benchmark ...] \
-         [--profile FILE] [--scale S] [--cosim] [--timing-backend inline|threaded|fanout] \
-         [--threaded-timing] [--jobs N] [--n N] [--json]"
+         [--profile FILE] [--scale S] [--cache-policy flush|fifo] [--cosim] \
+         [--timing-backend inline|threaded|fanout] [--threaded-timing] [--jobs N] [--n N] [--json]"
     );
 }
 
@@ -75,8 +79,13 @@ struct Opts {
     scale: f64,
     cosim: bool,
     timing_backend: TimingBackendKind,
+    cache_policy: CachePolicy,
     n: usize,
     json: bool,
+}
+
+fn parse_cache_policy(v: &str) -> CachePolicy {
+    v.parse().unwrap_or_else(|e: String| bail(&e))
 }
 
 fn parse_backend(v: &str) -> TimingBackendKind {
@@ -93,6 +102,7 @@ fn parse(rest: &[String]) -> Opts {
     let mut scale = 0.5;
     let mut cosim = false;
     let mut timing_backend = TimingBackendKind::Inline;
+    let mut cache_policy = CachePolicy::Flush;
     let mut n = 20;
     let mut json = false;
     let mut it = rest.iter();
@@ -119,6 +129,10 @@ fn parse(rest: &[String]) -> Opts {
                 timing_backend = parse_backend(v);
             }
             "--threaded-timing" => timing_backend = TimingBackendKind::Threaded,
+            "--cache-policy" => {
+                let v = it.next().unwrap_or_else(|| bail("--cache-policy needs flush|fifo"));
+                cache_policy = parse_cache_policy(v);
+            }
             "--json" => json = true,
             "--n" => {
                 n = it
@@ -143,6 +157,7 @@ fn parse(rest: &[String]) -> Opts {
         scale,
         cosim,
         timing_backend,
+        cache_policy,
         n,
         json,
     }
@@ -179,11 +194,12 @@ fn list() {
 fn run(rest: &[String]) {
     let o = parse(rest);
     eprintln!("running {} at scale {} ...", o.profile.name, o.scale);
-    let cfg = SystemConfig {
+    let mut cfg = SystemConfig {
         cosim: o.cosim,
         timing_backend: o.timing_backend,
         ..SystemConfig::default()
     };
+    cfg.tol.cache_policy = o.cache_policy;
     let mut sys = System::new(generate(&o.profile, o.scale), cfg);
     let report = sys.run_to_completion();
     if o.json {
@@ -205,6 +221,7 @@ fn run_set(rest: &[String]) {
     let mut jobs: Option<usize> = None;
     let mut cosim = false;
     let mut timing_backend = TimingBackendKind::Inline;
+    let mut cache_policy = CachePolicy::Flush;
     let mut json = false;
     let mut it = rest.iter();
     while let Some(a) = it.next() {
@@ -231,6 +248,10 @@ fn run_set(rest: &[String]) {
                 timing_backend = parse_backend(v);
             }
             "--threaded-timing" => timing_backend = TimingBackendKind::Threaded,
+            "--cache-policy" => {
+                let v = it.next().unwrap_or_else(|| bail("--cache-policy needs flush|fifo"));
+                cache_policy = parse_cache_policy(v);
+            }
             "--json" => json = true,
             name if !name.starts_with('-') => names.push(name.to_owned()),
             other => bail(&format!("unknown flag {other}")),
@@ -253,7 +274,8 @@ fn run_set(rest: &[String]) {
             .collect()
     };
     let jobs = jobs.unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
-    let cfg = darco_core::RunConfig { scale, cosim, timing_backend, ..Default::default() };
+    let mut cfg = darco_core::RunConfig { scale, cosim, timing_backend, ..Default::default() };
+    cfg.tol.cache_policy = cache_policy;
     eprintln!("running {} benchmark(s) at scale {scale} on {jobs} thread(s) ...", profiles.len());
     let t0 = std::time::Instant::now();
     let runs = darco_core::experiments::run_set_parallel(&profiles, &cfg, jobs);
@@ -340,15 +362,15 @@ fn analyze(rest: &[String]) {
     let tol = sys.tol();
 
     // Hottest translated regions, deduplicated by guest entry.
-    let mut blocks: Vec<u32> = (0..tol.cc.resident() as u32).collect();
-    blocks.sort_by_key(|&b| std::cmp::Reverse(tol.cc.block(b).exec_count));
+    let mut blocks: Vec<(u32, u64)> =
+        tol.cc.blocks().map(|(_, b)| (b.guest_entry, b.exec_count)).collect();
+    blocks.sort_by_key(|&(entry, execs)| (std::cmp::Reverse(execs), entry));
     let mut seen = std::collections::HashSet::new();
     let mut dumped = 0usize;
-    for &b in &blocks {
+    for &(entry, _) in &blocks {
         if dumped >= o.n {
             break;
         }
-        let entry = tol.cc.block(b).guest_entry;
         if !seen.insert(entry) {
             continue;
         }
@@ -430,6 +452,15 @@ fn print_report(r: &Report) {
         s.installed, s.counters.sbm_invocations, s.chains, s.flushes
     );
     println!(
+        "  cache: {:.1}% occupied ({:.1}% dead) / {} evictions ({} smc) / {} unchains / {} retranslations",
+        s.cache.occupancy() * 100.0,
+        s.cache.dead_space_ratio() * 100.0,
+        s.cache.evictions,
+        s.cache.smc_evictions,
+        s.cache.unchains,
+        s.cache.retranslations
+    );
+    println!(
         "  indirect branches {} / IBTC {} hits {} misses",
         s.counters.indirect_branches, s.ibtc_hits, s.ibtc_misses
     );
@@ -484,8 +515,11 @@ fn disasm(rest: &[String]) {
     tol.run(&mut mem, &mut sink, u64::MAX).expect("run");
 
     // Rank resident translations by execution count.
-    let mut blocks: Vec<u32> = (0..tol.cc.resident() as u32).collect();
-    blocks.sort_by_key(|&b| std::cmp::Reverse(tol.cc.block(b).exec_count));
+    let mut blocks: Vec<darco_host::BlockId> = tol.cc.blocks().map(|(id, _)| id).collect();
+    blocks.sort_by_key(|&b| {
+        let blk = tol.cc.block(b).expect("resident block");
+        (std::cmp::Reverse(blk.exec_count), blk.guest_entry)
+    });
     println!(
         "hottest {} of {} resident translations in {}:",
         o.n.min(blocks.len()),
@@ -493,7 +527,7 @@ fn disasm(rest: &[String]) {
         w.name
     );
     for &b in blocks.iter().take(o.n) {
-        let blk = tol.cc.block(b);
+        let blk = tol.cc.block(b).expect("resident block");
         let kind = match blk.kind {
             BlockKind::Bb => "BBM",
             BlockKind::Sb => "SBM",

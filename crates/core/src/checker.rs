@@ -5,7 +5,7 @@
 //! state maintained by the software layer. The checker advances the
 //! authoritative side by the same number of guest instructions the layer
 //! just retired and compares architectural state — the co-simulation
-//! debugging technique the paper inherits from Transmeta (ref. [15]).
+//! debugging technique the paper inherits from Transmeta (ref. \[15\]).
 
 use darco_guest::{exec, CpuState, DecodeError, GuestMem};
 use std::fmt;

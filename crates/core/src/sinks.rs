@@ -130,7 +130,7 @@ impl HostEventSink for PipelineSink {
 ///
 /// Owns the shared pipeline plus the optional application-only and
 /// TOL-only pipelines (the multi-pipeline methodology of Figs. 8–11) as
-/// independently schedulable [`PipelineSink`] units: consumed here they
+/// independently schedulable `PipelineSink` units: consumed here they
 /// run in one pass, handed to [`FanoutTiming`] they each get a worker.
 #[derive(Debug)]
 pub struct TimingSink {

@@ -1,6 +1,6 @@
 //! Binary decoding of guest instructions.
 //!
-//! Mirrors [`crate::encode`]; see that module for the format. The decoder
+//! Mirrors [`crate::encode()`]; see that module for the format. The decoder
 //! is total over the byte stream: malformed input yields a
 //! [`DecodeError`] rather than a panic, since the interpreter may be
 //! pointed at arbitrary guest memory by wild indirect branches.

@@ -5,7 +5,7 @@
 //!
 //! * the architectural state ([`CpuState`]: eight general-purpose
 //!   registers, eight floating-point registers, `eip` and [`Flags`]),
-//! * a variable-length binary [`encode`]/[`decode`] pair (instructions
+//! * a variable-length binary [`encode()`]/[`decode()`] pair (instructions
 //!   occupy 1–10 bytes, like real x86),
 //! * a sparse paged guest memory ([`GuestMem`]),
 //! * a functional emulator ([`exec::step`]) that is the *authoritative*

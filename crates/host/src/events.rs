@@ -85,6 +85,23 @@ pub enum HostEvent {
         /// Whether installing forced a full cache flush (eviction).
         flushed: bool,
     },
+    /// A translation was evicted from the code cache — capacity
+    /// pressure or a same-entry replacement under a partial-eviction
+    /// policy, or a self-modifying-code invalidation under any policy.
+    /// Whole-cache flushes are reported via
+    /// [`HostEvent::CacheInsert`]`::flushed`, not per-block evictions.
+    Evict {
+        /// Guest entry address of the evicted translation.
+        entry: u32,
+        /// Whether a guest write to translated code forced the eviction.
+        smc: bool,
+    },
+    /// A chain link into an evicted translation was unpatched, so the
+    /// chaining site exits to the software layer again.
+    Unchain {
+        /// Host PC of the unpatched exit instruction.
+        site: u64,
+    },
     /// An indirect-branch target was looked up in the IBTC.
     IbtcResolve {
         /// Guest target address.
@@ -285,6 +302,12 @@ pub struct TraceStats {
     pub cache_inserts: u64,
     /// Code-cache flushes triggered by installs.
     pub cache_flushes: u64,
+    /// Per-block code-cache evictions (partial eviction + SMC).
+    pub evictions: u64,
+    /// Evictions forced by guest writes to translated code.
+    pub smc_evictions: u64,
+    /// Chain links unpatched because their target was evicted.
+    pub unchains: u64,
     /// IBTC lookups that hit.
     pub ibtc_hits: u64,
     /// IBTC lookups that missed.
@@ -330,6 +353,11 @@ impl HostEventSink for TraceStatsSink {
                     s.cache_inserts += 1;
                     s.cache_flushes += u64::from(*flushed);
                 }
+                HostEvent::Evict { smc, .. } => {
+                    s.evictions += 1;
+                    s.smc_evictions += u64::from(*smc);
+                }
+                HostEvent::Unchain { .. } => s.unchains += 1,
                 HostEvent::IbtcResolve { hit, .. } => {
                     if *hit {
                         s.ibtc_hits += 1;
@@ -411,6 +439,9 @@ mod tests {
             HostEvent::Translated { entry: 0x1000, kind: TranslationKind::Sb, host_len: 12 },
             HostEvent::Chained { site: 0x2_0000_0000 },
             HostEvent::CacheInsert { entry: 0x1000, flushed: true },
+            HostEvent::Evict { entry: 0x1040, smc: false },
+            HostEvent::Evict { entry: 0x1080, smc: true },
+            HostEvent::Unchain { site: 0x2_0000_0010 },
             HostEvent::IbtcResolve { target: 0x1010, hit: true },
             HostEvent::IbtcResolve { target: 0x1014, hit: false },
             HostEvent::WindowMark { guest_insts: 10 },
@@ -422,6 +453,7 @@ mod tests {
         assert_eq!(s.translated_host_insts, 12);
         assert_eq!(s.chains, 1);
         assert_eq!((s.cache_inserts, s.cache_flushes), (1, 1));
+        assert_eq!((s.evictions, s.smc_evictions, s.unchains), (2, 1, 1));
         assert_eq!((s.ibtc_hits, s.ibtc_misses), (1, 1));
         assert_eq!(s.window_marks, 1);
     }

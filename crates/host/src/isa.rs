@@ -148,17 +148,44 @@ impl Width {
     }
 }
 
+/// Generation-tagged handle to a code-cache translation.
+///
+/// `idx` names a storage slot in the cache; `gen` is the slot's
+/// generation when the handle was issued. Every eviction (and every
+/// whole-cache flush) bumps the slot generation, so a handle that
+/// outlives its translation is *detectably* stale instead of silently
+/// naming whatever got installed into the slot next. Consumers that hold
+/// potentially-old handles — chain links, IBTC entries, promotion
+/// redirects — validate them against the cache and fall back to the
+/// software-layer dispatcher when the target is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BlockId {
+    /// Storage slot index.
+    pub idx: u32,
+    /// Slot generation at handle-issue time.
+    pub gen: u32,
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}.{}", self.idx, self.gen)
+    }
+}
+
 /// Where control goes when it leaves a translation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Exit {
     /// To a known guest address. `link` is filled in by chaining: when
     /// set, execution continues directly at that code-cache block without
-    /// a transition to the software layer.
+    /// a transition to the software layer. The handle may go stale if the
+    /// linked block is evicted; the cache unpatches such links eagerly,
+    /// and executors treat a stale link as unchained (software-layer
+    /// exit) as defense in depth.
     Direct {
         /// Guest address execution should continue at.
         guest_target: u32,
         /// Chained successor block, if the code cache has linked it.
-        link: Option<u32>,
+        link: Option<BlockId>,
     },
     /// To a guest address computed at run time (indirect jump/call,
     /// return): the target guest address is in `reg`; the IBTC and, on

@@ -51,7 +51,7 @@ pub use events::{
     EventBuffer, ExecMode, HostEvent, HostEventSink, NullSink, RetireSink, TraceStats,
     TraceStatsSink, TranslationKind,
 };
-pub use isa::{Exit, FlagsKind, HAluOp, HCond, HFreg, HInst, HReg, Width};
+pub use isa::{BlockId, Exit, FlagsKind, HAluOp, HCond, HFreg, HInst, HReg, Width};
 pub use state::{eval_alu, eval_flags, exec_inst, HostState, Outcome};
 pub use stream::{BranchKind, Component, DynInst, ExecClass, MemEvent, Owner};
 pub use template::{compile_block, RetireDyn, RetireTemplate};

@@ -17,7 +17,7 @@
 //!   behind `TimingConfig::flat_mem = false`.
 //!
 //! Presence checks and demand probes share one way-scan helper
-//! ([`find_way`]) in the flat layout, so `contains` and `probe_fill`
+//! (`find_way`) in the flat layout, so `contains` and `probe_fill`
 //! cannot drift apart.
 
 use crate::config::CacheParams;

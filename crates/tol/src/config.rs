@@ -22,9 +22,13 @@ pub struct TolConfig {
     /// Minimum profiled edge bias (`taken / total`) required to keep
     /// growing a superblock along an edge.
     pub sb_edge_bias: f64,
-    /// Code cache capacity in host instructions; on overflow the cache is
-    /// flushed (bounded-cache policy, cf. Hazelwood & Smith).
+    /// Code cache capacity in host instructions; what happens on
+    /// overflow is decided by [`TolConfig::cache_policy`].
     pub code_cache_capacity: u32,
+    /// Code-cache overflow policy: whole-cache flush (the default, cf.
+    /// Hazelwood & Smith) or partial FIFO eviction with space reuse and
+    /// selective unchaining (`--cache-policy fifo`).
+    pub cache_policy: crate::codecache::CachePolicy,
     /// IBTC entries (direct-mapped, power of two).
     pub ibtc_entries: u32,
     /// Enable chaining (linking) of translations.
@@ -104,6 +108,7 @@ impl Default for TolConfig {
             sb_max_insts: 128,
             sb_edge_bias: 0.6,
             code_cache_capacity: 1 << 20,
+            cache_policy: crate::codecache::CachePolicy::Flush,
             ibtc_entries: 512,
             chaining: true,
             bbm_peephole: true,

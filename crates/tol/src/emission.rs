@@ -61,6 +61,9 @@ mod data {
     pub const DESCRIPTORS: u64 = 0x60_0000;
     /// Edge-profile records updated by BBM instrumentation.
     pub const EDGES: u64 = 0x70_0000;
+    /// Free-space list of the partial-eviction policy (extent records
+    /// pushed on evict, popped on install).
+    pub const FREELIST: u64 = 0x80_0000;
 }
 
 /// TOL code-region layout (offsets from [`TOL_CODE_BASE`]).
@@ -73,6 +76,7 @@ mod code {
     pub const CHAINER: u64 = 0x1_0000;
     pub const LOOKUP: u64 = 0x1_4000;
     pub const TRANSITION: u64 = 0x1_8000;
+    pub const EVICTOR: u64 = 0x1_C000;
 }
 
 /// Emits the host-instruction streams of TOL services into a sink.
@@ -379,7 +383,7 @@ impl Emitter {
     /// body, guest data accesses, loop back.
     ///
     /// With [`Emitter::interp_templates`] on, the stream for this step's
-    /// shape is recorded once (through the same [`emit_interp`] code the
+    /// shape is recorded once (through the same `emit_interp` code the
     /// direct path runs) and replayed with only the per-step fields
     /// patched; otherwise the sequence is rebuilt from scratch.
     pub fn interp_step(&mut self, ev: &mut EventBuffer<'_>, guest_pc: u32, info: &StepInfo) {
@@ -511,6 +515,38 @@ impl Emitter {
         c.ld(exit_host_pc); // read the exit instruction
         c.use_load();
         c.st(exit_host_pc); // patch it
+        c.alu(2);
+        self.track(comp, c);
+    }
+
+    /// Unchaining: restore a direct exit whose target is being evicted
+    /// to its dispatcher-bound form (read-modify-write of the patched
+    /// site, like [`Emitter::chain`] in reverse).
+    pub fn unchain(&mut self, ev: &mut EventBuffer<'_>, exit_host_pc: u64) {
+        let comp = Component::TolChaining;
+        let mut c = Cur::new(TOL_CODE_BASE + code::CHAINER + 0x400, comp, ev);
+        c.alu(3);
+        c.ld(exit_host_pc); // read the patched exit
+        c.use_load();
+        c.st(exit_host_pc); // restore it
+        self.track(comp, c);
+    }
+
+    /// Per-block eviction bookkeeping (partial-eviction policy): remove
+    /// the victim from the translation map and push its storage extent
+    /// onto the free list. Per-site unchaining and IBTC invalidation are
+    /// charged separately via [`Emitter::unchain`].
+    pub fn evict(&mut self, ev: &mut EventBuffer<'_>, guest_entry: u32) {
+        let comp = Component::TolOthers;
+        let mut c = Cur::new(TOL_CODE_BASE + code::EVICTOR, comp, ev);
+        c.alu(5);
+        let bucket = TOL_DATA_BASE + data::MAP + bucket_of(guest_entry) * costs::MAP_BUCKET_BYTES;
+        c.ld(bucket);
+        c.use_load();
+        c.st(bucket); // clear the map entry
+        c.ld(TOL_DATA_BASE + data::FREELIST);
+        c.use_load();
+        c.st(TOL_DATA_BASE + data::FREELIST); // free-list push
         c.alu(2);
         self.track(comp, c);
     }

@@ -16,7 +16,7 @@
 //! simulator and co-simulates against the authoritative functional
 //! emulator between steps.
 
-use crate::codecache::{BlockKind, CodeCache, TranslatedBlock};
+use crate::codecache::{BlockKind, CacheHealth, CodeCache, EvictCause, Evicted, TranslatedBlock};
 use crate::config::TolConfig;
 use crate::emission::Emitter;
 use crate::ibtc::Ibtc;
@@ -30,7 +30,7 @@ use darco_host::events::{EventBuffer, ExecMode, HostEvent, HostEventSink, Transl
 use darco_host::layout::{guest_to_host, TOL_CODE_BASE};
 use darco_host::stream::{fp_reg, int_reg, NO_REG};
 use darco_host::{
-    exec_inst, BranchKind, DynInst, Exit, HFreg, HInst, HostState, Outcome, RetireDyn,
+    exec_inst, BlockId, BranchKind, DynInst, Exit, HFreg, HInst, HostState, Outcome, RetireDyn,
 };
 use serde::{Deserialize, Serialize};
 
@@ -103,6 +103,9 @@ pub struct RunSummary {
     pub ibtc_misses: u64,
     /// Host instructions emitted per component (engine-side counts).
     pub emitted: [u64; 7],
+    /// End-of-run code-cache health: occupancy, dead space, and the
+    /// lifecycle counters (evictions, unchains, retranslations).
+    pub cache: CacheHealth,
     /// Per-pass instruction deltas across every optimized block, in
     /// pipeline order (`darco verify` / `darco analyze` report these).
     pub pass_deltas: Vec<crate::verify::PassDelta>,
@@ -129,7 +132,8 @@ pub struct Tol {
     resume_translated: bool,
     /// Last observed target per indirect exit site, for the optional
     /// speculative-resolution feature: `(block, exit) -> (guest, block)`.
-    spec_targets: std::collections::HashMap<(u32, u32), (u32, u32)>,
+    /// Entries naming an evicted block are purged eagerly.
+    spec_targets: std::collections::HashMap<(BlockId, u32), (u32, BlockId)>,
     /// Reused allocation for the retirement event buffer.
     ev_storage: Vec<HostEvent>,
     /// The interpreter's decoded-instruction cache.
@@ -147,11 +151,12 @@ pub struct Tol {
 impl Tol {
     /// Creates the layer with the emulated guest starting at `entry`.
     pub fn new(cfg: TolConfig, entry: u32) -> Tol {
-        let cc = if cfg.codecache_scattered {
+        let mut cc = if cfg.codecache_scattered {
             CodeCache::new_scattered(cfg.code_cache_capacity)
         } else {
             CodeCache::new(cfg.code_cache_capacity)
         };
+        cc.set_policy(cfg.cache_policy);
         let mut em = Emitter::new();
         em.interp_templates = cfg.retire_templates;
         let mut tol = Tol {
@@ -252,6 +257,7 @@ impl Tol {
             ibtc_hits: self.ibtc.hits(),
             ibtc_misses: self.ibtc.misses(),
             emitted: self.em.emitted,
+            cache: self.cc.health(),
             pass_deltas: self.pass_deltas.clone(),
         }
     }
@@ -306,7 +312,12 @@ impl Tol {
 
         if promote {
             let region = decode_bb(mem, pc)?;
-            self.install_bb(pc, &region, ev);
+            if self.install_bb(pc, &region, mem, ev).is_none() {
+                // The translation alone exceeds the whole cache: it can
+                // never be installed, so this block stays interpreted.
+                let n = self.interpret_bb(mem, ev)?;
+                return Ok(StepOutcome { guest_insts: n, done: self.halted, mode: Mode::Im });
+            }
             let n = self.run_translated(mem, ev, budget)?;
             Ok(StepOutcome { guest_insts: n, done: self.halted, mode: Mode::Bbm })
         } else {
@@ -380,8 +391,34 @@ impl Tol {
         Ok(n)
     }
 
+    /// Lifecycle fallout of an install or SMC check: emits the
+    /// `Unchain`/`Evict` events and their software-layer costs, and
+    /// eagerly drops every engine-side reference (IBTC entries,
+    /// speculation targets) naming the evicted blocks, so no stale
+    /// handle can ever be dispatched through them.
+    fn note_evictions(&mut self, evicted: &[Evicted], ev: &mut EventBuffer<'_>) {
+        for e in evicted {
+            for &site in &e.unchained {
+                self.em.unchain(ev, site);
+                ev.push(HostEvent::Unchain { site });
+            }
+            self.em.evict(ev, e.entry);
+            ev.push(HostEvent::Evict { entry: e.entry, smc: e.smc });
+            self.ibtc.invalidate(e.id);
+            self.spec_targets.retain(|&(b, _), &mut (_, to)| b != e.id && to != e.id);
+        }
+    }
+
     /// Translates and installs the basic block at `entry` (BBM).
-    fn install_bb(&mut self, entry: u32, region: &[RegionInst], ev: &mut EventBuffer<'_>) -> u32 {
+    /// Returns `None` if the translation is larger than the whole cache
+    /// (it is rejected, and the caller falls back to interpretation).
+    fn install_bb(
+        &mut self,
+        entry: u32,
+        region: &[RegionInst],
+        mem: &GuestMem,
+        ev: &mut EventBuffer<'_>,
+    ) -> Option<BlockId> {
         let mut block = translate_region_with(region, self.cfg.opt_deadflags);
         if self.cfg.opt_deadflags {
             // Eager flag materialization + liveness-driven kill converges
@@ -415,31 +452,38 @@ impl Tol {
         let host_len = insts.len() as u32;
         self.em.bb_translate(ev, entry, region, insts.len());
         self.prof.mark_static(region.iter().map(|r| r.pc), StaticMode::Bbm);
-        let (id, flushed) = self.cc.install(
-            entry,
-            insts,
-            BlockKind::Bb,
-            body_len,
-            std::mem::take(&mut block.stub_guest_counts),
-            block.guest_len,
-            region.iter().map(|r| r.pc).collect(),
-        );
-        if flushed {
+        let ins = self
+            .cc
+            .install(
+                entry,
+                insts,
+                BlockKind::Bb,
+                body_len,
+                std::mem::take(&mut block.stub_guest_counts),
+                block.guest_len,
+                region.iter().map(|r| r.pc).collect(),
+                mem,
+            )
+            .ok()?;
+        if ins.flushed {
             self.ibtc.clear();
             self.spec_targets.clear();
         }
+        self.note_evictions(&ins.evicted, ev);
         ev.push(HostEvent::Translated { entry, kind: TranslationKind::Bb, host_len });
-        ev.push(HostEvent::CacheInsert { entry, flushed });
-        id
+        ev.push(HostEvent::CacheInsert { entry, flushed: ins.flushed });
+        Some(ins.id)
     }
 
     /// Forms, optimizes and installs a superblock rooted at `entry`.
+    /// `Ok(None)` means the superblock was larger than the whole cache
+    /// and was discarded (the BBM block keeps running).
     fn install_sb(
         &mut self,
         entry: u32,
         mem: &GuestMem,
         ev: &mut EventBuffer<'_>,
-    ) -> Result<(u32, bool), DecodeError> {
+    ) -> Result<Option<(BlockId, bool)>, DecodeError> {
         let (region, bbs) = form_region(mem, entry, &self.prof, &self.cfg)?;
         let block = translate_region_with(&region, self.cfg.opt_deadflags);
         let ir_len = block.ops.len();
@@ -484,7 +528,7 @@ impl Tol {
         self.em.sb_optimize(ev, bbs as usize, ir_len, insts.len());
         self.counters.sbm_invocations += 1;
         self.prof.mark_static(region.iter().map(|r| r.pc), StaticMode::Sbm);
-        let (id, flushed) = self.cc.install(
+        let Ok(ins) = self.cc.install(
             entry,
             insts,
             BlockKind::Sb,
@@ -492,22 +536,33 @@ impl Tol {
             std::mem::take(&mut block.stub_guest_counts),
             block.guest_len,
             region.iter().map(|r| r.pc).collect(),
-        );
-        if flushed {
+            mem,
+        ) else {
+            return Ok(None);
+        };
+        if ins.flushed {
             self.ibtc.clear();
             self.spec_targets.clear();
         }
+        self.note_evictions(&ins.evicted, ev);
         ev.push(HostEvent::Translated { entry, kind: TranslationKind::Sb, host_len });
-        ev.push(HostEvent::CacheInsert { entry, flushed });
-        Ok((id, flushed))
+        ev.push(HostEvent::CacheInsert { entry, flushed: ins.flushed });
+        Ok(Some((ins.id, ins.flushed)))
     }
 
     /// Follows promotion redirects (the patched entry jump of a promoted
-    /// BBM block), charging one application-side jump per hop.
-    fn resolve_redirects(&mut self, mut bid: u32, ev: &mut EventBuffer<'_>) -> u32 {
-        while let Some(r) = self.cc.block(bid).redirect {
-            let pc = self.cc.block(bid).host_base;
-            let target = self.cc.block(r).host_base;
+    /// BBM block), charging one application-side jump per hop. A stale
+    /// redirect target (the replacing superblock was itself evicted) is
+    /// cleared and the original block keeps running.
+    fn resolve_redirects(&mut self, mut bid: BlockId, ev: &mut EventBuffer<'_>) -> BlockId {
+        while let Some(r) = self.cc.get(bid).and_then(|b| b.redirect) {
+            let Some(target) = self.cc.get(r).map(|b| b.host_base) else {
+                if let Some(b) = self.cc.get_mut(bid) {
+                    b.redirect = None;
+                }
+                break;
+            };
+            let pc = self.cc.get(bid).expect("redirect read from live block").host_base;
             ev.retire(
                 DynInst::plain(pc, darco_host::ExecClass::Jump, darco_host::Component::AppCode)
                     .with_branch(BranchKind::UncondDirect, target, true),
@@ -535,6 +590,25 @@ impl Tol {
         let mut bid = self.cc.lookup(self.guest_pc).expect("caller checked lookup");
 
         loop {
+            // Dispatch guard: every hop (entry, chain link, IBTC hit,
+            // speculation, redirect) lands here before executing, so a
+            // handle gone stale since it was issued — or a translation
+            // invalidated by a guest write to its code pages — returns
+            // control to the dispatcher instead of running dead code.
+            if self.cc.get(bid).is_none() {
+                self.counters.tol_entries += 1;
+                self.em.transition(ev);
+                return Ok(executed);
+            }
+            if self.cc.smc_stale(bid, mem) {
+                if let Some(e) = self.cc.evict_block(bid, EvictCause::Smc) {
+                    self.note_evictions(&[e], ev);
+                }
+                self.counters.tol_entries += 1;
+                self.em.transition(ev);
+                return Ok(executed);
+            }
+
             let (exit, exit_idx, guest_n, cond_taken) = self.exec_block(bid, mem, ev);
             executed += guest_n;
             self.counters.guest_insts += guest_n;
@@ -542,7 +616,7 @@ impl Tol {
             // Per-execution bookkeeping of BBM blocks: instrumentation
             // cost, execution counting, edge profiling.
             let (kind, entry, host_base, exec_count, promoted) = {
-                let b = self.cc.block_mut(bid);
+                let b = self.cc.block_mut(bid).expect("guarded live at dispatch");
                 b.exec_count += 1;
                 (b.kind, b.guest_entry, b.host_base, b.exec_count, b.promoted)
             };
@@ -557,7 +631,7 @@ impl Tol {
 
             // Decide where control goes next (possibly through the
             // software layer), before any promotion can invalidate ids.
-            let mut next: Option<u32> = match exit {
+            let mut next: Option<BlockId> = match exit {
                 Exit::Halt => {
                     self.halted = true;
                     self.em.transition(ev);
@@ -565,17 +639,18 @@ impl Tol {
                 }
                 Exit::Direct { guest_target, link } => {
                     self.guest_pc = guest_target;
-                    if let Some(to) = link {
+                    // Eager unchaining keeps links live; the filter is a
+                    // defensive backstop (a stale link re-dispatches).
+                    if let Some(to) = link.filter(|&to| self.cc.get(to).is_some()) {
                         Some(to)
                     } else if let Some(to) = self.cc.lookup(guest_target) {
                         // One trip into the layer either way: to patch
                         // the exit (chaining) or just to re-dispatch.
                         self.counters.tol_entries += 1;
                         self.em.transition(ev);
-                        if self.cfg.chaining {
+                        if self.cfg.chaining && self.cc.chain(bid, exit_idx, to).is_ok() {
                             let site = host_base + 4 * exit_idx as u64;
                             self.em.chain(ev, site);
-                            self.cc.chain(bid, exit_idx, to);
                             ev.push(HostEvent::Chained { site });
                         } else {
                             self.em.dispatch(ev, mode);
@@ -605,7 +680,9 @@ impl Tol {
                     if self.cfg.speculate_indirect {
                         if let Some(&(t, to)) = self.spec_targets.get(&spec_key) {
                             let hit = t == target;
-                            let to_base = self.cc.block(to).host_base;
+                            // Entries are purged on eviction, so `to` is
+                            // live; the fallback is defensive only.
+                            let to_base = self.cc.get(to).map_or(TOL_CODE_BASE, |b| b.host_base);
                             self.em.spec_check(ev, site_pc, hit, to_base);
                             if hit {
                                 self.counters.spec_hits += 1;
@@ -621,7 +698,10 @@ impl Tol {
                         let slot = self.ibtc.slot(target);
                         let resolved = match self.ibtc.lookup(target) {
                             Some(to) => {
-                                let to_base = self.cc.block(to).host_base;
+                                // Eager invalidation keeps IBTC entries
+                                // live; defensive fallback as above.
+                                let to_base =
+                                    self.cc.get(to).map_or(TOL_CODE_BASE, |b| b.host_base);
                                 ev.push(HostEvent::IbtcResolve { target, hit: true });
                                 self.em.ibtc_probe_inline(ev, site_pc, slot, true, to_base);
                                 Some(to)
@@ -671,22 +751,35 @@ impl Tol {
                 && (self.prof.static_mode(entry) != Some(StaticMode::Sbm)
                     || exec_count >= 4 * self.cfg.bb_sb_threshold as u64)
             {
-                self.cc.block_mut(bid).promoted = true;
+                self.cc.block_mut(bid).expect("guarded live at dispatch").promoted = true;
                 self.counters.tol_entries += 1;
                 self.em.transition(ev);
-                let (sb, flushed) = self.install_sb(entry, mem, ev)?;
-                if flushed {
-                    // Every id (including `next` and chain links) is
-                    // stale; re-enter through the dispatcher.
-                    self.em.transition(ev);
-                    let _ = sb;
-                    next = self.cc.lookup(self.guest_pc);
-                    if next.is_none() {
-                        return Ok(executed);
+                match self.install_sb(entry, mem, ev)? {
+                    Some((sb, true)) => {
+                        // Every id (including `next` and chain links) is
+                        // stale; re-enter through the dispatcher.
+                        self.em.transition(ev);
+                        let _ = sb;
+                        next = self.cc.lookup(self.guest_pc);
+                        if next.is_none() {
+                            return Ok(executed);
+                        }
                     }
-                } else {
-                    self.cc.block_mut(bid).redirect = Some(sb);
-                    self.em.transition(ev);
+                    Some((sb, false)) => {
+                        // Under fifo the same-entry install evicted the
+                        // BBM block already (bid is stale and `next` may
+                        // be too — the dispatch guard re-routes); under
+                        // flush it stays as dead code behind a redirect.
+                        if let Some(b) = self.cc.get_mut(bid) {
+                            b.redirect = Some(sb);
+                        }
+                        self.em.transition(ev);
+                    }
+                    None => {
+                        // Superblock larger than the cache: discarded.
+                        // The (promoted) BBM block just keeps running.
+                        self.em.transition(ev);
+                    }
                 }
             }
 
@@ -711,7 +804,7 @@ impl Tol {
     /// template-equivalence tests).
     fn exec_block(
         &mut self,
-        bid: u32,
+        bid: BlockId,
         mem: &mut GuestMem,
         ev: &mut EventBuffer<'_>,
     ) -> (Exit, usize, u64, Option<bool>) {
@@ -727,11 +820,11 @@ impl Tol {
     /// no match over [`HInst`].
     fn exec_block_templates(
         &mut self,
-        bid: u32,
+        bid: BlockId,
         mem: &mut GuestMem,
         ev: &mut EventBuffer<'_>,
     ) -> (Exit, usize, u64, Option<bool>) {
-        let block = self.cc.block(bid);
+        let block = self.cc.block(bid).expect("guarded live at dispatch");
         let mut idx = 0usize;
         let mut app_insts = 0u64;
         loop {
@@ -760,12 +853,13 @@ impl Tol {
                     if let Outcome::Exited(Exit::Direct { link, .. }) = outcome {
                         // Chained exits jump block-to-block; unchained
                         // ones jump into the dispatcher. The link is
-                        // patched after install (chaining), so it must be
-                        // resolved here, not baked into the template.
-                        let target = match link {
-                            Some(to) => self.cc.block(to).host_base,
-                            None => TOL_CODE_BASE,
-                        };
+                        // patched after install (chaining) and unpatched
+                        // on eviction, so it must be resolved here, not
+                        // baked into the template — and a stale handle
+                        // falls back to the software-layer exit.
+                        let target = link
+                            .and_then(|to| self.cc.get(to))
+                            .map_or(TOL_CODE_BASE, |b| b.host_base);
                         d = d.with_branch(BranchKind::UncondDirect, target, true);
                     }
                 }
@@ -792,11 +886,11 @@ impl Tol {
     /// can prove the fast path emits the same stream.
     fn exec_block_rederive(
         &mut self,
-        bid: u32,
+        bid: BlockId,
         mem: &mut GuestMem,
         ev: &mut EventBuffer<'_>,
     ) -> (Exit, usize, u64, Option<bool>) {
-        let block = self.cc.block(bid);
+        let block = self.cc.block(bid).expect("guarded live at dispatch");
         let host_base = block.host_base;
         let mut idx = 0usize;
         let mut app_insts = 0u64;
@@ -874,11 +968,9 @@ impl Tol {
                 }
                 (HInst::Exit(Exit::Direct { link, .. }), _) => {
                     // Chained exits jump block-to-block; unchained ones
-                    // jump into the dispatcher.
-                    let t = match link {
-                        Some(to) => self.cc.block(to).host_base,
-                        None => TOL_CODE_BASE,
-                    };
+                    // (and stale links) jump into the dispatcher.
+                    let t =
+                        link.and_then(|to| self.cc.get(to)).map_or(TOL_CODE_BASE, |b| b.host_base);
                     d = d.with_branch(BranchKind::UncondDirect, t, true);
                 }
                 _ => {}
@@ -972,6 +1064,7 @@ fn bbm_allocate(block: &crate::ir::IrBlock) -> RegMap {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::codecache::CachePolicy;
     use darco_guest::asm::Asm;
     use darco_guest::{AluOp, Cond, Inst};
 
@@ -1175,9 +1268,97 @@ mod tests {
         let cfg = TolConfig { codecache_scattered: true, ..TolConfig::default() };
         let (tol, _) = run_tol(&mut mem, entry, cfg);
         // Every resident block starts page-aligned.
-        for id in 0..tol.cc.resident() as u32 {
-            assert_eq!(tol.cc.block(id).host_base & 0xFFF, 0);
+        assert!(tol.cc.resident() > 0);
+        for (_, b) in tol.cc.blocks() {
+            assert_eq!(b.host_base & 0xFFF, 0);
         }
+    }
+
+    #[test]
+    fn fifo_policy_is_architecturally_exact_under_pressure() {
+        let (mem0, entry) = loop_program(30_000);
+        let mut mem_ref = mem0.clone();
+        let (ref_cpu, ref_n) = run_reference(&mut mem_ref, entry);
+
+        // A cache smaller than the combined working set (the program
+        // translates to ~25 host instructions across three blocks), so
+        // resident translations keep capacity-evicting each other and
+        // the hot ones are re-translated over and over.
+        let cfg = TolConfig {
+            code_cache_capacity: 20,
+            cache_policy: CachePolicy::Fifo,
+            bb_sb_threshold: 50,
+            ..TolConfig::default()
+        };
+        let mut mem = mem0.clone();
+        let (tol, _) = run_tol(&mut mem, entry, cfg);
+        let emu = tol.emulated_state();
+        assert!(ref_cpu.arch_eq(&emu), "state diverged:\nref: {ref_cpu}\nemu: {emu}");
+        assert_eq!(tol.counters().guest_insts, ref_n);
+        let s = tol.summary();
+        assert_eq!(s.flushes, 0, "fifo never whole-flushes");
+        assert!(s.cache.evictions > 0, "pressure must evict");
+        assert!(s.cache.retranslations > 0, "evicted hot code re-translates");
+        assert!(s.cache.used <= 20, "capacity bound holds");
+    }
+
+    #[test]
+    fn oversized_translations_degrade_to_interpretation() {
+        // A capacity smaller than any translated block: every install is
+        // rejected and the whole program interprets — correctly.
+        let (mem0, entry) = loop_program(500);
+        let mut mem_ref = mem0.clone();
+        let (ref_cpu, _) = run_reference(&mut mem_ref, entry);
+        for policy in [CachePolicy::Flush, CachePolicy::Fifo] {
+            let cfg =
+                TolConfig { code_cache_capacity: 2, cache_policy: policy, ..TolConfig::default() };
+            let mut mem = mem0.clone();
+            let (tol, _) = run_tol(&mut mem, entry, cfg);
+            assert!(ref_cpu.arch_eq(&tol.emulated_state()));
+            let s = tol.summary();
+            assert_eq!(s.installed, 0, "nothing fits a 2-inst cache");
+            assert_eq!(s.dyn_dist[1] + s.dyn_dist[2], 0, "interpreter-only");
+        }
+    }
+
+    #[test]
+    fn smc_write_forces_eviction_and_retranslation() {
+        // Overwrite the `add eax, 1` immediate (to 2) in the hot loop
+        // after it has been translated, via a store the program itself
+        // executes. Layout (short-form AluRI is 3 bytes):
+        //   0x1000: mov ecx, imm(site+2)   ; patch address
+        //   ...    store byte 2 at [ecx]   ; rewrites the immediate
+        // Here we drive the engine directly instead: run until the loop
+        // is translated, patch guest memory, keep running.
+        let (mut mem, entry) = loop_program(5_000);
+        let cfg = TolConfig { cache_policy: CachePolicy::Fifo, ..TolConfig::default() };
+        let mut tol = Tol::new(cfg, entry);
+        let mut cpu = CpuState::at(entry);
+        cpu.set_gpr(Gpr::Esp, 0x10_0000);
+        tol.set_state(&cpu);
+        let mut sink = darco_host::NullSink;
+        // Run enough steps that the loop body is translated.
+        let mut guest = 0u64;
+        while guest < 2_000 && !tol.is_done() {
+            guest += tol.step(&mut mem, &mut sink, 256).unwrap().guest_insts;
+        }
+        assert!(tol.cc.resident() > 0, "loop must be translated by now");
+        // A write to a translated code page (same byte value — even an
+        // idempotent write must invalidate, as the stamp is a page
+        // write-generation, not a content hash).
+        let byte = mem.read_u8(entry);
+        mem.write_u8(entry, byte);
+        while !tol.is_done() {
+            tol.step(&mut mem, &mut sink, 4096).unwrap();
+        }
+        let s = tol.summary();
+        assert!(s.cache.smc_evictions > 0, "code-page write must evict");
+        assert!(s.cache.retranslations > 0, "hot code must come back");
+        // The run still retires exactly the reference instruction count.
+        let (mut mem_ref, _) = loop_program(5_000);
+        let (ref_cpu, ref_n) = run_reference(&mut mem_ref, entry);
+        assert!(ref_cpu.arch_eq(&tol.emulated_state()));
+        assert_eq!(tol.counters().guest_insts, ref_n);
     }
 
     #[test]

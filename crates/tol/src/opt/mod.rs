@@ -4,11 +4,11 @@
 //! (Sec. II-A-1): copy/constant propagation, constant folding, common
 //! subexpression elimination, dead code elimination, register allocation
 //! and instruction scheduling. Each lives in its own module here and
-//! operates on the linear [`IrBlock`](crate::ir::IrBlock) form — no join
+//! operates on the linear [`IrBlock`] form — no join
 //! points, side exits observe the pinned guest state.
 //!
 //! [`optimize`] runs the pipeline in the canonical order; individual
-//! passes can be switched off through [`TolConfig`](crate::TolConfig)
+//! passes can be switched off through [`TolConfig`]
 //! for the ablation experiments.
 //!
 //! The pass manager snapshots the block around every pass and hands the

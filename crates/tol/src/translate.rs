@@ -216,7 +216,7 @@ pub fn translate_region(region: &[RegionInst]) -> IrBlock {
 /// flag-writing guest instruction and leaves the elision decision to
 /// the IR-level `deadflags` pass (DESIGN.md §13), which the analysis
 /// framework drives; without it the intrinsic guest-level elision of
-/// [`flags_live_after`] applies. Both policies converge to the same
+/// `flags_live_after` applies. Both policies converge to the same
 /// final host code when the pass pipeline runs.
 ///
 /// # Panics

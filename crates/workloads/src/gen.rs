@@ -1,7 +1,7 @@
 //! The synthetic guest program generator.
 //!
 //! Produces a complete, halting g86 program from a
-//! [`BenchProfile`](crate::BenchProfile). The program has the structure
+//! [`BenchProfile`]. The program has the structure
 //! the paper's analysis cares about:
 //!
 //! * **cold** functions executed once from the entry prologue (stay in

@@ -2,10 +2,12 @@
 # End-to-end performance gate: runs the full-system criterion bench and
 # then writes BENCH_report.json (guest MIPS, host-events/sec, per-mode
 # dynamic shares, the timing-layer replay block: sink events/sec fast
-# vs oracle, per-backend wall seconds, and the `analysis` block: guest
+# vs oracle, per-backend wall seconds, the `analysis` block: guest
 # MIPS with the deadflags/rangesimp passes on vs off, dead flag defs
-# killed, per-pass wall time) from repeated timed runs of the same
-# configuration.
+# killed, per-pass wall time, and the `code_cache` block: flush vs
+# fifo under a constrained capacity — installs, flushes, evictions,
+# unchains, retranslations, occupancy and dead-space ratio) from
+# repeated timed runs of the same configuration.
 #
 #   scripts/bench.sh [--scale S] [--reps N]
 set -eu

@@ -38,6 +38,9 @@ cargo fmt --check
 echo "== cargo clippy --workspace --all-targets --all-features -- -D warnings"
 cargo clippy --workspace --all-targets --all-features -- -D warnings
 
+echo "== RUSTDOCFLAGS=-Dwarnings cargo doc --no-deps --workspace"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
 echo "== cargo build --release --workspace"
 cargo build --release --workspace
 
