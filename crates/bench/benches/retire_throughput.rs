@@ -22,8 +22,19 @@
 //!   engine (exec + retire, null sink) on a hot translated loop, where
 //!   the derivation win is diluted by guest emulation itself.
 //!
+//! Plus the translation scratch-arena ablation:
+//!
+//! * `translate_scratch/{scratch_reuse,fresh_alloc}` — repeatedly
+//!   translate the same decoded region to IR, either recycling one
+//!   [`IrScratch`] arena (what the engine's synchronous path and every
+//!   pool worker do since DESIGN.md §15) or allocating fresh vectors
+//!   per translation (the old behavior). The emitted IR is pinned
+//!   identical; only allocator traffic differs.
+//!
 //! Throughput is host events retired per iteration; results land in
 //! EXPERIMENTS.md.
+//!
+//! [`IrScratch`]: darco_tol::translate::IrScratch
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use darco_core::{System, SystemConfig, TimingBackendKind};
@@ -263,6 +274,33 @@ fn collect_replay(
     v
 }
 
+/// Translations per iteration of the scratch-arena ablation.
+const TRANSLATE_REPLAYS: usize = 2_000;
+
+/// Repeatedly lowers the same region to IR, recycling one arena.
+fn translate_scratch_reuse(region: &[darco_tol::translate::RegionInst]) -> usize {
+    use darco_tol::translate::{translate_region_scratch, IrScratch};
+    let mut scratch = IrScratch::default();
+    let mut ops = 0usize;
+    for _ in 0..TRANSLATE_REPLAYS {
+        let block = translate_region_scratch(black_box(region), true, &mut scratch);
+        ops += block.ops.len();
+        scratch.recycle(block);
+    }
+    ops
+}
+
+/// The fresh-allocation oracle: every translation starts from
+/// `Vec::new()`, like the engine before the arena existed.
+fn translate_fresh_alloc(region: &[darco_tol::translate::RegionInst]) -> usize {
+    use darco_tol::translate::translate_region_with;
+    let mut ops = 0usize;
+    for _ in 0..TRANSLATE_REPLAYS {
+        ops += translate_region_with(black_box(region), true).ops.len();
+    }
+    ops
+}
+
 fn tol_run(mem: &GuestMem, entry: u32, templates: bool) -> u64 {
     let mut mem = mem.clone();
     let cfg = TolConfig {
@@ -329,6 +367,25 @@ fn bench(c: &mut Criterion) {
     assert_eq!(guest, tol_run(&mem, entry, false), "paths must retire identically");
     g.bench_function("templates_engine", |b| b.iter(|| black_box(tol_run(&mem, entry, true))));
     g.bench_function("rederive_engine", |b| b.iter(|| black_box(tol_run(&mem, entry, false))));
+    g.finish();
+
+    // The scratch-arena ablation: identical IR, different allocations.
+    let region = darco_tol::translate::decode_bb(&mem, entry).expect("decode hot-loop entry block");
+    {
+        use darco_tol::translate::{translate_region_scratch, translate_region_with, IrScratch};
+        let mut scratch = IrScratch::default();
+        let reused = translate_region_scratch(&region, true, &mut scratch);
+        let fresh = translate_region_with(&region, true);
+        assert_eq!(
+            format!("{reused:?}"),
+            format!("{fresh:?}"),
+            "scratch reuse changed the emitted IR"
+        );
+    }
+    let mut g = c.benchmark_group("translate_scratch");
+    g.throughput(Throughput::Elements(TRANSLATE_REPLAYS as u64));
+    g.bench_function("scratch_reuse", |b| b.iter(|| black_box(translate_scratch_reuse(&region))));
+    g.bench_function("fresh_alloc", |b| b.iter(|| black_box(translate_fresh_alloc(&region))));
     g.finish();
 }
 

@@ -27,7 +27,15 @@
 //!   deliberately constrained capacity: whole-cache flush vs partial
 //!   FIFO eviction (retranslations, evictions, unchains, occupancy,
 //!   dead-space ratio), with identical guest-architectural results
-//!   asserted across the two policies.
+//!   asserted across the two policies,
+//! * `host`                  — the machine the numbers were taken on
+//!   (core count, available parallelism), so wall-clock rows can be
+//!   compared across runs,
+//! * `translation`           — the background translation pool
+//!   (DESIGN.md §15): wall seconds with `translate_workers = 0` (the
+//!   synchronous oracle) vs the pool, job/install/stall/discard
+//!   counters, and worker utilization — with the two serialized
+//!   reports asserted byte-identical.
 
 use darco_bench::replay::{record_stream, replay_backend, replay_sink};
 use darco_core::{Report, System, SystemConfig, TimingBackendKind};
@@ -137,6 +145,113 @@ struct CodeCacheBlock {
 }
 
 #[derive(Serialize)]
+struct HostBlock {
+    /// Logical processors listed in `/proc/cpuinfo` (0 when the file is
+    /// unavailable, e.g. off Linux).
+    cpus: usize,
+    /// `std::thread::available_parallelism()` — what the translation
+    /// pool and `run-set` default to.
+    available_parallelism: usize,
+}
+
+fn host_block() -> HostBlock {
+    let cpus = std::fs::read_to_string("/proc/cpuinfo")
+        .map(|s| s.lines().filter(|l| l.starts_with("processor")).count())
+        .unwrap_or(0);
+    HostBlock {
+        cpus,
+        available_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+    }
+}
+
+#[derive(Serialize)]
+struct TranslationBlock {
+    /// Pool size used for the overlapped runs.
+    workers: usize,
+    /// Best wall seconds with `translate_workers = 0` (synchronous).
+    sync_wall_seconds: f64,
+    /// Best wall seconds with the pool enabled.
+    pool_wall_seconds: f64,
+    /// `sync_wall_seconds / pool_wall_seconds`; on a single-core host
+    /// this hovers around 1.0 (the overlap buys nothing, the channel
+    /// overhead costs almost nothing).
+    speedup: f64,
+    /// Compile jobs handed to the pool.
+    jobs_enqueued: u64,
+    /// Installs that consumed a pool result instead of recompiling.
+    installed_from_pool: u64,
+    /// Pool results that were already finished at the install point.
+    ready_at_install: u64,
+    /// Install points that had to block on an in-flight job.
+    stalls_at_install: u64,
+    /// Pending jobs discarded because guest code pages were written
+    /// between enqueue and install (SMC safety).
+    discarded_smc: u64,
+    /// Pending jobs discarded because the re-formed region differed
+    /// from the snapshot (profile drift between enqueue and install).
+    discarded_stale: u64,
+    /// High-water mark of concurrently pending jobs.
+    max_in_flight: u64,
+    /// Total seconds workers spent compiling (summed across workers).
+    worker_busy_seconds: f64,
+    /// `worker_busy_seconds / (workers * pool_wall_seconds)`.
+    worker_utilization: f64,
+}
+
+fn run_translation(scale: f64, workers: usize) -> (Report, darco_tol::TranslationPoolStats, f64) {
+    let mut cfg = SystemConfig {
+        cosim: false,
+        app_only_pipeline: true,
+        tol_only_pipeline: true,
+        ..SystemConfig::default()
+    };
+    cfg.tol.translate_workers = workers;
+    let w = generate(&suites::quicktest_profile(), scale);
+    let mut sys = System::new(w, cfg);
+    let t0 = std::time::Instant::now();
+    let report = sys.run_to_completion();
+    let secs = t0.elapsed().as_secs_f64();
+    (report, sys.tol().pool_stats(), secs)
+}
+
+fn translation_block(scale: f64, reps: usize, workers: usize) -> TranslationBlock {
+    // Warm-up + best-of per configuration; counters come from the first
+    // timed pool run (the wall-clock-dependent ready/stall split is the
+    // only nondeterministic part).
+    let (sync_report, _, _) = run_translation(scale, 0);
+    let mut sync_wall = f64::MAX;
+    for _ in 0..reps.max(1) {
+        sync_wall = sync_wall.min(run_translation(scale, 0).2);
+    }
+    let (pool_report, stats, first_wall) = run_translation(scale, workers);
+    let mut pool_wall = first_wall;
+    for _ in 1..reps.max(1) {
+        pool_wall = pool_wall.min(run_translation(scale, workers).2);
+    }
+    // The tentpole guarantee: the pool changes wall-clock only.
+    let sync_json = serde_json::to_string(&sync_report).expect("serialize");
+    let pool_json = serde_json::to_string(&pool_report).expect("serialize");
+    assert_eq!(sync_json, pool_json, "translation pool changed the serialized report");
+    TranslationBlock {
+        workers: stats.workers,
+        sync_wall_seconds: sync_wall,
+        pool_wall_seconds: pool_wall,
+        speedup: sync_wall / pool_wall,
+        jobs_enqueued: stats.jobs_enqueued,
+        installed_from_pool: stats.installed_from_pool,
+        ready_at_install: stats.ready_at_install,
+        stalls_at_install: stats.stalls_at_install,
+        discarded_smc: stats.discarded_smc,
+        discarded_stale: stats.discarded_stale,
+        max_in_flight: stats.max_in_flight,
+        worker_busy_seconds: stats.worker_busy_ns as f64 / 1e9,
+        worker_utilization: stats.worker_busy_ns as f64
+            / 1e9
+            / (stats.workers.max(1) as f64 * pool_wall),
+    }
+}
+
+#[derive(Serialize)]
 struct BenchReport {
     benchmark: String,
     scale: f64,
@@ -147,9 +262,11 @@ struct BenchReport {
     guest_mips: f64,
     host_events_per_sec: f64,
     mode_shares: ModeShares,
+    host: HostBlock,
     timing: TimingBlock,
     analysis: AnalysisBlock,
     code_cache: CodeCacheBlock,
+    translation: TranslationBlock,
 }
 
 fn run_once(scale: f64) -> (Report, f64) {
@@ -386,9 +503,15 @@ fn main() {
             bbm: share(dyn_dist[1]),
             sbm: share(dyn_dist[2]),
         },
+        host: host_block(),
         timing: timing_block(reps),
         analysis: analysis_block(scale, reps),
         code_cache: code_cache_block(scale, reps),
+        translation: translation_block(
+            scale,
+            reps,
+            std::thread::available_parallelism().map_or(1, |n| n.get()),
+        ),
     };
     let json = serde_json::to_string_pretty(&summary).expect("serialize report");
     std::fs::write(&out, &json).unwrap_or_else(|e| {

@@ -28,6 +28,14 @@
 //!                               worker) or fanout (one worker per
 //!                               pipeline); results are bit-identical
 //!          --threaded-timing    alias for --timing-backend threaded
+//!          --translate-workers N
+//!                               background translation pool size: the
+//!                               Rust-side BBM/SBM compile work overlaps
+//!                               with emulation on N threads, joined at
+//!                               the deterministic install point so
+//!                               reports are byte-identical; 0 =
+//!                               synchronous oracle (default: all
+//!                               available cores)
 //!          --jobs N             worker threads for run-set (default:
 //!                               all available cores)
 //!          --n N                rows/instructions to print (trace/disasm)
@@ -70,7 +78,8 @@ fn usage() {
     eprintln!(
         "darco <list|run|run-set|verify|analyze|trace|disasm|timeline|export-profile> [benchmark ...] \
          [--profile FILE] [--scale S] [--cache-policy flush|fifo] [--cosim] \
-         [--timing-backend inline|threaded|fanout] [--threaded-timing] [--jobs N] [--n N] [--json]"
+         [--timing-backend inline|threaded|fanout] [--threaded-timing] [--translate-workers N] \
+         [--jobs N] [--n N] [--json]"
     );
 }
 
@@ -80,8 +89,20 @@ struct Opts {
     cosim: bool,
     timing_backend: TimingBackendKind,
     cache_policy: CachePolicy,
+    /// `None` keeps [`TolConfig`]'s default (available parallelism).
+    translate_workers: Option<usize>,
     n: usize,
     json: bool,
+}
+
+impl Opts {
+    /// Applies the optional flags onto a TOL config.
+    fn apply_tol(&self, tol: &mut TolConfig) {
+        tol.cache_policy = self.cache_policy;
+        if let Some(w) = self.translate_workers {
+            tol.translate_workers = w;
+        }
+    }
 }
 
 fn parse_cache_policy(v: &str) -> CachePolicy {
@@ -103,6 +124,7 @@ fn parse(rest: &[String]) -> Opts {
     let mut cosim = false;
     let mut timing_backend = TimingBackendKind::Inline;
     let mut cache_policy = CachePolicy::Flush;
+    let mut translate_workers = None;
     let mut n = 20;
     let mut json = false;
     let mut it = rest.iter();
@@ -133,6 +155,13 @@ fn parse(rest: &[String]) -> Opts {
                 let v = it.next().unwrap_or_else(|| bail("--cache-policy needs flush|fifo"));
                 cache_policy = parse_cache_policy(v);
             }
+            "--translate-workers" => {
+                translate_workers = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| bail("--translate-workers needs a count")),
+                );
+            }
             "--json" => json = true,
             "--n" => {
                 n = it
@@ -158,6 +187,7 @@ fn parse(rest: &[String]) -> Opts {
         cosim,
         timing_backend,
         cache_policy,
+        translate_workers,
         n,
         json,
     }
@@ -199,7 +229,7 @@ fn run(rest: &[String]) {
         timing_backend: o.timing_backend,
         ..SystemConfig::default()
     };
-    cfg.tol.cache_policy = o.cache_policy;
+    o.apply_tol(&mut cfg.tol);
     let mut sys = System::new(generate(&o.profile, o.scale), cfg);
     let report = sys.run_to_completion();
     if o.json {
@@ -222,6 +252,7 @@ fn run_set(rest: &[String]) {
     let mut cosim = false;
     let mut timing_backend = TimingBackendKind::Inline;
     let mut cache_policy = CachePolicy::Flush;
+    let mut translate_workers: Option<usize> = None;
     let mut json = false;
     let mut it = rest.iter();
     while let Some(a) = it.next() {
@@ -252,6 +283,13 @@ fn run_set(rest: &[String]) {
                 let v = it.next().unwrap_or_else(|| bail("--cache-policy needs flush|fifo"));
                 cache_policy = parse_cache_policy(v);
             }
+            "--translate-workers" => {
+                translate_workers = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| bail("--translate-workers needs a count")),
+                );
+            }
             "--json" => json = true,
             name if !name.starts_with('-') => names.push(name.to_owned()),
             other => bail(&format!("unknown flag {other}")),
@@ -276,6 +314,9 @@ fn run_set(rest: &[String]) {
     let jobs = jobs.unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
     let mut cfg = darco_core::RunConfig { scale, cosim, timing_backend, ..Default::default() };
     cfg.tol.cache_policy = cache_policy;
+    if let Some(w) = translate_workers {
+        cfg.tol.translate_workers = w;
+    }
     eprintln!("running {} benchmark(s) at scale {scale} on {jobs} thread(s) ...", profiles.len());
     let t0 = std::time::Instant::now();
     let runs = darco_core::experiments::run_set_parallel(&profiles, &cfg, jobs);
@@ -311,6 +352,7 @@ fn verify(rest: &[String]) {
     let o = parse(rest);
     eprintln!("verifying {} at scale {} ...", o.profile.name, o.scale);
     let mut cfg = SystemConfig { cosim: true, ..SystemConfig::default() };
+    o.apply_tol(&mut cfg.tol);
     cfg.tol.verify = true;
     let mut sys = System::new(generate(&o.profile, o.scale), cfg);
     let report = sys.run_to_completion();
@@ -348,11 +390,12 @@ fn analyze(rest: &[String]) {
     // Pre-execution snapshot of guest memory, for re-decoding the
     // regions the layer translated (workload code is not self-modifying).
     let analysis_mem = w.mem.clone();
-    let cfg = SystemConfig {
+    let mut cfg = SystemConfig {
         cosim: o.cosim,
         timing_backend: o.timing_backend,
         ..SystemConfig::default()
     };
+    o.apply_tol(&mut cfg.tol);
     let mut sys = System::new(w, cfg);
     let report = sys.run_to_completion();
     if o.json {
@@ -509,7 +552,9 @@ fn disasm(rest: &[String]) {
     let o = parse(rest);
     let w = generate(&o.profile, o.scale);
     let mut mem = w.mem.clone();
-    let mut tol = Tol::new(TolConfig { bb_sb_threshold: 50, ..TolConfig::default() }, w.entry);
+    let mut tol_cfg = TolConfig { bb_sb_threshold: 50, ..TolConfig::default() };
+    o.apply_tol(&mut tol_cfg);
+    let mut tol = Tol::new(tol_cfg, w.entry);
     tol.set_state(&w.initial);
     let mut sink = darco_host::NullSink;
     tol.run(&mut mem, &mut sink, u64::MAX).expect("run");
@@ -554,7 +599,9 @@ fn disasm(rest: &[String]) {
 
 fn timeline(rest: &[String]) {
     let o = parse(rest);
-    let cfg = SystemConfig { cosim: false, window_guest_insts: 50_000, ..SystemConfig::default() };
+    let mut cfg =
+        SystemConfig { cosim: false, window_guest_insts: 50_000, ..SystemConfig::default() };
+    o.apply_tol(&mut cfg.tol);
     let mut sys = System::new(generate(&o.profile, o.scale), cfg);
     let r = sys.run_to_completion();
     println!(

@@ -97,6 +97,23 @@ pub struct TolConfig {
     ///
     /// [`GuestMem`]: darco_guest::GuestMem
     pub interp_decode_cache: bool,
+    /// Background translation workers: the Rust-side compile work of a
+    /// BBM/SBM translation (decode → IR → analysis → optimization →
+    /// verification → emission) runs on this many pool threads,
+    /// overlapped with emulation, and joined at the same deterministic
+    /// simulated install point the synchronous path uses — so every
+    /// serialized report is byte-identical across settings (DESIGN.md
+    /// §15). `0` disables the pool entirely (the synchronous oracle).
+    /// Defaults to the host's available parallelism. Purely a
+    /// wall-clock switch.
+    #[serde(default = "default_translate_workers")]
+    pub translate_workers: usize,
+}
+
+/// Serde default for [`TolConfig::translate_workers`] (profiles written
+/// before the pool existed deserialize to the pool default).
+fn default_translate_workers() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 impl Default for TolConfig {
@@ -126,6 +143,7 @@ impl Default for TolConfig {
             event_batch: darco_host::events::EVENT_BATCH,
             retire_templates: true,
             interp_decode_cache: true,
+            translate_workers: default_translate_workers(),
         }
     }
 }

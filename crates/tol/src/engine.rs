@@ -16,15 +16,21 @@
 //! simulator and co-simulates against the authoritative functional
 //! emulator between steps.
 
-use crate::codecache::{BlockKind, CacheHealth, CodeCache, EvictCause, Evicted, TranslatedBlock};
+use crate::codecache::{
+    pages_dirty, BlockKind, CacheHealth, CodeCache, EvictCause, Evicted, Prepared, TranslatedBlock,
+};
 use crate::config::TolConfig;
 use crate::emission::Emitter;
 use crate::ibtc::Ibtc;
-use crate::ir::{self, lower, RegMap, EXIT_TARGET_REG, FLAGS_REG};
+use crate::interp;
+use crate::ir::{self, EXIT_TARGET_REG, FLAGS_REG};
+use crate::pool::{
+    compile_bb, compile_sb, stamp_region, JobKind, JobOut, PendingJob, SbOutcome, TranslatePool,
+    TranslationPoolStats,
+};
 use crate::profile::{Profiler, StaticMode};
-use crate::superblock::form_region;
-use crate::translate::{decode_bb, translate_region, translate_region_with, RegionInst};
-use crate::{interp, opt};
+use crate::superblock::{form_region, form_region_into};
+use crate::translate::{decode_bb, decode_bb_into, RegionInst, TranslateScratch};
 use darco_guest::{CpuState, DecodeError, Flags, FpReg, Gpr, GuestMem};
 use darco_host::events::{EventBuffer, ExecMode, HostEvent, HostEventSink, TranslationKind};
 use darco_host::layout::{guest_to_host, TOL_CODE_BASE};
@@ -146,6 +152,16 @@ pub struct Tol {
     /// Total wall-clock nanoseconds in the analysis-driven passes
     /// (`deadflags` + `rangesimp`), BBM and SBM combined.
     analysis_ns: u64,
+    /// Reusable translation buffers for the synchronous compile path
+    /// (the pool workers each own their own IR scratch).
+    scratch: TranslateScratch,
+    /// Background translation pool; `None` when
+    /// [`TolConfig::translate_workers`] is 0 (the synchronous oracle).
+    pool: Option<TranslatePool>,
+    /// In-flight background jobs keyed by (kind, guest entry).
+    pending: std::collections::HashMap<(JobKind, u32), PendingJob>,
+    /// Engine-side pool counters (enqueues, joins, discards).
+    pool_counts: TranslationPoolStats,
 }
 
 impl Tol {
@@ -159,6 +175,8 @@ impl Tol {
         cc.set_policy(cfg.cache_policy);
         let mut em = Emitter::new();
         em.interp_templates = cfg.retire_templates;
+        let pool = (cfg.translate_workers > 0)
+            .then(|| TranslatePool::new(cfg.translate_workers, cfg.clone()));
         let mut tol = Tol {
             cc,
             ibtc: Ibtc::new(cfg.ibtc_entries),
@@ -175,6 +193,10 @@ impl Tol {
             pass_deltas: Vec::new(),
             pass_nanos: Vec::new(),
             analysis_ns: 0,
+            scratch: TranslateScratch::default(),
+            pool,
+            pending: std::collections::HashMap::new(),
+            pool_counts: TranslationPoolStats::default(),
             cfg,
         };
         tol.store_cpu(&CpuState::at(entry));
@@ -311,8 +333,15 @@ impl Tol {
         self.em.map_lookup(ev, pc, false);
 
         if promote {
-            let region = decode_bb(mem, pc)?;
-            if self.install_bb(pc, &region, mem, ev).is_none() {
+            let mut region = std::mem::take(&mut self.scratch.region);
+            region.clear();
+            if let Err(e) = decode_bb_into(mem, pc, &mut region) {
+                self.scratch.region = region;
+                return Err(e);
+            }
+            let installed = self.install_bb(pc, &region, mem, ev);
+            self.scratch.region = region;
+            if installed.is_none() {
                 // The translation alone exceeds the whole cache: it can
                 // never be installed, so this block stays interpreted.
                 let n = self.interpret_bb(mem, ev)?;
@@ -321,6 +350,7 @@ impl Tol {
             let n = self.run_translated(mem, ev, budget)?;
             Ok(StepOutcome { guest_insts: n, done: self.halted, mode: Mode::Bbm })
         } else {
+            self.maybe_enqueue_bb(pc, count, mem);
             let n = self.interpret_bb(mem, ev)?;
             Ok(StepOutcome { guest_insts: n, done: self.halted, mode: Mode::Im })
         }
@@ -419,49 +449,45 @@ impl Tol {
         mem: &GuestMem,
         ev: &mut EventBuffer<'_>,
     ) -> Option<BlockId> {
-        let mut block = translate_region_with(region, self.cfg.opt_deadflags);
-        if self.cfg.opt_deadflags {
-            // Eager flag materialization + liveness-driven kill converges
-            // to the same host code the intrinsic elision produces.
-            let live_before = block.ops.iter().filter(|o| o.inst != ir::IrInst::Nop).count();
-            let start = std::time::Instant::now();
-            let killed = opt::deadflags::run(&mut block);
-            let nanos = start.elapsed().as_nanos() as u64;
-            self.counters.flags_killed += u64::from(killed);
-            self.analysis_ns += nanos;
-            crate::verify::merge_nanos(&mut self.pass_nanos, "deadflags", nanos);
-            let live_after = block.ops.iter().filter(|o| o.inst != ir::IrInst::Nop).count();
+        // Join the in-flight background translation if a valid one
+        // exists; otherwise compile synchronously. Both are the same
+        // pure function of (region, cfg), so the installed code, the
+        // simulated cost and every event are identical either way.
+        let (compiled, templates) = match self.take_pooled(JobKind::Bb, entry, region, mem) {
+            Some(JobOut::Bb { compiled, templates }) => (compiled, Some(templates)),
+            _ => (compile_bb(region, &self.cfg, &mut self.scratch.ir), None),
+        };
+        if let Some(d) = &compiled.deadflags {
+            self.counters.flags_killed += d.flags_killed;
+            self.analysis_ns += d.nanos;
+            crate::verify::merge_nanos(&mut self.pass_nanos, "deadflags", d.nanos);
             crate::verify::merge_delta(
                 &mut self.pass_deltas,
                 &crate::verify::PassDelta {
                     pass: "deadflags".to_string(),
                     runs: 1,
-                    insts_removed: live_before as i64 - live_after as i64,
-                    flags_killed: u64::from(killed),
+                    insts_removed: d.insts_removed,
+                    flags_killed: d.flags_killed,
                     branches_folded: 0,
                 },
             );
         }
-        if self.cfg.bbm_peephole {
-            opt::constprop::run(&mut block, true);
-            opt::dce::run(&mut block);
-        }
-        let map = bbm_allocate(&block);
-        let insts = lower(&block, &map);
-        let body_len = insts.len() as u32 - 1 - block.stubs.len() as u32;
-        let host_len = insts.len() as u32;
-        self.em.bb_translate(ev, entry, region, insts.len());
+        let host_len = compiled.insts.len() as u32;
+        self.em.bb_translate(ev, entry, region, compiled.insts.len());
         self.prof.mark_static(region.iter().map(|r| r.pc), StaticMode::Bbm);
         let ins = self
             .cc
-            .install(
+            .install_prepared(
                 entry,
-                insts,
-                BlockKind::Bb,
-                body_len,
-                std::mem::take(&mut block.stub_guest_counts),
-                block.guest_len,
-                region.iter().map(|r| r.pc).collect(),
+                Prepared {
+                    insts: compiled.insts,
+                    kind: BlockKind::Bb,
+                    body_len: compiled.body_len,
+                    stub_guest_counts: compiled.stub_guest_counts,
+                    guest_len: compiled.guest_len,
+                    guest_pcs: region.iter().map(|r| r.pc).collect(),
+                    templates,
+                },
                 mem,
             )
             .ok()?;
@@ -484,11 +510,28 @@ impl Tol {
         mem: &GuestMem,
         ev: &mut EventBuffer<'_>,
     ) -> Result<Option<(BlockId, bool)>, DecodeError> {
-        let (region, bbs) = form_region(mem, entry, &self.prof, &self.cfg)?;
-        let block = translate_region_with(&region, self.cfg.opt_deadflags);
-        let ir_len = block.ops.len();
-        let (mut block, map) = match opt::optimize_stats(block, &self.cfg) {
-            Ok((opt_block, map, stats)) => {
+        let mut region = std::mem::take(&mut self.scratch.region);
+        let mut visited = std::mem::take(&mut self.scratch.visited);
+        region.clear();
+        visited.clear();
+        let formed = form_region_into(mem, entry, &self.prof, &self.cfg, &mut region, &mut visited);
+        self.scratch.visited = visited;
+        let bbs = match formed {
+            Ok(bbs) => bbs,
+            Err(e) => {
+                self.scratch.region = region;
+                return Err(e);
+            }
+        };
+        // Join the in-flight background optimization if a valid one
+        // exists; otherwise compile synchronously (same pure function of
+        // (region, cfg) — see `install_bb`).
+        let (compiled, templates) = match self.take_pooled(JobKind::Sb, entry, &region, mem) {
+            Some(JobOut::Sb { compiled, templates }) => (compiled, Some(templates)),
+            _ => (compile_sb(&region, &self.cfg, &mut self.scratch.ir), None),
+        };
+        match &compiled.outcome {
+            SbOutcome::Optimized(stats) => {
                 self.counters.verified_blocks += stats.blocks_verified;
                 self.counters.tv_differential += stats.tv_differential;
                 for d in &stats.pass_deltas {
@@ -502,42 +545,29 @@ impl Tol {
                     }
                     crate::verify::merge_nanos(&mut self.pass_nanos, pass, *ns);
                 }
-                (opt_block, map)
             }
-            Err(opt::OptError::OutOfRegisters) => {
-                self.counters.opt_bailouts += 1;
-                // Fall back to the intrinsically elided translation so
-                // the unoptimized lowering matches the non-eager path
-                // exactly.
-                let block = translate_region(&region);
-                let map = bbm_allocate(&block);
-                (block, map)
-            }
-            Err(opt::OptError::Miscompile(_)) => {
-                // The verifier rejected a pass's output: never install
-                // unverified code; fall back to the unoptimized lowering.
-                self.counters.verify_failures += 1;
-                let block = translate_region(&region);
-                let map = bbm_allocate(&block);
-                (block, map)
-            }
-        };
-        let insts = lower(&block, &map);
-        let body_len = insts.len() as u32 - 1 - block.stubs.len() as u32;
-        let host_len = insts.len() as u32;
-        self.em.sb_optimize(ev, bbs as usize, ir_len, insts.len());
+            SbOutcome::OutOfRegisters => self.counters.opt_bailouts += 1,
+            SbOutcome::Miscompile => self.counters.verify_failures += 1,
+        }
+        let host_len = compiled.insts.len() as u32;
+        self.em.sb_optimize(ev, bbs as usize, compiled.ir_len, compiled.insts.len());
         self.counters.sbm_invocations += 1;
         self.prof.mark_static(region.iter().map(|r| r.pc), StaticMode::Sbm);
-        let Ok(ins) = self.cc.install(
+        let res = self.cc.install_prepared(
             entry,
-            insts,
-            BlockKind::Sb,
-            body_len,
-            std::mem::take(&mut block.stub_guest_counts),
-            block.guest_len,
-            region.iter().map(|r| r.pc).collect(),
+            Prepared {
+                insts: compiled.insts,
+                kind: BlockKind::Sb,
+                body_len: compiled.body_len,
+                stub_guest_counts: compiled.stub_guest_counts,
+                guest_len: compiled.guest_len,
+                guest_pcs: region.iter().map(|r| r.pc).collect(),
+                templates,
+            },
             mem,
-        ) else {
+        );
+        self.scratch.region = region;
+        let Ok(ins) = res else {
             return Ok(None);
         };
         if ins.flushed {
@@ -548,6 +578,131 @@ impl Tol {
         ev.push(HostEvent::Translated { entry, kind: TranslationKind::Sb, host_len });
         ev.push(HostEvent::CacheInsert { entry, flushed: ins.flushed });
         Ok(Some((ins.id, ins.flushed)))
+    }
+
+    /// Lead (in block executions) between the SBM background-enqueue
+    /// trigger and the promotion threshold: how much emulation the
+    /// superblock compile can overlap with. Any constant is
+    /// deterministic (the join validates the snapshot against
+    /// install-time state); a small one keeps the profile snapshot close
+    /// to what the install point sees, so jobs are rarely discarded as
+    /// stale.
+    const SB_ENQUEUE_LEAD: u64 = 8;
+
+    /// Background-translation trigger for BBM: the last interpreted
+    /// visit before promotion (`count == IM/BBth`; the next visit
+    /// crosses the strict `count > IM/BBth` check) snapshots the block
+    /// and hands the compile work to the pool. The trigger is a pure
+    /// function of the deterministic profile counter, and the join in
+    /// [`Tol::install_bb`] validates the snapshot, so emitted streams
+    /// never depend on pool timing. A block re-translated after an
+    /// eviction passes this count only once, so re-translations stay
+    /// synchronous — rare by construction.
+    fn maybe_enqueue_bb(&mut self, pc: u32, count: u32, mem: &GuestMem) {
+        if self.pool.is_none()
+            || count != self.cfg.im_bb_threshold
+            || self.pending.contains_key(&(JobKind::Bb, pc))
+        {
+            return;
+        }
+        // A decode fault stays synchronous: the promote path surfaces
+        // the same fault to the caller.
+        let Ok(region) = decode_bb(mem, pc) else { return };
+        self.enqueue(JobKind::Bb, pc, region, mem);
+    }
+
+    /// Background-translation trigger for SBM, [`Tol::SB_ENQUEUE_LEAD`]
+    /// executions before the promotion check in `run_translated` (which
+    /// fires at `BB/SBth`, or at 4x that for blocks already covered by a
+    /// superblock). A covered block's trigger can fire twice (once per
+    /// threshold); the second fire drops the first snapshot, whose
+    /// profile is out of date.
+    fn maybe_enqueue_sb(&mut self, entry: u32, exec_count: u64, mem: &GuestMem) {
+        if self.pool.is_none() {
+            return;
+        }
+        let th = self.cfg.bb_sb_threshold as u64;
+        let covered = self.prof.static_mode(entry) == Some(StaticMode::Sbm);
+        let fire_at = if covered {
+            (4 * th).saturating_sub(Self::SB_ENQUEUE_LEAD).max(1)
+        } else {
+            th.saturating_sub(Self::SB_ENQUEUE_LEAD).max(1)
+        };
+        if exec_count != fire_at {
+            return;
+        }
+        if self.pending.remove(&(JobKind::Sb, entry)).is_some() {
+            self.pool_counts.discarded_stale += 1;
+        }
+        let Ok((region, _bbs)) = form_region(mem, entry, &self.prof, &self.cfg) else { return };
+        self.enqueue(JobKind::Sb, entry, region, mem);
+    }
+
+    /// Stamps the snapshot's code pages and submits the job.
+    fn enqueue(&mut self, kind: JobKind, entry: u32, region: Vec<RegionInst>, mem: &GuestMem) {
+        let Some(pool) = self.pool.as_mut() else { return };
+        let (pages, gen) = stamp_region(mem, &region);
+        let rx = pool.submit(kind, region.clone());
+        self.pending.insert((kind, entry), PendingJob { rx, region, pages, gen });
+        self.pool_counts.jobs_enqueued += 1;
+        self.pool_counts.max_in_flight =
+            self.pool_counts.max_in_flight.max(self.pending.len() as u64);
+    }
+
+    /// Removes and joins the pending background job for `(kind, entry)`,
+    /// validating it against the *install-time* inputs: the covered code
+    /// pages must be unwritten since enqueue (the pending-job arm of SMC
+    /// invalidation) and the snapshot region must equal the freshly
+    /// formed one. Any mismatch discards the job and returns `None`; the
+    /// caller then recompiles synchronously from the fresh inputs — so
+    /// the installed artifact is always a pure function of install-time
+    /// state, independent of pool timing.
+    fn take_pooled(
+        &mut self,
+        kind: JobKind,
+        entry: u32,
+        fresh: &[RegionInst],
+        mem: &GuestMem,
+    ) -> Option<JobOut> {
+        let job = self.pending.remove(&(kind, entry))?;
+        if pages_dirty(mem, &job.pages, job.gen) {
+            self.pool_counts.discarded_smc += 1;
+            return None;
+        }
+        if job.region.as_slice() != fresh {
+            self.pool_counts.discarded_stale += 1;
+            return None;
+        }
+        let out = match job.rx.try_recv() {
+            Ok(out) => {
+                self.pool_counts.ready_at_install += 1;
+                Some(out)
+            }
+            Err(std::sync::mpsc::TryRecvError::Empty) => {
+                self.pool_counts.stalls_at_install += 1;
+                job.rx.recv().ok()
+            }
+            // Every worker died (a compile panicked): fall back to the
+            // synchronous path for this and all later installs.
+            Err(std::sync::mpsc::TryRecvError::Disconnected) => None,
+        };
+        if out.is_some() {
+            self.pool_counts.installed_from_pool += 1;
+        }
+        out
+    }
+
+    /// Background-translation pool statistics (wall-clock side only).
+    /// Deliberately not part of [`RunSummary`] or any serialized report:
+    /// those stay byte-identical across `translate_workers` settings.
+    pub fn pool_stats(&self) -> TranslationPoolStats {
+        let mut s = self.pool_counts;
+        if let Some(p) = &self.pool {
+            s.workers = p.workers();
+            s.jobs_completed = p.completed();
+            s.worker_busy_ns = p.busy_ns();
+        }
+        s
     }
 
     /// Follows promotion redirects (the patched entry jump of a promoted
@@ -626,6 +781,9 @@ impl Tol {
                 self.em.bbm_instrumentation(ev, host_base + 4 * exit_idx as u64, entry);
                 if let Some(taken) = cond_taken {
                     self.prof.record_edge(entry, taken);
+                }
+                if !promoted {
+                    self.maybe_enqueue_sb(entry, exec_count, mem);
                 }
             }
 
@@ -1008,57 +1166,6 @@ fn exit_info(block: &TranslatedBlock, idx: usize) -> (u64, Option<bool>) {
         None
     };
     (guest_n, cond_taken)
-}
-
-/// BBM register allocation: temporaries never live across guest
-/// instruction boundaries, so a per-guest-instruction round-robin over
-/// the scratch file suffices (and can never run out).
-fn bbm_allocate(block: &crate::ir::IrBlock) -> RegMap {
-    use crate::ir::{IrFreg, IrReg, FSCRATCH_BASE, SCRATCH_BASE};
-    let mut map = RegMap::default();
-    let mut gi = u32::MAX;
-    let mut next_int = SCRATCH_BASE;
-    let mut next_fp = FSCRATCH_BASE;
-    for op in &block.ops {
-        if op.guest_idx != gi {
-            gi = op.guest_idx;
-            next_int = SCRATCH_BASE;
-            next_fp = FSCRATCH_BASE;
-        }
-        let alloc_int = |v: u32, map: &mut RegMap, next: &mut u8| {
-            map.int.entry(v).or_insert_with(|| {
-                let r = darco_host::HReg(*next);
-                *next += 1;
-                assert!(*next <= crate::ir::SCRATCH_END, "BBM scratch overflow");
-                r
-            });
-        };
-        for s in op.inst.srcs().into_iter().flatten() {
-            if let IrReg::Virt(v) = s {
-                alloc_int(v, &mut map, &mut next_int);
-            }
-        }
-        if let Some(IrReg::Virt(v)) = op.inst.dst() {
-            alloc_int(v, &mut map, &mut next_int);
-        }
-        let alloc_fp = |v: u32, map: &mut RegMap, next: &mut u8| {
-            map.fp.entry(v).or_insert_with(|| {
-                let r = HFreg(*next);
-                *next += 1;
-                assert!(*next <= crate::ir::FSCRATCH_END, "BBM FP scratch overflow");
-                r
-            });
-        };
-        for s in op.inst.fsrcs().into_iter().flatten() {
-            if let IrFreg::Virt(v) = s {
-                alloc_fp(v, &mut map, &mut next_fp);
-            }
-        }
-        if let Some(IrFreg::Virt(v)) = op.inst.fdst() {
-            alloc_fp(v, &mut map, &mut next_fp);
-        }
-    }
-    map
 }
 
 #[cfg(test)]

@@ -59,6 +59,7 @@ pub mod ibtc;
 pub mod interp;
 pub mod ir;
 pub mod opt;
+mod pool;
 pub mod profile;
 pub mod superblock;
 pub mod translate;
@@ -67,4 +68,5 @@ pub mod verify;
 pub use analysis::analyze_region_text;
 pub use config::TolConfig;
 pub use engine::{Mode, RunSummary, StepOutcome, Tol, TolCounters};
+pub use pool::TranslationPoolStats;
 pub use verify::{PassDelta, VerifyFailure, VerifyStats};

@@ -1,0 +1,401 @@
+//! Background translation pool: overlap TOL compile work with emulation.
+//!
+//! The paper's central cost is the software layer itself — translation
+//! and optimization cycles stolen from the application — and real
+//! co-designed processors hide that cost by running the layer
+//! concurrently with execution. This module does the same for the
+//! *wall-clock* side of our simulator without perturbing the *simulated*
+//! side by a single event:
+//!
+//! * When the profiler reaches a deterministic trigger a little before a
+//!   BBM/SBM promotion threshold, the engine snapshots the guest region
+//!   (plus its SMC page stamps) and submits the actual Rust work —
+//!   decode → IR → analysis → optimization passes → verification →
+//!   emission → retirement-template compilation — to a pool of worker
+//!   threads, then keeps emulating.
+//! * At the exact simulated point where the synchronous path would
+//!   translate (the promotion check in the dispatcher), the engine joins
+//!   the in-flight job. The join **validates** the snapshot against the
+//!   install-time state: the covered code pages must be unwritten since
+//!   enqueue ([`crate::codecache::pages_dirty`]) and the snapshot region
+//!   must equal the freshly formed one. Any mismatch discards the job
+//!   and the engine compiles synchronously from the fresh inputs.
+//!
+//! Because every compile here is a pure function of `(region, config)` —
+//! including the translation validator, whose differential fallback is
+//! seeded from block content — the installed artifact is byte-identical
+//! whether it came from a worker or from the synchronous fallback, and
+//! therefore identical to `translate_workers = 0` (the oracle). Only
+//! wall-clock observables (pass nanoseconds, [`TranslationPoolStats`])
+//! differ, and those are deliberately excluded from every serialized
+//! report.
+
+use crate::codecache::smc_stamp;
+use crate::config::TolConfig;
+use crate::ir::{lower, RegMap};
+use crate::opt;
+use crate::translate::{translate_region, translate_region_scratch, IrScratch, RegionInst};
+use crate::verify::VerifyStats;
+use darco_guest::GuestMem;
+use darco_host::{compile_block, HFreg, HInst, RetireTemplate};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// What the `deadflags` analysis did to a BBM block, reported back so
+/// the engine can merge counters at the install point exactly as the
+/// synchronous path does.
+#[derive(Debug)]
+pub(crate) struct DeadflagsDelta {
+    /// Dead `FlagsArith` definitions deleted.
+    pub flags_killed: u64,
+    /// Net live instructions removed.
+    pub insts_removed: i64,
+    /// Wall-clock nanoseconds the pass took (worker- or engine-side).
+    pub nanos: u64,
+}
+
+/// A compiled BBM basic block, ready to stamp and install.
+#[derive(Debug)]
+pub(crate) struct BbCompiled {
+    pub insts: Vec<HInst>,
+    pub stub_guest_counts: Vec<u32>,
+    pub guest_len: u32,
+    pub body_len: u32,
+    pub deadflags: Option<DeadflagsDelta>,
+}
+
+/// How a superblock's optimization pipeline ended.
+#[derive(Debug)]
+pub(crate) enum SbOutcome {
+    /// Pipeline ran (and, where enabled, verified) successfully.
+    Optimized(VerifyStats),
+    /// Register allocation failed; the unoptimized lowering was used.
+    OutOfRegisters,
+    /// The verifier rejected a pass; the unoptimized lowering was used.
+    Miscompile,
+}
+
+/// A compiled SBM superblock, ready to stamp and install.
+#[derive(Debug)]
+pub(crate) struct SbCompiled {
+    pub insts: Vec<HInst>,
+    pub stub_guest_counts: Vec<u32>,
+    pub guest_len: u32,
+    pub body_len: u32,
+    /// Unoptimized (eager-flags) IR length, for the cost model.
+    pub ir_len: usize,
+    pub outcome: SbOutcome,
+}
+
+/// BBM register allocation: temporaries never live across guest
+/// instruction boundaries, so a per-guest-instruction round-robin over
+/// the scratch file suffices (and can never run out).
+pub(crate) fn bbm_allocate(block: &crate::ir::IrBlock) -> RegMap {
+    use crate::ir::{IrFreg, IrReg, FSCRATCH_BASE, SCRATCH_BASE};
+    let mut map = RegMap::default();
+    let mut gi = u32::MAX;
+    let mut next_int = SCRATCH_BASE;
+    let mut next_fp = FSCRATCH_BASE;
+    for op in &block.ops {
+        if op.guest_idx != gi {
+            gi = op.guest_idx;
+            next_int = SCRATCH_BASE;
+            next_fp = FSCRATCH_BASE;
+        }
+        let alloc_int = |v: u32, map: &mut RegMap, next: &mut u8| {
+            map.int.entry(v).or_insert_with(|| {
+                let r = darco_host::HReg(*next);
+                *next += 1;
+                assert!(*next <= crate::ir::SCRATCH_END, "BBM scratch overflow");
+                r
+            });
+        };
+        for s in op.inst.srcs().into_iter().flatten() {
+            if let IrReg::Virt(v) = s {
+                alloc_int(v, &mut map, &mut next_int);
+            }
+        }
+        if let Some(IrReg::Virt(v)) = op.inst.dst() {
+            alloc_int(v, &mut map, &mut next_int);
+        }
+        let alloc_fp = |v: u32, map: &mut RegMap, next: &mut u8| {
+            map.fp.entry(v).or_insert_with(|| {
+                let r = HFreg(*next);
+                *next += 1;
+                assert!(*next <= crate::ir::FSCRATCH_END, "BBM FP scratch overflow");
+                r
+            });
+        };
+        for s in op.inst.fsrcs().into_iter().flatten() {
+            if let IrFreg::Virt(v) = s {
+                alloc_fp(v, &mut map, &mut next_fp);
+            }
+        }
+        if let Some(IrFreg::Virt(v)) = op.inst.fdst() {
+            alloc_fp(v, &mut map, &mut next_fp);
+        }
+    }
+    map
+}
+
+/// The BBM compile pipeline as a pure function of `(region, cfg)`:
+/// translate, optionally run the analysis-driven `deadflags` kill and
+/// the peephole passes, allocate, lower. Shared verbatim by the engine's
+/// synchronous path and the pool workers so both produce byte-identical
+/// host code.
+pub(crate) fn compile_bb(
+    region: &[RegionInst],
+    cfg: &TolConfig,
+    scratch: &mut IrScratch,
+) -> BbCompiled {
+    let mut block = translate_region_scratch(region, cfg.opt_deadflags, scratch);
+    let deadflags = if cfg.opt_deadflags {
+        // Eager flag materialization + liveness-driven kill converges
+        // to the same host code the intrinsic elision produces.
+        let live_before = block.ops.iter().filter(|o| o.inst != crate::ir::IrInst::Nop).count();
+        let start = std::time::Instant::now();
+        let killed = opt::deadflags::run(&mut block);
+        let nanos = start.elapsed().as_nanos() as u64;
+        let live_after = block.ops.iter().filter(|o| o.inst != crate::ir::IrInst::Nop).count();
+        Some(DeadflagsDelta {
+            flags_killed: u64::from(killed),
+            insts_removed: live_before as i64 - live_after as i64,
+            nanos,
+        })
+    } else {
+        None
+    };
+    if cfg.bbm_peephole {
+        opt::constprop::run(&mut block, true);
+        opt::dce::run(&mut block);
+    }
+    let map = bbm_allocate(&block);
+    let insts = lower(&block, &map);
+    let body_len = insts.len() as u32 - 1 - block.stubs.len() as u32;
+    let stub_guest_counts = std::mem::take(&mut block.stub_guest_counts);
+    let guest_len = block.guest_len;
+    scratch.recycle(block);
+    BbCompiled { insts, stub_guest_counts, guest_len, body_len, deadflags }
+}
+
+/// The SBM compile pipeline as a pure function of `(region, cfg)`:
+/// translate eagerly, run the full optimization pipeline (falling back
+/// to the unoptimized lowering on allocation failure or a verifier
+/// rejection), lower. Shared by the synchronous path and the workers.
+pub(crate) fn compile_sb(
+    region: &[RegionInst],
+    cfg: &TolConfig,
+    scratch: &mut IrScratch,
+) -> SbCompiled {
+    let block = translate_region_scratch(region, cfg.opt_deadflags, scratch);
+    let ir_len = block.ops.len();
+    let (mut block, map, outcome) = match opt::optimize_stats(block, cfg) {
+        Ok((opt_block, map, stats)) => (opt_block, map, SbOutcome::Optimized(stats)),
+        Err(opt::OptError::OutOfRegisters) => {
+            // Fall back to the intrinsically elided translation so the
+            // unoptimized lowering matches the non-eager path exactly.
+            let block = translate_region(region);
+            let map = bbm_allocate(&block);
+            (block, map, SbOutcome::OutOfRegisters)
+        }
+        Err(opt::OptError::Miscompile(_)) => {
+            // The verifier rejected a pass's output: never install
+            // unverified code; fall back to the unoptimized lowering.
+            let block = translate_region(region);
+            let map = bbm_allocate(&block);
+            (block, map, SbOutcome::Miscompile)
+        }
+    };
+    let insts = lower(&block, &map);
+    let body_len = insts.len() as u32 - 1 - block.stubs.len() as u32;
+    let stub_guest_counts = std::mem::take(&mut block.stub_guest_counts);
+    let guest_len = block.guest_len;
+    scratch.recycle(block);
+    SbCompiled { insts, stub_guest_counts, guest_len, body_len, ir_len, outcome }
+}
+
+/// Stamps a snapshot region's code pages: the covered guest pages and
+/// the maximum page write-generation over them, exactly as the code
+/// cache stamps an installed block.
+pub(crate) fn stamp_region(mem: &GuestMem, region: &[RegionInst]) -> (Vec<u32>, u64) {
+    smc_stamp(mem, region.iter().map(|r| r.pc))
+}
+
+/// Which translation pipeline a job runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum JobKind {
+    /// BBM basic-block translation.
+    Bb,
+    /// SBM superblock optimization.
+    Sb,
+}
+
+/// A submitted compile job.
+struct Job {
+    kind: JobKind,
+    region: Vec<RegionInst>,
+    tx: Sender<JobOut>,
+}
+
+/// A finished compile, including base-relative retirement templates
+/// (compiled at host base 0; the code cache rebases them at install).
+#[derive(Debug)]
+pub(crate) enum JobOut {
+    Bb { compiled: BbCompiled, templates: Vec<RetireTemplate> },
+    Sb { compiled: SbCompiled, templates: Vec<RetireTemplate> },
+}
+
+/// Engine-side record of an in-flight job: the result channel plus the
+/// enqueue-time snapshot the join validates against install-time state.
+#[derive(Debug)]
+pub(crate) struct PendingJob {
+    /// Receives the worker's finished compile.
+    pub rx: Receiver<JobOut>,
+    /// The snapshot region the worker is compiling.
+    pub region: Vec<RegionInst>,
+    /// Guest code pages the snapshot spans.
+    pub pages: Vec<u32>,
+    /// Maximum page write-generation over `pages` at enqueue time.
+    pub gen: u64,
+}
+
+#[derive(Debug, Default)]
+struct PoolShared {
+    busy_ns: AtomicU64,
+    completed: AtomicU64,
+}
+
+/// The worker pool. Threads are spawned lazily on the first submit (so
+/// a run that never crosses a promotion threshold costs nothing) and
+/// joined on drop by closing the job channel.
+#[derive(Debug)]
+pub(crate) struct TranslatePool {
+    workers: usize,
+    cfg: TolConfig,
+    tx: Option<Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+    shared: Arc<PoolShared>,
+}
+
+impl TranslatePool {
+    pub fn new(workers: usize, cfg: TolConfig) -> TranslatePool {
+        TranslatePool {
+            workers: workers.max(1),
+            cfg,
+            tx: None,
+            handles: Vec::new(),
+            shared: Arc::new(PoolShared::default()),
+        }
+    }
+
+    fn ensure_spawned(&mut self) -> &Sender<Job> {
+        if self.tx.is_none() {
+            let (tx, rx) = mpsc::channel::<Job>();
+            let rx = Arc::new(Mutex::new(rx));
+            for _ in 0..self.workers {
+                let rx = Arc::clone(&rx);
+                let cfg = self.cfg.clone();
+                let shared = Arc::clone(&self.shared);
+                self.handles.push(std::thread::spawn(move || worker_loop(&rx, &cfg, &shared)));
+            }
+            self.tx = Some(tx);
+        }
+        self.tx.as_ref().expect("spawned above")
+    }
+
+    /// Submits a compile job, returning the receiver for its result. A
+    /// send can only fail if every worker died; the receiver then reports
+    /// disconnection at join time and the engine recompiles synchronously.
+    pub fn submit(&mut self, kind: JobKind, region: Vec<RegionInst>) -> Receiver<JobOut> {
+        let (tx, rx) = mpsc::channel();
+        let _ = self.ensure_spawned().send(Job { kind, region, tx });
+        rx
+    }
+
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Total wall-clock nanoseconds workers spent compiling.
+    pub fn busy_ns(&self) -> u64 {
+        self.shared.busy_ns.load(Ordering::Relaxed)
+    }
+
+    /// Jobs fully compiled by workers (including later-discarded ones).
+    pub fn completed(&self) -> u64 {
+        self.shared.completed.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for TranslatePool {
+    fn drop(&mut self) {
+        self.tx = None; // closing the channel ends every worker loop
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<Job>>, cfg: &TolConfig, shared: &PoolShared) {
+    let mut scratch = IrScratch::default();
+    loop {
+        // A poisoned lock cannot corrupt a Receiver (recv holds no
+        // invariants across panics), so it is taken anyway.
+        let job = match rx.lock() {
+            Ok(g) => g.recv(),
+            Err(p) => p.into_inner().recv(),
+        };
+        let Ok(job) = job else { break };
+        let t0 = std::time::Instant::now();
+        let out = match job.kind {
+            JobKind::Bb => {
+                let compiled = compile_bb(&job.region, cfg, &mut scratch);
+                let templates = compile_block(&compiled.insts, 0);
+                JobOut::Bb { compiled, templates }
+            }
+            JobKind::Sb => {
+                let compiled = compile_sb(&job.region, cfg, &mut scratch);
+                let templates = compile_block(&compiled.insts, 0);
+                JobOut::Sb { compiled, templates }
+            }
+        };
+        shared.busy_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        shared.completed.fetch_add(1, Ordering::Relaxed);
+        // The engine may already have discarded the job (SMC write or
+        // stale snapshot); a dropped receiver is fine.
+        let _ = job.tx.send(out);
+    }
+}
+
+/// Wall-clock statistics of the background translation pool.
+///
+/// Deliberately excluded from [`RunSummary`](crate::RunSummary) and
+/// every other serialized report: those must stay byte-identical across
+/// `translate_workers` settings and reruns. The bench driver reads these
+/// through [`Tol::pool_stats`](crate::Tol::pool_stats) instead.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TranslationPoolStats {
+    /// Configured worker threads (0 = synchronous oracle).
+    pub workers: usize,
+    /// Jobs handed to the pool.
+    pub jobs_enqueued: u64,
+    /// Joins whose pooled result was installed.
+    pub installed_from_pool: u64,
+    /// Joins where the result was already finished (full overlap).
+    pub ready_at_install: u64,
+    /// Joins that had to block on an unfinished job.
+    pub stalls_at_install: u64,
+    /// Pending jobs invalidated by a guest write to a covered code page.
+    pub discarded_smc: u64,
+    /// Pending jobs discarded because the install-time region differed
+    /// from the snapshot (profile drift or a re-fired trigger).
+    pub discarded_stale: u64,
+    /// Jobs fully compiled by workers (including discarded ones).
+    pub jobs_completed: u64,
+    /// Peak number of simultaneously pending jobs.
+    pub max_in_flight: u64,
+    /// Total wall-clock nanoseconds workers spent compiling.
+    pub worker_busy_ns: u64,
+}

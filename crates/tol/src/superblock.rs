@@ -10,7 +10,7 @@
 
 use crate::config::TolConfig;
 use crate::profile::Profiler;
-use crate::translate::{decode_bb, RegionInst};
+use crate::translate::{decode_bb_into, RegionInst};
 use darco_guest::{DecodeError, GuestMem, Inst};
 use std::collections::HashSet;
 
@@ -33,6 +33,26 @@ pub fn form_region(
 ) -> Result<(Vec<RegionInst>, u32), DecodeError> {
     let mut region: Vec<RegionInst> = Vec::new();
     let mut visited = HashSet::new();
+    let bbs = form_region_into(mem, entry, prof, cfg, &mut region, &mut visited)?;
+    Ok((region, bbs))
+}
+
+/// [`form_region`] into caller-provided buffers: the region vector is
+/// appended to and the visited set filled in, both assumed empty on
+/// entry. Lets the engine's scratch arena reuse the allocations across
+/// superblock formations.
+///
+/// # Errors
+///
+/// Same as [`form_region`]; on error the buffers hold partial contents.
+pub(crate) fn form_region_into(
+    mem: &GuestMem,
+    entry: u32,
+    prof: &Profiler,
+    cfg: &TolConfig,
+    region: &mut Vec<RegionInst>,
+    visited: &mut HashSet<u32>,
+) -> Result<u32, DecodeError> {
     let mut pc = entry;
     let mut bbs = 0u32;
 
@@ -40,9 +60,9 @@ pub fn form_region(
         if !visited.insert(pc) {
             break; // closed a loop: stop before re-entering the superblock
         }
-        let bb = decode_bb(mem, pc)?;
-        let bb_len = bb.len();
-        region.extend(bb);
+        let start = region.len();
+        decode_bb_into(mem, pc, region)?;
+        let bb_len = region.len() - start;
         bbs += 1;
 
         if bbs >= cfg.sb_max_bbs || region.len() as u32 >= cfg.sb_max_insts {
@@ -73,7 +93,7 @@ pub fn form_region(
             _ => break, // call/ret/indirect/halt terminate the superblock
         }
     }
-    Ok((region, bbs))
+    Ok(bbs)
 }
 
 #[cfg(test)]

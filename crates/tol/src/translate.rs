@@ -54,6 +54,19 @@ impl RegionInst {
 /// such bytes, so callers treat this as a guest fault.
 pub fn decode_bb(mem: &GuestMem, entry: u32) -> Result<Vec<RegionInst>, DecodeError> {
     let mut out = Vec::new();
+    decode_bb_into(mem, entry, &mut out)?;
+    Ok(out)
+}
+
+/// [`decode_bb`] into a caller-provided buffer, appending the decoded
+/// block to `out`. Callers clear (or measure) the buffer themselves; on
+/// a decode error the instructions decoded before the fault remain
+/// appended.
+pub(crate) fn decode_bb_into(
+    mem: &GuestMem,
+    entry: u32,
+    out: &mut Vec<RegionInst>,
+) -> Result<(), DecodeError> {
     let mut pc = entry;
     for _ in 0..MAX_BB_INSTS {
         let window = mem.window(pc, darco_guest::exec::MAX_INST_LEN);
@@ -64,7 +77,60 @@ pub fn decode_bb(mem: &GuestMem, entry: u32) -> Result<Vec<RegionInst>, DecodeEr
             break;
         }
     }
-    Ok(out)
+    Ok(())
+}
+
+/// Reusable IR-side translation buffers: the op, stub and stub-count
+/// vectors a translation builds its [`IrBlock`] from. A fresh
+/// translation takes the (empty, but sized) buffers, and
+/// [`IrScratch::recycle`] returns a finished block's allocations so the
+/// next translation on the same engine or pool worker starts with
+/// capacity instead of `Vec::new()`.
+#[derive(Debug, Default)]
+pub struct IrScratch {
+    ops: Vec<IrOp>,
+    stubs: Vec<Exit>,
+    counts: Vec<u32>,
+}
+
+impl IrScratch {
+    fn take(&mut self) -> (Vec<IrOp>, Vec<Exit>, Vec<u32>) {
+        (
+            std::mem::take(&mut self.ops),
+            std::mem::take(&mut self.stubs),
+            std::mem::take(&mut self.counts),
+        )
+    }
+
+    /// Reclaims a finished block's buffers, keeping whichever allocation
+    /// (current or reclaimed) has more capacity.
+    pub fn recycle(&mut self, block: IrBlock) {
+        let IrBlock { mut ops, mut stubs, mut stub_guest_counts, .. } = block;
+        ops.clear();
+        stubs.clear();
+        stub_guest_counts.clear();
+        if ops.capacity() > self.ops.capacity() {
+            self.ops = ops;
+        }
+        if stubs.capacity() > self.stubs.capacity() {
+            self.stubs = stubs;
+        }
+        if stub_guest_counts.capacity() > self.counts.capacity() {
+            self.counts = stub_guest_counts;
+        }
+    }
+}
+
+/// Reusable translation buffers for an engine's synchronous compile
+/// path: the decoded-region vector, the superblock-formation visited
+/// set, and the IR-side [`IrScratch`]. One translation is in flight per
+/// engine at a time, so a single arena suffices; pool workers own one
+/// [`IrScratch`] each instead.
+#[derive(Debug, Default)]
+pub(crate) struct TranslateScratch {
+    pub(crate) region: Vec<RegionInst>,
+    pub(crate) visited: std::collections::HashSet<u32>,
+    pub(crate) ir: IrScratch,
 }
 
 /// Whether instruction `i`'s flag definition must be materialized:
@@ -223,14 +289,24 @@ pub fn translate_region(region: &[RegionInst]) -> IrBlock {
 ///
 /// Same as [`translate_region`].
 pub fn translate_region_with(region: &[RegionInst], eager_flags: bool) -> IrBlock {
+    translate_region_scratch(region, eager_flags, &mut IrScratch::default())
+}
+
+/// [`translate_region_with`] building the block out of `scratch`'s
+/// recycled buffers instead of fresh allocations. The emitted block is
+/// identical; only the allocation behavior differs.
+///
+/// # Panics
+///
+/// Same as [`translate_region`].
+pub fn translate_region_scratch(
+    region: &[RegionInst],
+    eager_flags: bool,
+    scratch: &mut IrScratch,
+) -> IrBlock {
     assert!(!region.is_empty(), "empty translation region");
-    let mut cx = Ctx {
-        ops: Vec::new(),
-        stubs: Vec::new(),
-        stub_guest_counts: Vec::new(),
-        next_virt: 0,
-        gi: 0,
-    };
+    let (ops, stubs, stub_guest_counts) = scratch.take();
+    let mut cx = Ctx { ops, stubs, stub_guest_counts, next_virt: 0, gi: 0 };
     let mut fallthrough = None;
     for (i, r) in region.iter().enumerate() {
         cx.gi = i as u32;

@@ -1,18 +1,47 @@
 #!/usr/bin/env sh
 # End-to-end performance gate: runs the full-system criterion bench and
 # then writes BENCH_report.json (guest MIPS, host-events/sec, per-mode
-# dynamic shares, the timing-layer replay block: sink events/sec fast
-# vs oracle, per-backend wall seconds, the `analysis` block: guest
-# MIPS with the deadflags/rangesimp passes on vs off, dead flag defs
-# killed, per-pass wall time, and the `code_cache` block: flush vs
-# fifo under a constrained capacity — installs, flushes, evictions,
-# unchains, retranslations, occupancy and dead-space ratio) from
-# repeated timed runs of the same configuration.
+# dynamic shares, the `host` block: cores/available parallelism, the
+# timing-layer replay block: sink events/sec fast vs oracle,
+# per-backend wall seconds, the `analysis` block: guest MIPS with the
+# deadflags/rangesimp passes on vs off, dead flag defs killed,
+# per-pass wall time, the `code_cache` block: flush vs fifo under a
+# constrained capacity — installs, flushes, evictions, unchains,
+# retranslations, occupancy and dead-space ratio, and the
+# `translation` block: synchronous vs background-pool wall seconds,
+# job/stall/discard counters and worker utilization, with the two
+# serialized reports asserted byte-identical) from repeated timed runs
+# of the same configuration.
 #
 #   scripts/bench.sh [--scale S] [--reps N]
+#   scripts/bench.sh --smoke       # CI: bench_report only, tiny scale,
+#                                  # then assert the report is sane
 set -eu
 
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "--smoke" ]; then
+    shift
+    echo "== bench smoke: bench_report at quicktest scale"
+    cargo run --release -p darco-bench --bin bench_report -- \
+        BENCH_report.json --scale 0.02 --reps 1 "$@"
+    python3 - <<'EOF'
+import json, sys
+
+with open("BENCH_report.json") as f:
+    r = json.load(f)
+assert r["guest_mips"] > 0, f"guest_mips {r['guest_mips']} must be positive"
+t = r["translation"]
+assert t["workers"] >= 1, "pool must have spawned workers"
+assert t["sync_wall_seconds"] > 0 and t["pool_wall_seconds"] > 0
+print(
+    f"bench smoke OK: {r['guest_mips']:.2f} guest MIPS, "
+    f"translation {t['workers']} worker(s), "
+    f"sync {t['sync_wall_seconds']:.3f}s vs pool {t['pool_wall_seconds']:.3f}s"
+)
+EOF
+    exit 0
+fi
 
 echo "== cargo bench --bench bench_system (full System::run_to_completion)"
 cargo bench -p darco-bench --bench bench_system

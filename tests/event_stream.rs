@@ -43,6 +43,23 @@ fn run(profile_idx: usize, scale: f64, backend: TimingBackendKind, cosim: bool) 
     run_with(profile_idx, scale, backend, cosim, 0)
 }
 
+/// Like [`run`], but with an explicit background-translation pool size
+/// (DESIGN.md §15). `0` is the synchronous oracle.
+fn run_pool(profile_idx: usize, scale: f64, backend: TimingBackendKind, workers: usize) -> Report {
+    let profiles = suites::all_profiles();
+    let mut cfg = SystemConfig {
+        cosim: false,
+        app_only_pipeline: true,
+        tol_only_pipeline: true,
+        window_guest_insts: 20_000,
+        timing_backend: backend,
+        ..SystemConfig::default()
+    };
+    cfg.tol.translate_workers = workers;
+    let mut sys = System::new(generate(&profiles[profile_idx], scale), cfg);
+    sys.run_to_completion()
+}
+
 /// Like [`run`], but with the retirement-template and decode-cache fast
 /// paths switched together (both on = shipping config, both off = the
 /// per-retire re-derivation oracle kept for exactly this comparison).
@@ -151,6 +168,24 @@ fn fanout_timing_is_bit_identical_with_cosim() {
     let fanout = run(0, 0.03, TimingBackendKind::Fanout, true);
     assert!(fanout.cosim_checks > 0, "checker stays inline under fan-out");
     assert_eq!(fingerprint(&inline), fingerprint(&fanout));
+}
+
+#[test]
+fn threaded_and_fanout_timing_with_translation_pool() {
+    // The two thread-spawning timing backends with the background
+    // translation pool on top (four compile workers): the maximum
+    // cross-thread configuration. Byte-identical to the fully
+    // synchronous inline run. Named "threaded"/"fanout" so the
+    // ThreadSanitizer gate (scripts/check.sh --tsan) picks it up.
+    let reference = run_pool(0, 0.04, TimingBackendKind::Inline, 0);
+    for backend in [TimingBackendKind::Threaded, TimingBackendKind::Fanout] {
+        let pooled = run_pool(0, 0.04, backend, 4);
+        assert_eq!(
+            fingerprint(&reference),
+            fingerprint(&pooled),
+            "backend {backend:?} with translate_workers 4 diverged from the synchronous run"
+        );
+    }
 }
 
 #[test]

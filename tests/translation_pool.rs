@@ -1,0 +1,244 @@
+//! Determinism of the background translation pool (DESIGN.md §15).
+//!
+//! The pool moves the Rust-side compile work of a BBM/SBM translation
+//! onto worker threads, overlapped with emulation, but joins every job
+//! at the same deterministic simulated install point the synchronous
+//! path uses. The contract these tests pin: the serialized [`Report`]
+//! (and the engine-level [`RunSummary`]) is byte-identical for
+//! `translate_workers` ∈ {0, 1, 4} — across timing backends, with and
+//! without co-simulation, and under self-modifying code that lands
+//! between enqueue and install.
+//!
+//! [`Report`]: darco::core::Report
+//! [`RunSummary`]: darco::tol::RunSummary
+
+use darco::core::{Report, System, SystemConfig, TimingBackendKind};
+use darco::guest::asm::Asm;
+use darco::guest::{AluOp, Cond, CpuState, Gpr, GuestMem, Inst};
+use darco::tol::{Tol, TolConfig};
+use darco::workloads::{generate, suites};
+
+/// The pool sizes under test: the synchronous oracle, one worker
+/// (maximum queueing pressure), and more workers than this container
+/// typically has cores.
+const WORKERS: [usize; 3] = [0, 1, 4];
+
+fn fingerprint<T: serde::Serialize>(v: &T) -> String {
+    serde_json::to_string(v).expect("serialize")
+}
+
+fn run_system(backend: TimingBackendKind, cosim: bool, workers: usize, scale: f64) -> Report {
+    let mut cfg = SystemConfig {
+        cosim,
+        app_only_pipeline: true,
+        tol_only_pipeline: true,
+        window_guest_insts: 20_000,
+        timing_backend: backend,
+        ..SystemConfig::default()
+    };
+    cfg.tol.translate_workers = workers;
+    let mut sys = System::new(generate(&suites::all_profiles()[0], scale), cfg);
+    sys.run_to_completion()
+}
+
+#[test]
+fn pool_reports_are_bit_identical_across_backends() {
+    // The acceptance matrix: every timing backend, every pool size,
+    // one serialized report.
+    for backend in
+        [TimingBackendKind::Inline, TimingBackendKind::Threaded, TimingBackendKind::Fanout]
+    {
+        let reference = run_system(backend, false, 0, 0.04);
+        assert!(reference.timing.total_cycles > 0);
+        for &w in &WORKERS[1..] {
+            let pooled = run_system(backend, false, w, 0.04);
+            assert_eq!(
+                fingerprint(&reference),
+                fingerprint(&pooled),
+                "backend {backend:?} diverged between translate_workers 0 and {w}"
+            );
+        }
+    }
+}
+
+#[test]
+fn pool_reports_are_bit_identical_with_cosim() {
+    let reference = run_system(TimingBackendKind::Inline, true, 0, 0.03);
+    assert!(reference.cosim_checks > 0, "checker must run as a sink");
+    for &w in &WORKERS[1..] {
+        let pooled = run_system(TimingBackendKind::Inline, true, w, 0.03);
+        assert_eq!(
+            fingerprint(&reference),
+            fingerprint(&pooled),
+            "cosim run diverged between translate_workers 0 and {w}"
+        );
+    }
+}
+
+/// A call-in-a-counted-loop program (the engine tests' shape): the loop
+/// body and the callee both cross the BBM and SBM thresholds, so the
+/// run exercises both job kinds.
+fn loop_program(iters: i32) -> (GuestMem, u32) {
+    let mut a = Asm::new(0x1000);
+    let top = a.fresh_label();
+    let func = a.fresh_label();
+    let start = a.fresh_label();
+    a.push_jmp(start);
+    a.bind(func);
+    a.push(Inst::AluRI { op: AluOp::Add, dst: Gpr::Ebx, imm: 3 });
+    a.push(Inst::Ret);
+    a.bind(start);
+    a.push(Inst::MovRI { dst: Gpr::Eax, imm: 0 });
+    a.push(Inst::MovRI { dst: Gpr::Ebx, imm: 0 });
+    a.bind(top);
+    a.push(Inst::AluRI { op: AluOp::Add, dst: Gpr::Eax, imm: 1 });
+    a.push_call(func);
+    a.push(Inst::CmpRI { a: Gpr::Eax, imm: iters });
+    a.push_jcc(Cond::Ne, top);
+    a.push(Inst::Halt);
+    let p = a.assemble();
+    let mut mem = GuestMem::new();
+    mem.write_bytes(p.base, &p.bytes);
+    (mem, p.base)
+}
+
+fn fresh_tol(cfg: &TolConfig, entry: u32) -> Tol {
+    let mut tol = Tol::new(cfg.clone(), entry);
+    let mut cpu = CpuState::at(entry);
+    cpu.set_gpr(Gpr::Esp, 0x10_0000);
+    tol.set_state(&cpu);
+    tol
+}
+
+/// SplitMix64 — a tiny deterministic stream for the step budgets.
+fn splitmix(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Steps the engine with a seeded pseudo-random budget schedule and
+/// performs (idempotent) guest code-page writes at fixed step indices —
+/// so every `translate_workers` setting sees the identical interleaving
+/// of emulation, SMC writes, and install points. Returns the summary
+/// and final architectural state.
+fn run_interleaved(
+    cfg: &TolConfig,
+    seed: u64,
+    write_steps: &[usize],
+) -> (darco::tol::RunSummary, CpuState, darco::tol::TranslationPoolStats) {
+    let (mut mem, entry) = loop_program(4_000);
+    let mut tol = fresh_tol(cfg, entry);
+    let mut sink = darco::host::NullSink;
+    let mut rng = seed;
+    let mut step = 0usize;
+    while !tol.is_done() {
+        if write_steps.contains(&step) {
+            // An idempotent write still bumps the page write generation,
+            // which must invalidate resident translations *and* pending
+            // pool jobs whose snapshot covers the page.
+            let byte = mem.read_u8(entry);
+            mem.write_u8(entry, byte);
+        }
+        let budget = 1 + splitmix(&mut rng) % 400;
+        tol.step(&mut mem, &mut sink, budget).expect("step");
+        step += 1;
+    }
+    (tol.summary(), tol.emulated_state(), tol.pool_stats())
+}
+
+#[test]
+fn interleaved_smc_runs_are_bit_identical_across_pool_sizes() {
+    // A randomized (but seeded) enqueue/SMC-write/install interleaving:
+    // writes land early (during BBM warm-up, when jobs are in flight),
+    // mid-run, and late (SBM territory). The engine-level summary and
+    // the architectural state must not depend on the pool size.
+    for seed in [1u64, 0xDEAD_BEEF, 42] {
+        let write_steps = [3usize, 11, 29, 64];
+        let mut cfg =
+            TolConfig { bb_sb_threshold: 60, translate_workers: 0, ..TolConfig::default() };
+        let (ref_summary, ref_cpu, _) = run_interleaved(&cfg, seed, &write_steps);
+        assert!(ref_summary.cache.smc_evictions > 0, "writes must hit translated pages");
+        for &w in &WORKERS[1..] {
+            cfg.translate_workers = w;
+            let (summary, cpu, _) = run_interleaved(&cfg, seed, &write_steps);
+            assert_eq!(
+                fingerprint(&ref_summary),
+                fingerprint(&summary),
+                "seed {seed:#x}: summary diverged between translate_workers 0 and {w}"
+            );
+            assert!(ref_cpu.arch_eq(&cpu), "seed {seed:#x}: architectural state diverged");
+        }
+    }
+}
+
+/// Drives a run with `translate_workers = 1`, waits (in simulated
+/// steps) until a compile job is actually in flight, then writes the
+/// code page under it: the pending job must be discarded at its install
+/// point and the block recompiled from the fresh bytes.
+#[test]
+fn code_page_write_invalidates_pending_jobs() {
+    let (mut mem, entry) = loop_program(4_000);
+    let mut cfg = TolConfig { bb_sb_threshold: 60, translate_workers: 1, ..TolConfig::default() };
+    let mut tol = fresh_tol(&cfg, entry);
+    let mut sink = darco::host::NullSink;
+    // Single-instruction budgets give the finest install granularity:
+    // a BBM job is enqueued at the threshold-reaching dispatch and
+    // consumed one dispatch of that block later, so stepping by one
+    // guest instruction is guaranteed to observe the in-flight window.
+    let mut write_step = None;
+    let mut step = 0usize;
+    while !tol.is_done() {
+        let s = tol.pool_stats();
+        let settled = s.installed_from_pool + s.discarded_smc + s.discarded_stale;
+        if write_step.is_none() && s.jobs_enqueued > settled {
+            let byte = mem.read_u8(entry);
+            mem.write_u8(entry, byte);
+            write_step = Some(step);
+        }
+        tol.step(&mut mem, &mut sink, 1).expect("step");
+        step += 1;
+    }
+    let write_step = write_step.expect("a compile job must have been in flight");
+    let stats = tol.pool_stats();
+    assert!(stats.jobs_enqueued >= 1, "pool must have been used");
+    assert!(
+        stats.discarded_smc >= 1,
+        "the code-page write must invalidate the pending job: {stats:?}"
+    );
+
+    // The same schedule against the synchronous oracle: byte-identical
+    // summary and architectural state.
+    let (mut mem0, _) = loop_program(4_000);
+    cfg.translate_workers = 0;
+    let mut tol0 = fresh_tol(&cfg, entry);
+    let mut step = 0usize;
+    while !tol0.is_done() {
+        if step == write_step {
+            let byte = mem0.read_u8(entry);
+            mem0.write_u8(entry, byte);
+        }
+        tol0.step(&mut mem0, &mut sink, 1).expect("step");
+        step += 1;
+    }
+    assert_eq!(fingerprint(&tol0.summary()), fingerprint(&tol.summary()));
+    assert!(tol0.emulated_state().arch_eq(&tol.emulated_state()));
+}
+
+/// `translate_workers = 0` must not spawn any pool machinery, and the
+/// stats must say so.
+#[test]
+fn zero_workers_disables_the_pool() {
+    let (mut mem, entry) = loop_program(1_000);
+    let cfg = TolConfig { translate_workers: 0, ..TolConfig::default() };
+    let mut tol = fresh_tol(&cfg, entry);
+    let mut sink = darco::host::NullSink;
+    tol.run(&mut mem, &mut sink, u64::MAX).expect("run");
+    let stats = tol.pool_stats();
+    assert_eq!(stats.workers, 0);
+    assert_eq!(stats.jobs_enqueued, 0);
+    assert_eq!(stats.installed_from_pool, 0);
+    assert!(tol.summary().installed > 0, "translations still happen synchronously");
+}
