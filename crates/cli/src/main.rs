@@ -23,11 +23,18 @@
 //!                               (partial eviction with space reuse and
 //!                               selective unchaining)
 //!          --cosim              enable co-simulation checking (run)
-//!          --timing-backend B   schedule the timing simulator: inline
-//!                               (default), threaded (one overlapped
-//!                               worker) or fanout (one worker per
-//!                               pipeline); results are bit-identical
+//!          --timing-backend B   schedule the timing simulator: auto
+//!                               (default: inline on a single-CPU host,
+//!                               fanout otherwise), inline, threaded
+//!                               (one overlapped worker) or fanout (one
+//!                               worker per pipeline); results are
+//!                               bit-identical
 //!          --threaded-timing    alias for --timing-backend threaded
+//!          --block-memo on|off  steady-state block timing memoization
+//!                               over macro-retire events (default on);
+//!                               off expands every block through the
+//!                               per-instruction oracle — reports are
+//!                               byte-identical either way
 //!          --translate-workers N
 //!                               background translation pool size: the
 //!                               Rust-side BBM/SBM compile work overlaps
@@ -78,8 +85,8 @@ fn usage() {
     eprintln!(
         "darco <list|run|run-set|verify|analyze|trace|disasm|timeline|export-profile> [benchmark ...] \
          [--profile FILE] [--scale S] [--cache-policy flush|fifo] [--cosim] \
-         [--timing-backend inline|threaded|fanout] [--threaded-timing] [--translate-workers N] \
-         [--jobs N] [--n N] [--json]"
+         [--timing-backend auto|inline|threaded|fanout] [--threaded-timing] [--block-memo on|off] \
+         [--translate-workers N] [--jobs N] [--n N] [--json]"
     );
 }
 
@@ -91,6 +98,8 @@ struct Opts {
     cache_policy: CachePolicy,
     /// `None` keeps [`TolConfig`]'s default (available parallelism).
     translate_workers: Option<usize>,
+    /// `None` keeps both configs' default (on).
+    block_memo: Option<bool>,
     n: usize,
     json: bool,
 }
@@ -102,6 +111,18 @@ impl Opts {
         if let Some(w) = self.translate_workers {
             tol.translate_workers = w;
         }
+        if let Some(on) = self.block_memo {
+            tol.block_memo = on;
+        }
+    }
+
+    /// Applies the optional flags onto a full system config (the memo
+    /// switch spans the engine and the timing side).
+    fn apply_system(&self, cfg: &mut SystemConfig) {
+        self.apply_tol(&mut cfg.tol);
+        if let Some(on) = self.block_memo {
+            cfg.timing.block_memo = on;
+        }
     }
 }
 
@@ -111,10 +132,19 @@ fn parse_cache_policy(v: &str) -> CachePolicy {
 
 fn parse_backend(v: &str) -> TimingBackendKind {
     match v {
+        "auto" => TimingBackendKind::Auto,
         "inline" => TimingBackendKind::Inline,
         "threaded" => TimingBackendKind::Threaded,
         "fanout" => TimingBackendKind::Fanout,
-        other => bail(&format!("unknown timing backend {other} (inline|threaded|fanout)")),
+        other => bail(&format!("unknown timing backend {other} (auto|inline|threaded|fanout)")),
+    }
+}
+
+fn parse_on_off(flag: &str, v: &str) -> bool {
+    match v {
+        "on" => true,
+        "off" => false,
+        other => bail(&format!("{flag} needs on|off, got {other}")),
     }
 }
 
@@ -122,9 +152,10 @@ fn parse(rest: &[String]) -> Opts {
     let mut profile = None;
     let mut scale = 0.5;
     let mut cosim = false;
-    let mut timing_backend = TimingBackendKind::Inline;
+    let mut timing_backend = TimingBackendKind::Auto;
     let mut cache_policy = CachePolicy::Flush;
     let mut translate_workers = None;
+    let mut block_memo = None;
     let mut n = 20;
     let mut json = false;
     let mut it = rest.iter();
@@ -162,6 +193,10 @@ fn parse(rest: &[String]) -> Opts {
                         .unwrap_or_else(|| bail("--translate-workers needs a count")),
                 );
             }
+            "--block-memo" => {
+                let v = it.next().unwrap_or_else(|| bail("--block-memo needs on|off"));
+                block_memo = Some(parse_on_off("--block-memo", v));
+            }
             "--json" => json = true,
             "--n" => {
                 n = it
@@ -188,6 +223,7 @@ fn parse(rest: &[String]) -> Opts {
         timing_backend,
         cache_policy,
         translate_workers,
+        block_memo,
         n,
         json,
     }
@@ -229,7 +265,7 @@ fn run(rest: &[String]) {
         timing_backend: o.timing_backend,
         ..SystemConfig::default()
     };
-    o.apply_tol(&mut cfg.tol);
+    o.apply_system(&mut cfg);
     let mut sys = System::new(generate(&o.profile, o.scale), cfg);
     let report = sys.run_to_completion();
     if o.json {
@@ -250,9 +286,10 @@ fn run_set(rest: &[String]) {
     let mut scale = 0.5;
     let mut jobs: Option<usize> = None;
     let mut cosim = false;
-    let mut timing_backend = TimingBackendKind::Inline;
+    let mut timing_backend = TimingBackendKind::Auto;
     let mut cache_policy = CachePolicy::Flush;
     let mut translate_workers: Option<usize> = None;
+    let mut block_memo: Option<bool> = None;
     let mut json = false;
     let mut it = rest.iter();
     while let Some(a) = it.next() {
@@ -290,6 +327,10 @@ fn run_set(rest: &[String]) {
                         .unwrap_or_else(|| bail("--translate-workers needs a count")),
                 );
             }
+            "--block-memo" => {
+                let v = it.next().unwrap_or_else(|| bail("--block-memo needs on|off"));
+                block_memo = Some(parse_on_off("--block-memo", v));
+            }
             "--json" => json = true,
             name if !name.starts_with('-') => names.push(name.to_owned()),
             other => bail(&format!("unknown flag {other}")),
@@ -316,6 +357,10 @@ fn run_set(rest: &[String]) {
     cfg.tol.cache_policy = cache_policy;
     if let Some(w) = translate_workers {
         cfg.tol.translate_workers = w;
+    }
+    if let Some(on) = block_memo {
+        cfg.tol.block_memo = on;
+        cfg.timing.block_memo = on;
     }
     eprintln!("running {} benchmark(s) at scale {scale} on {jobs} thread(s) ...", profiles.len());
     let t0 = std::time::Instant::now();
@@ -352,7 +397,7 @@ fn verify(rest: &[String]) {
     let o = parse(rest);
     eprintln!("verifying {} at scale {} ...", o.profile.name, o.scale);
     let mut cfg = SystemConfig { cosim: true, ..SystemConfig::default() };
-    o.apply_tol(&mut cfg.tol);
+    o.apply_system(&mut cfg);
     cfg.tol.verify = true;
     let mut sys = System::new(generate(&o.profile, o.scale), cfg);
     let report = sys.run_to_completion();
@@ -395,7 +440,7 @@ fn analyze(rest: &[String]) {
         timing_backend: o.timing_backend,
         ..SystemConfig::default()
     };
-    o.apply_tol(&mut cfg.tol);
+    o.apply_system(&mut cfg);
     let mut sys = System::new(w, cfg);
     let report = sys.run_to_completion();
     if o.json {
@@ -601,7 +646,7 @@ fn timeline(rest: &[String]) {
     let o = parse(rest);
     let mut cfg =
         SystemConfig { cosim: false, window_guest_insts: 50_000, ..SystemConfig::default() };
-    o.apply_tol(&mut cfg.tol);
+    o.apply_system(&mut cfg);
     let mut sys = System::new(generate(&o.profile, o.scale), cfg);
     let r = sys.run_to_completion();
     println!(

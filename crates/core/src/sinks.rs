@@ -18,8 +18,8 @@
 
 use crate::checker::StateChecker;
 use crate::system::{SystemConfig, Window};
-use darco_host::{HostEvent, HostEventSink, Owner, TraceStatsSink};
-use darco_timing::{Pipeline, Stats};
+use darco_host::{BlockId, DynInst, HostEvent, HostEventSink, Owner, TraceStatsSink};
+use darco_timing::{BlockMemo, MemoStats, Pipeline, Stats};
 use serde::{Deserialize, Serialize};
 use std::sync::mpsc;
 use std::sync::Arc;
@@ -67,6 +67,12 @@ struct PipelineSink {
     pipeline: Pipeline,
     timeline: Vec<Window>,
     last_mark: WindowMark,
+    /// Block timing memo for `BlockRetire` macro-events; `None` expands
+    /// every macro-event through the per-instruction oracle
+    /// ([`TimingConfig::block_memo`]).
+    ///
+    /// [`TimingConfig::block_memo`]: darco_timing::TimingConfig::block_memo
+    memo: Option<BlockMemo>,
 }
 
 impl PipelineSink {
@@ -76,6 +82,30 @@ impl PipelineSink {
             pipeline: Pipeline::new(cfg.timing.clone()),
             timeline: Vec::new(),
             last_mark: WindowMark::default(),
+            memo: cfg.timing.block_memo.then(BlockMemo::new),
+        }
+    }
+
+    /// Consumes one `BlockRetire` macro-event: replay the memoized
+    /// timing footprint when it provably applies, expand through the
+    /// per-instruction pipeline otherwise. Macro-event streams carry
+    /// application code only, so the TOL-only pipeline drops them
+    /// whole.
+    fn block_retire(&mut self, block: BlockId, insts: &Arc<[DynInst]>) {
+        debug_assert!(
+            insts.iter().all(|d| d.owner() == Owner::App),
+            "macro-events carry application code only"
+        );
+        if self.role == PipelineRole::TolOnly {
+            return;
+        }
+        match &mut self.memo {
+            Some(memo) => memo.replay_or_record(&mut self.pipeline, block, insts),
+            None => {
+                for d in insts.iter() {
+                    self.pipeline.retire(d);
+                }
+            }
         }
     }
 
@@ -112,6 +142,9 @@ impl HostEventSink for PipelineSink {
                     if mine {
                         self.pipeline.retire(d);
                     }
+                }
+                HostEvent::BlockRetire { block, insts, .. } => {
+                    self.block_retire(*block, insts);
                 }
                 HostEvent::WindowMark { guest_insts }
                     if self.role == PipelineRole::Shared
@@ -159,6 +192,19 @@ impl TimingSink {
             self.shared.timeline,
         )
     }
+
+    /// Block-memo statistics merged across the attached pipelines
+    /// (simulator-speed side only — never part of a serialized
+    /// [`Report`](crate::Report)).
+    pub fn memo_stats(&self) -> MemoStats {
+        let mut s = MemoStats::default();
+        for u in std::iter::once(&self.shared).chain(&self.app_only).chain(&self.tol_only) {
+            if let Some(m) = &u.memo {
+                s.merge(&m.stats());
+            }
+        }
+        s
+    }
 }
 
 impl HostEventSink for TimingSink {
@@ -181,6 +227,14 @@ impl HostEventSink for TimingSink {
                                 u.pipeline.retire(d);
                             }
                         }
+                    }
+                }
+                HostEvent::BlockRetire { block, insts, .. } => {
+                    // Application code only: the TOL-only pipeline (its
+                    // `block_retire` is a no-op) is skipped outright.
+                    self.shared.block_retire(*block, insts);
+                    if let Some(u) = &mut self.app_only {
+                        u.block_retire(*block, insts);
                     }
                 }
                 HostEvent::WindowMark { guest_insts }
@@ -242,13 +296,37 @@ impl HostEventSink for CheckerSink {
 /// in wall-clock overlap.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum TimingBackendKind {
-    /// Timing consumes each batch on the emulation thread, as it flushes.
+    /// Resolve against the host at construction: [`Inline`] on a
+    /// single-hardware-thread host (worker threads would only add
+    /// channel overhead), [`Fanout`] otherwise.
+    ///
+    /// [`Inline`]: TimingBackendKind::Inline
+    /// [`Fanout`]: TimingBackendKind::Fanout
     #[default]
+    Auto,
+    /// Timing consumes each batch on the emulation thread, as it flushes.
     Inline,
     /// All pipelines on one worker thread, overlapped with emulation.
     Threaded,
     /// One worker thread per pipeline, each fed the same shared batches.
     Fanout,
+}
+
+impl TimingBackendKind {
+    /// Resolves [`TimingBackendKind::Auto`] against the host's
+    /// available parallelism; concrete kinds pass through unchanged.
+    pub fn resolve(self) -> TimingBackendKind {
+        match self {
+            TimingBackendKind::Auto => {
+                if std::thread::available_parallelism().map_or(1, |n| n.get()) <= 1 {
+                    TimingBackendKind::Inline
+                } else {
+                    TimingBackendKind::Fanout
+                }
+            }
+            k => k,
+        }
+    }
 }
 
 /// How the [`TimingSink`] is scheduled relative to functional emulation.
@@ -272,7 +350,8 @@ impl TimingBackend {
     /// Builds the backend the configuration asks for.
     pub fn new(cfg: &SystemConfig) -> TimingBackend {
         let sink = TimingSink::new(cfg);
-        match cfg.timing_backend {
+        match cfg.timing_backend.resolve() {
+            TimingBackendKind::Auto => unreachable!("resolve() returns a concrete kind"),
             TimingBackendKind::Inline => TimingBackend::Inline(Box::new(sink)),
             TimingBackendKind::Threaded => TimingBackend::Threaded(ThreadedTiming::spawn(sink)),
             TimingBackendKind::Fanout => TimingBackend::Fanout(FanoutTiming::spawn(sink)),

@@ -45,10 +45,11 @@ pub struct SystemConfig {
     /// transition the paper insists on capturing (Sec. II-B).
     pub window_guest_insts: u64,
     /// How the timing pipelines are scheduled: inline on the emulation
-    /// thread, overlapped on one worker, or fanned out one worker per
-    /// pipeline behind bounded batch channels. Results are bit-identical
-    /// across all backends (same batches, same order); only the
-    /// scheduling changes.
+    /// thread, overlapped on one worker, fanned out one worker per
+    /// pipeline behind bounded batch channels, or resolved automatically
+    /// against the host's parallelism. Results are bit-identical across
+    /// all backends (same batches, same order); only the scheduling
+    /// changes.
     pub timing_backend: TimingBackendKind,
 }
 
@@ -63,7 +64,7 @@ impl Default for SystemConfig {
             step_budget: 20_000,
             max_guest_insts: 0,
             window_guest_insts: 0,
-            timing_backend: TimingBackendKind::Inline,
+            timing_backend: TimingBackendKind::Auto,
         }
     }
 }
@@ -128,6 +129,7 @@ pub struct System {
     emu_mem: darco_guest::GuestMem,
     checker: Option<StateChecker>,
     static_insts: u32,
+    memo_stats: darco_timing::MemoStats,
 }
 
 impl System {
@@ -136,7 +138,15 @@ impl System {
         let mut tol = Tol::new(cfg.tol.clone(), w.entry);
         tol.set_state(&w.initial);
         let checker = cfg.cosim.then(|| StateChecker::new(w.initial.clone(), w.mem.clone()));
-        System { name: w.name, tol, emu_mem: w.mem, checker, static_insts: w.static_insts, cfg }
+        System {
+            name: w.name,
+            tol,
+            emu_mem: w.mem,
+            checker,
+            static_insts: w.static_insts,
+            memo_stats: darco_timing::MemoStats::default(),
+            cfg,
+        }
     }
 
     /// Convenience: generates the profile's workload at scale 1.0 and
@@ -151,6 +161,18 @@ impl System {
     /// serialized [`Report`].
     pub fn tol(&self) -> &Tol {
         &self.tol
+    }
+
+    /// Timing-side block-memo statistics of the last
+    /// [`System::run_to_completion`] (merged across the attached
+    /// pipelines). Simulator-speed material only — deliberately not part
+    /// of the serialized [`Report`], which stays byte-identical across
+    /// [`TimingConfig::block_memo`](darco_timing::TimingConfig::block_memo)
+    /// settings. The engine-side counterpart is
+    /// [`Tol::memo_stats`](darco_tol::Tol::memo_stats) via
+    /// [`System::tol`].
+    pub fn memo_stats(&self) -> darco_timing::MemoStats {
+        self.memo_stats
     }
 
     /// Runs the workload to completion (or the configured cap) and
@@ -211,6 +233,7 @@ impl System {
                 );
             }
         }
+        self.memo_stats = timing.memo_stats();
         let (shared, app_only, tol_only, timeline) = timing.into_parts();
         Report {
             name: self.name.clone(),

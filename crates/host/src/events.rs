@@ -62,6 +62,24 @@ pub enum TranslationKind {
 pub enum HostEvent {
     /// A host instruction retired.
     Retire(DynInst),
+    /// A steady-state translated block retired as one macro-event: the
+    /// engine proved the block's retired stream identical to `insts`
+    /// (same instructions, same addresses, same branch outcomes) and
+    /// collapsed the per-instruction `Retire` run into this single
+    /// event. Consumers either expand it (`for d in insts.iter()`), or —
+    /// like the block-memoizing timing sink — replay a recorded
+    /// footprint keyed by `block` and the `Arc` identity of `insts`.
+    /// The stream contract is unchanged: expanding every `BlockRetire`
+    /// in place reproduces exactly the per-instruction stream.
+    BlockRetire {
+        /// Code-cache handle of the retiring translation; the `gen`
+        /// field lets consumers drop state for recycled slots.
+        block: crate::isa::BlockId,
+        /// How many times this block has retired as a macro-event.
+        iteration: u64,
+        /// The block's invariant retired instruction stream.
+        insts: Arc<[DynInst]>,
+    },
     /// The dispatcher entered an execution mode for the next unit.
     ModeEnter(ExecMode),
     /// A region was translated (BBM) or formed + optimized (SBM).
@@ -181,8 +199,14 @@ pub struct RetireSink<F: FnMut(&DynInst)>(pub F);
 impl<F: FnMut(&DynInst)> HostEventSink for RetireSink<F> {
     fn consume(&mut self, batch: &[HostEvent]) {
         for e in batch {
-            if let HostEvent::Retire(d) = e {
-                (self.0)(d);
+            match e {
+                HostEvent::Retire(d) => (self.0)(d),
+                HostEvent::BlockRetire { insts, .. } => {
+                    for d in insts.iter() {
+                        (self.0)(d);
+                    }
+                }
+                _ => {}
             }
         }
     }
@@ -278,7 +302,15 @@ impl std::fmt::Debug for EventBuffer<'_> {
 /// Aggregate statistics over the event stream, independent of any
 /// timing model — what the controller's report exposes as the
 /// trace-level view of a run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// `Serialize`/`Deserialize` are implemented by hand (not derived)
+/// because the batch-accounting fields (`batches`, `max_batch`) must
+/// stay *out* of the serialized form: batch boundaries legitimately
+/// differ across event-batch sizes and between macro-event
+/// ([`HostEvent::BlockRetire`]) and per-instruction streams, while
+/// serialized reports are required to be byte-identical across those
+/// purely-mechanical choices. Deserialized stats carry zeros there.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TraceStats {
     /// Host instructions retired.
     pub retired: u64,
@@ -316,10 +348,63 @@ pub struct TraceStats {
     pub step_boundaries: u64,
     /// Timeline-window marks observed.
     pub window_marks: u64,
-    /// Batches delivered.
+    /// Batches delivered. Not serialized (see the type docs).
     pub batches: u64,
-    /// Largest single batch.
+    /// Largest single batch. Not serialized (see the type docs).
     pub max_batch: u64,
+}
+
+/// `(name, get, set)` triples for the *serialized* subset of
+/// [`TraceStats`] — everything except the batch accounting.
+macro_rules! trace_stats_serialized_fields {
+    ($m:ident) => {
+        $m!(
+            retired,
+            component_insts,
+            mode_enters,
+            bb_translations,
+            sb_translations,
+            translated_host_insts,
+            chains,
+            cache_inserts,
+            cache_flushes,
+            evictions,
+            smc_evictions,
+            unchains,
+            ibtc_hits,
+            ibtc_misses,
+            step_boundaries,
+            window_marks
+        )
+    };
+}
+
+impl Serialize for TraceStats {
+    fn to_value(&self) -> serde::Value {
+        macro_rules! obj {
+            ($($f:ident),*) => {
+                serde::Value::Obj(vec![
+                    $((stringify!($f).to_string(), Serialize::to_value(&self.$f)),)*
+                ])
+            };
+        }
+        trace_stats_serialized_fields!(obj)
+    }
+}
+
+impl Deserialize for TraceStats {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        macro_rules! de {
+            ($($f:ident),*) => {
+                Ok(TraceStats {
+                    $($f: Deserialize::from_value(serde::field(v, stringify!($f))?)?,)*
+                    batches: 0,
+                    max_batch: 0,
+                })
+            };
+        }
+        trace_stats_serialized_fields!(de)
+    }
 }
 
 /// A sink that reduces the stream to [`TraceStats`].
@@ -339,6 +424,12 @@ impl HostEventSink for TraceStatsSink {
                 HostEvent::Retire(d) => {
                     s.retired += 1;
                     s.component_insts[d.component.index()] += 1;
+                }
+                HostEvent::BlockRetire { insts, .. } => {
+                    s.retired += insts.len() as u64;
+                    for d in insts.iter() {
+                        s.component_insts[d.component.index()] += 1;
+                    }
                 }
                 HostEvent::ModeEnter(m) => s.mode_enters[m.index()] += 1,
                 HostEvent::Translated { kind, host_len, .. } => {
@@ -502,5 +593,49 @@ mod tests {
         let mut sink = RetireSink(|_d: &DynInst| n += 1);
         sink.consume(&[retire_at(0), HostEvent::ModeEnter(ExecMode::Im), retire_at(4)]);
         assert_eq!(n, 2);
+    }
+
+    fn block_retire(n: u64) -> HostEvent {
+        let insts: Vec<DynInst> = (0..n)
+            .map(|i| DynInst::plain(i * 4, ExecClass::SimpleInt, Component::AppCode))
+            .collect();
+        HostEvent::BlockRetire {
+            block: crate::isa::BlockId { idx: 7, gen: 1 },
+            iteration: 0,
+            insts: insts.into(),
+        }
+    }
+
+    #[test]
+    fn block_retires_expand_in_trace_stats_and_retire_sinks() {
+        // A macro-event must count exactly like its expansion.
+        let mut macro_sink = TraceStatsSink::default();
+        macro_sink.consume(&[block_retire(5), retire_at(0)]);
+        assert_eq!(macro_sink.stats.retired, 6);
+        assert_eq!(macro_sink.stats.component_insts[Component::AppCode.index()], 6);
+
+        let mut n = 0u64;
+        let mut sink = RetireSink(|_d: &DynInst| n += 1);
+        sink.consume(&[block_retire(3), HostEvent::ModeEnter(ExecMode::Sbm)]);
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn trace_stats_serialization_omits_batch_accounting() {
+        // Batch boundaries are a mechanical choice (batch size,
+        // macro-events); serialized reports must not expose them.
+        let mut sink = TraceStatsSink::default();
+        {
+            let mut buf = EventBuffer::new(4, &mut sink);
+            for pc in 0..10u64 {
+                buf.push(retire_at(pc * 4));
+            }
+            buf.flush();
+        }
+        let stats = sink.stats;
+        assert!(stats.batches > 0 && stats.max_batch > 0);
+        let back = TraceStats::from_value(&stats.to_value()).expect("round trip");
+        assert_eq!((back.batches, back.max_batch), (0, 0), "not serialized");
+        assert_eq!(TraceStats { batches: 0, max_batch: 0, ..stats }, back, "everything else is");
     }
 }

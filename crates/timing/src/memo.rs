@@ -1,0 +1,665 @@
+//! Steady-state block timing memoization.
+//!
+//! The engine emits one `BlockRetire` macro-event for a translated block
+//! whose retired instruction stream has been proven iteration-invariant
+//! (same `DynInst`s, same addresses). This module gives the timing layer
+//! a matching fast path: the first dispatch of such a block *records* a
+//! footprint — everything the block's timing depends on, expressed
+//! relative to the pipeline's time base — and every later dispatch
+//! *replays* it by bulk-applying the recorded deltas, with no
+//! per-instruction walk and no per-access cache/TLB probes.
+//!
+//! Correctness pin: a replay must be **bitwise identical** to expanding
+//! the block through [`Pipeline::retire`]. The footprint therefore holds
+//!
+//! * a **precondition** — the pre-state of every register, execution
+//!   unit, IQ slot, front-end scalar, predictor entry, cache/TLB set,
+//!   prefetch-table slot and shortcut register the block reads, with all
+//!   time values taken relative to the base `B = last_issue` at dispatch
+//!   (values at or below the base are *stale*: they can never constrain
+//!   issue, so only their staleness is pinned, not their value), and
+//! * a **post-image** — the same locations after the block, plus bulk
+//!   counter deltas and the ordered log of `f64` bubble accumulations
+//!   (replayed in order, additions are bitwise reproducible).
+//!
+//! If the precondition fails — an eviction, a predictor drift, anything —
+//! the dispatch transparently re-expands per instruction and re-records.
+//! The key is `(BlockId.idx, BlockId.gen)` plus pointer identity of the
+//! instruction stream `Arc`, so code-cache generation bumps and engine
+//! re-records both invalidate stale memos.
+
+use crate::memsys::MemFootprint;
+use crate::pipeline::{pred_idx, Pipeline, REGS};
+use crate::stats::BubbleCause;
+use darco_host::{BlockId, BranchKind, Component, DynInst};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Pre-state class of one register the block reads or writes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum RegClass {
+    /// Ready at or before `B + 2`: can never constrain issue and never
+    /// bind bubble attribution, so the exact value is irrelevant.
+    Stale,
+    /// In flight: ready at `B + rel` with the attribution payload.
+    Rel { rel: u64, load_miss: bool, producer: Component },
+}
+
+/// Pre-state class of one execution-unit slot, in value-sorted order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum UnitPre {
+    /// Free at or before `B`: never constrains issue.
+    Stale,
+    /// Busy until `B + rel`.
+    Rel(u64),
+}
+
+/// Post-state of one execution-unit slot, per pre-sorted position.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum UnitPost {
+    /// Still stale: keep whatever (equivalent) stale value is there.
+    Keep,
+    /// Busy until `B' + rel`.
+    Busy(u64),
+}
+
+/// Front-end and issue scalars, relative to the time base.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Scalars {
+    /// Issue-relative fetch-clock position. When the footprint's
+    /// [`FetchPre`] is `Lagging`, the precondition accepts any value at
+    /// least as far behind and this field is neutralized in the compare.
+    fetch_pos: i64,
+    fetch_in_cycle: u32,
+    issued_in_cycle: u32,
+    /// Absolute: line addresses are iteration-invariant.
+    last_fetch_line: u64,
+    redirect_at: Option<(i64, Component)>,
+    last_issue: u64,
+    max_completion: u64,
+}
+
+/// Precondition class of the decoupled front-end's fetch clock.
+///
+/// In stall-heavy steady loops the fetch clock falls monotonically
+/// further behind the issue clock (it advances one cycle per
+/// `issue_width` fetches while stalls advance the issue clock faster),
+/// so its exact issue-relative value never repeats — but in precisely
+/// that regime it is unobservable: the decode-ready time never binds an
+/// issue computation, and the front-end's internal evolution (natural
+/// advance, I-cache delays, in-block redirect resyncs to issue-anchored
+/// targets) is invariant under shifting the clock further back. This is
+/// the fetch-clock analogue of [`RegClass::Stale`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FetchPre {
+    /// The fetch clock was observable during the recording (it bound an
+    /// issue time, a redirect was pending at entry, or a redirect was
+    /// consumed without a resync): the exact issue-relative position in
+    /// [`Scalars::fetch_pos`] must match.
+    Rel,
+    /// Unobservable: accept any fetch clock at least this many cycles
+    /// behind the issue clock.
+    Lagging(u64),
+}
+
+/// How to reconstruct the fetch clock after a replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FetchPost {
+    /// A redirect resynced the clock to an issue-anchored target during
+    /// the recording: the post value is issue-relative.
+    Rel(i64),
+    /// No resync: the clock advanced by a gap-independent amount.
+    Advance(u64),
+}
+
+/// A BTB entry as stored by the predictor: `(tag, target)`.
+type BtbEntry = (u64, u64);
+
+/// Branch-predictor footprint for one predictor copy.
+#[derive(Debug, Clone)]
+struct PredFp {
+    copy: usize,
+    pre_history: u32,
+    post_history: u32,
+    /// `(index, pre, post)` PHT counters, first-touch order.
+    pht: Vec<(usize, u8, u8)>,
+    /// `(index, pre, post)` BTB entries as `(tag, target)` pairs.
+    btb: Vec<(usize, BtbEntry, BtbEntry)>,
+    branches_delta: u64,
+    mispredicts_delta: u64,
+}
+
+/// Everything one replay needs: precondition, post-image, deltas.
+#[derive(Debug, Clone)]
+struct BlockFootprint {
+    regs_pre: Vec<(u8, RegClass)>,
+    regs_post: Vec<(u8, u64, bool, Component)>,
+    units_pre: [[UnitPre; 2]; 3],
+    units_post: [[UnitPost; 2]; 3],
+    iq_pre: Vec<u64>,
+    iq_post: Vec<i64>,
+    scal_pre: Scalars,
+    scal_post: Scalars,
+    fetch_pre: FetchPre,
+    fetch_post: FetchPost,
+    pred: Vec<PredFp>,
+    mem: MemFootprint,
+    insts_delta: [u64; 7],
+    branches_delta: [u64; 2],
+    mispredicts_delta: [u64; 2],
+    bubbles: Vec<(Component, BubbleCause, f64)>,
+}
+
+/// One memoized block.
+#[derive(Debug)]
+struct MemoEntry {
+    gen: u32,
+    /// Identity of the recorded stream: the engine re-records a block
+    /// under the same generation by allocating a fresh `Arc`, so pointer
+    /// inequality means the footprint no longer describes this stream.
+    insts: Arc<[DynInst]>,
+    /// Recorded lazily on the *second* sight of a stream — a stream seen
+    /// once has not yet proven it will recur, and footprint capture is
+    /// the expensive part of the table. `None` while cooling down.
+    fp: Option<BlockFootprint>,
+    /// Consecutive precondition misses; [`BlockMemo::MISS_BURST`] of
+    /// them in a row drops the footprint and starts a cooldown.
+    misses: u32,
+    /// Remaining consumptions to expand plainly before trying to
+    /// record again.
+    cooldown: u32,
+    /// Length of the last cooldown; doubles every round (capped), so a
+    /// block whose timing context settles slowly is retried a
+    /// logarithmic number of times while one that never settles costs
+    /// an ever-smaller capture fraction. A hit or a fresh stream `Arc`
+    /// resets it.
+    backoff: u32,
+}
+
+/// Replay counters, reported in `BENCH_report.json`'s `block_memo`
+/// block (never part of the serialized `Report` — the memo must not be
+/// observable there).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoStats {
+    /// Replays that passed the precondition and bulk-applied deltas.
+    pub hits: u64,
+    /// Recording dispatches (first sight or after any miss).
+    pub records: u64,
+    /// Replays rejected because some touched state changed.
+    pub precondition_misses: u64,
+    /// Memos dropped for a generation bump or stream re-record.
+    pub invalidations: u64,
+    /// Per-instruction retires skipped by hits.
+    pub insts_replayed: u64,
+}
+
+impl MemoStats {
+    /// Accumulates another sink's counters (pipelines keep private
+    /// memo tables; reports want the fleet total).
+    pub fn merge(&mut self, o: &MemoStats) {
+        self.hits += o.hits;
+        self.records += o.records;
+        self.precondition_misses += o.precondition_misses;
+        self.invalidations += o.invalidations;
+        self.insts_replayed += o.insts_replayed;
+    }
+}
+
+/// Per-pipeline memo table over `BlockRetire` macro-events.
+#[derive(Debug, Default)]
+pub struct BlockMemo {
+    entries: HashMap<u32, MemoEntry>,
+    stats: MemoStats,
+}
+
+impl BlockMemo {
+    /// An empty memo table.
+    pub fn new() -> BlockMemo {
+        BlockMemo::default()
+    }
+
+    /// Replay counters so far.
+    pub fn stats(&self) -> MemoStats {
+        self.stats
+    }
+
+    /// Drops the memo for block `idx` (eviction/SMC path; generation
+    /// mismatches catch the same transitions lazily).
+    pub fn invalidate(&mut self, idx: u32) {
+        if self.entries.remove(&idx).is_some() {
+            self.stats.invalidations += 1;
+        }
+    }
+
+    /// Consecutive precondition misses before the footprint is dropped
+    /// and the entry cools down (plain expansion) for a doubling number
+    /// of consumptions.
+    const MISS_BURST: u32 = 4;
+    /// Longest cooldown between record retries.
+    const MAX_BACKOFF: u32 = 256;
+
+    /// Consumes one `BlockRetire`: bulk-applies the memo when its
+    /// precondition holds, otherwise expands the stream through
+    /// [`Pipeline::retire`] (re-recording the footprint when the stream
+    /// has proven recurrent). Either way the pipeline ends in exactly
+    /// the state the expansion would have produced.
+    pub fn replay_or_record(
+        &mut self,
+        pipe: &mut Pipeline,
+        block: BlockId,
+        insts: &Arc<[DynInst]>,
+    ) {
+        match self.entries.get_mut(&block.idx) {
+            Some(e) if e.gen == block.gen && Arc::ptr_eq(&e.insts, insts) => {
+                if let Some(fp) = &e.fp {
+                    if check(pipe, fp) {
+                        apply(pipe, fp);
+                        e.misses = 0;
+                        e.backoff = 0;
+                        self.stats.hits += 1;
+                        self.stats.insts_replayed += insts.len() as u64;
+                        return;
+                    }
+                    self.stats.precondition_misses += 1;
+                    e.misses += 1;
+                    if e.misses >= Self::MISS_BURST {
+                        // The block's timing context is not repeating
+                        // yet (still settling, or never will): stop
+                        // paying capture cost for a while.
+                        e.fp = None;
+                        e.misses = 0;
+                        e.backoff = (e.backoff * 2).clamp(Self::MISS_BURST, Self::MAX_BACKOFF);
+                        e.cooldown = e.backoff;
+                        for d in insts.iter() {
+                            pipe.retire(d);
+                        }
+                        return;
+                    }
+                } else if e.cooldown > 0 {
+                    e.cooldown -= 1;
+                    for d in insts.iter() {
+                        pipe.retire(d);
+                    }
+                    return;
+                }
+                // Second sight of a recurrent stream, a recoverable
+                // miss, or a cooldown that ran out: capture the
+                // footprint.
+                e.fp = Some(record(pipe, insts));
+                self.stats.records += 1;
+                return;
+            }
+            Some(_) => self.stats.invalidations += 1,
+            None => {}
+        }
+        // First sight of this stream: expand plainly — capture only
+        // once the stream recurs.
+        for d in insts.iter() {
+            pipe.retire(d);
+        }
+        self.entries.insert(
+            block.idx,
+            MemoEntry {
+                gen: block.gen,
+                insts: Arc::clone(insts),
+                fp: None,
+                misses: 0,
+                cooldown: 0,
+                backoff: 0,
+            },
+        );
+    }
+}
+
+/// Sorted slot order of a 2-entry unit pool by `(value, index)` — the
+/// order `min_by_key` resolves ties in, so position 0 is always the next
+/// pick. Positions, not physical slots, are what record and replay have
+/// in common: two states agreeing on the sorted class sequence behave
+/// identically, and which physical slot holds which (equivalent) value
+/// is unobservable.
+fn sorted_slots(pool: &[u64; 2]) -> [usize; 2] {
+    if pool[1] < pool[0] {
+        [1, 0]
+    } else {
+        [0, 1]
+    }
+}
+
+fn unit_pools(pipe: &Pipeline) -> [[u64; 2]; 3] {
+    [pipe.unit_free_cint, pipe.unit_free_sfp, pipe.unit_free_cfp]
+}
+
+fn classify_units(pools: &[[u64; 2]; 3], base: u64) -> [[UnitPre; 2]; 3] {
+    let mut out = [[UnitPre::Stale; 2]; 3];
+    for (k, pool) in pools.iter().enumerate() {
+        for (pos, &slot) in sorted_slots(pool).iter().enumerate() {
+            out[k][pos] =
+                if pool[slot] <= base { UnitPre::Stale } else { UnitPre::Rel(pool[slot] - base) };
+        }
+    }
+    out
+}
+
+fn classify_reg(pipe: &Pipeline, r: usize, base: u64) -> RegClass {
+    let ready = pipe.reg_ready[r];
+    if ready <= base + 2 {
+        RegClass::Stale
+    } else {
+        RegClass::Rel {
+            rel: ready - base,
+            load_miss: pipe.reg_load_miss[r],
+            producer: pipe.reg_producer[r],
+        }
+    }
+}
+
+fn capture_scalars(pipe: &Pipeline, base: u64) -> Scalars {
+    Scalars {
+        fetch_pos: pipe.fetch_pos as i64 - base as i64,
+        fetch_in_cycle: pipe.fetch_in_cycle,
+        issued_in_cycle: pipe.issued_in_cycle,
+        last_fetch_line: pipe.last_fetch_line,
+        redirect_at: pipe.redirect_at.map(|(at, c)| (at as i64 - base as i64, c)),
+        last_issue: pipe.last_issue - base,
+        max_completion: pipe.max_completion - base,
+    }
+}
+
+/// Walks the stream's branches against the predictors *without touching
+/// them*, computing which PHT/BTB entries the block will consult. The
+/// Gshare index depends on the evolving history, which depends only on
+/// the stream's (iteration-invariant) taken flags, so the walk is exact.
+/// BTB slots are captured for every branch, taken or not — a superset of
+/// what a not-taken conditional touches, which only tightens the
+/// precondition (the untouched entry's post equals its pre).
+fn pred_prewalk(pipe: &Pipeline, insts: &[DynInst]) -> Vec<PredFp> {
+    struct Walk {
+        copy: usize,
+        h0: u32,
+        h: u32,
+        pht: Vec<(usize, u8)>,
+        btb: Vec<(usize, (u64, u64))>,
+        counters: (u64, u64),
+    }
+    let mut walks: Vec<Walk> = Vec::new();
+    for d in insts {
+        let Some((kind, _target, taken)) = d.branch else { continue };
+        let copy = pred_idx(pipe.cfg.interaction, d.owner());
+        let wi = match walks.iter().position(|w| w.copy == copy) {
+            Some(i) => i,
+            None => {
+                let p = &pipe.pred[copy];
+                walks.push(Walk {
+                    copy,
+                    h0: p.history(),
+                    h: p.history(),
+                    pht: Vec::new(),
+                    btb: Vec::new(),
+                    counters: p.counter_pair(),
+                });
+                walks.len() - 1
+            }
+        };
+        let w = &mut walks[wi];
+        let p = &pipe.pred[copy];
+        if kind == BranchKind::CondDirect {
+            let idx = (((d.pc >> 2) as u32 ^ w.h) & p.history_mask()) as usize;
+            if !w.pht.iter().any(|&(i, _)| i == idx) {
+                w.pht.push((idx, p.pht_entry(idx)));
+            }
+            w.h = ((w.h << 1) | taken as u32) & p.history_mask();
+        }
+        let bidx = ((d.pc >> 2) & p.btb_mask()) as usize;
+        if !w.btb.iter().any(|&(i, _)| i == bidx) {
+            w.btb.push((bidx, p.btb_entry(bidx)));
+        }
+    }
+    walks
+        .into_iter()
+        .map(|w| PredFp {
+            copy: w.copy,
+            pre_history: w.h0,
+            post_history: w.h0, // filled after the recording run
+            pht: w.pht.into_iter().map(|(i, pre)| (i, pre, pre)).collect(),
+            btb: w.btb.into_iter().map(|(i, pre)| (i, pre, pre)).collect(),
+            branches_delta: w.counters.0, // pre value until finalized
+            mispredicts_delta: w.counters.1,
+        })
+        .collect()
+}
+
+/// Recording dispatch: capture the precondition, run the block through
+/// the real per-instruction path (so this dispatch is itself
+/// bit-identical to plain expansion), then capture the post-image.
+fn record(pipe: &mut Pipeline, insts: &Arc<[DynInst]>) -> BlockFootprint {
+    let base = pipe.last_issue;
+
+    // Precondition: registers the block references, via the same operand
+    // mask walk `retire` uses.
+    let mut seen = [false; REGS];
+    let mut wseen = [false; REGS];
+    let mut regs_pre = Vec::new();
+    let mut written = Vec::new();
+    for d in insts.iter() {
+        let mut ops = d.ops;
+        while ops != 0 {
+            let slot = ops.trailing_zeros() as usize;
+            ops &= ops - 1;
+            let r = (if slot < 2 { d.srcs[slot] } else { d.dst }) as usize;
+            if !seen[r] {
+                seen[r] = true;
+                regs_pre.push((r as u8, classify_reg(pipe, r, base)));
+            }
+            if slot == 2 && !wseen[r] {
+                wseen[r] = true;
+                written.push(r as u8);
+            }
+        }
+    }
+
+    let pre_pools = unit_pools(pipe);
+    let units_pre = classify_units(&pre_pools, base);
+    let iq_pre: Vec<u64> = pipe.iq_ring.iter().map(|&e| base - e).collect();
+    let scal_pre = capture_scalars(pipe, base);
+    let mut pred = pred_prewalk(pipe, insts);
+
+    pipe.mem.begin_record();
+    pipe.bubble_log = Some(Vec::new());
+    let insts_pre = pipe.stats.insts;
+    let branches_pre = pipe.stats.branches;
+    let mispredicts_pre = pipe.stats.mispredicts;
+    let fetch_pos_pre = pipe.fetch_pos;
+    let redirect_pre = pipe.redirect_at;
+    let fetch_bound_pre = pipe.fetch_bound;
+    let fetch_resync_pre = pipe.fetch_resync;
+    let fetch_take_behind_pre = pipe.fetch_take_behind;
+
+    for d in insts.iter() {
+        pipe.retire(d);
+    }
+
+    // Fetch-clock classification (see `FetchPre`): unobservable during
+    // this execution means any at-least-as-large lag replays the same.
+    let fetch_pre = if pipe.fetch_bound == fetch_bound_pre
+        && pipe.fetch_take_behind == fetch_take_behind_pre
+        && redirect_pre.is_none()
+        && fetch_pos_pre <= base
+    {
+        FetchPre::Lagging(base - fetch_pos_pre)
+    } else {
+        FetchPre::Rel
+    };
+    let fetch_post = if pipe.fetch_resync > fetch_resync_pre {
+        FetchPost::Rel(pipe.fetch_pos as i64 - base as i64)
+    } else {
+        FetchPost::Advance(pipe.fetch_pos - fetch_pos_pre)
+    };
+
+    // Post-image.
+    let regs_post = written
+        .iter()
+        .map(|&r| {
+            let i = r as usize;
+            (r, pipe.reg_ready[i] - base, pipe.reg_load_miss[i], pipe.reg_producer[i])
+        })
+        .collect();
+    let post_pools = unit_pools(pipe);
+    let mut units_post = [[UnitPost::Keep; 2]; 3];
+    for k in 0..3 {
+        for (pos, &slot) in sorted_slots(&pre_pools[k]).iter().enumerate() {
+            let v = post_pools[k][slot];
+            units_post[k][pos] = if v > base { UnitPost::Busy(v - base) } else { UnitPost::Keep };
+        }
+    }
+    let iq_post: Vec<i64> = pipe.iq_ring.iter().map(|&e| e as i64 - base as i64).collect();
+    let scal_post = capture_scalars(pipe, base);
+    for w in &mut pred {
+        let p = &pipe.pred[w.copy];
+        w.post_history = p.history();
+        for (i, _, post) in &mut w.pht {
+            *post = p.pht_entry(*i);
+        }
+        for (i, _, post) in &mut w.btb {
+            *post = p.btb_entry(*i);
+        }
+        let (b, m) = p.counter_pair();
+        w.branches_delta = b - w.branches_delta;
+        w.mispredicts_delta = m - w.mispredicts_delta;
+    }
+    let mem = pipe.mem.end_record();
+    let bubbles = pipe.bubble_log.take().expect("recording");
+
+    let mut insts_delta = [0u64; 7];
+    for (d, (post, pre)) in insts_delta.iter_mut().zip(pipe.stats.insts.iter().zip(&insts_pre)) {
+        *d = post - pre;
+    }
+    let branches_delta =
+        [pipe.stats.branches[0] - branches_pre[0], pipe.stats.branches[1] - branches_pre[1]];
+    let mispredicts_delta = [
+        pipe.stats.mispredicts[0] - mispredicts_pre[0],
+        pipe.stats.mispredicts[1] - mispredicts_pre[1],
+    ];
+
+    BlockFootprint {
+        regs_pre,
+        regs_post,
+        units_pre,
+        units_post,
+        iq_pre,
+        iq_post,
+        scal_pre,
+        scal_post,
+        fetch_pre,
+        fetch_post,
+        pred,
+        mem,
+        insts_delta,
+        branches_delta,
+        mispredicts_delta,
+        bubbles,
+    }
+}
+
+/// The precondition: is every piece of state the block's timing reads in
+/// exactly the recorded (relativized) condition?
+fn check(pipe: &Pipeline, fp: &BlockFootprint) -> bool {
+    let base = pipe.last_issue;
+    let scal_ok = {
+        let mut now = capture_scalars(pipe, base);
+        if let FetchPre::Lagging(min_gap) = fp.fetch_pre {
+            // The fetch clock never bound an issue time during the
+            // recording: any lag at least as large replays identically
+            // (the front-end evolution is shift-equivariant and its
+            // constraint only loosens as the gap grows), so neutralize
+            // the exact position before the comparison.
+            if pipe.fetch_pos <= base && base - pipe.fetch_pos >= min_gap {
+                now.fetch_pos = fp.scal_pre.fetch_pos;
+            }
+        }
+        now == fp.scal_pre
+    };
+    scal_ok
+        && fp.regs_pre.iter().all(|&(r, class)| classify_reg(pipe, r as usize, base) == class)
+        && classify_units(&unit_pools(pipe), base) == fp.units_pre
+        && pipe.iq_ring.len() == fp.iq_pre.len()
+        && pipe.iq_ring.iter().zip(&fp.iq_pre).all(|(&e, &rel)| e <= base && base - e == rel)
+        && fp.pred.iter().all(|w| {
+            let p = &pipe.pred[w.copy];
+            p.history() == w.pre_history
+                && w.pht.iter().all(|&(i, pre, _)| p.pht_entry(i) == pre)
+                && w.btb.iter().all(|&(i, pre, _)| p.btb_entry(i) == pre)
+        })
+        && pipe.mem.check_pre(&fp.mem)
+}
+
+/// Bulk-applies a verified footprint, leaving the pipeline bitwise
+/// identical to what per-instruction expansion would have produced (up
+/// to provably unobservable stale values).
+fn apply(pipe: &mut Pipeline, fp: &BlockFootprint) {
+    let base = pipe.last_issue;
+
+    for &(r, rel, load_miss, producer) in &fp.regs_post {
+        let i = r as usize;
+        pipe.reg_ready[i] = base + rel;
+        pipe.reg_load_miss[i] = load_miss;
+        pipe.reg_producer[i] = producer;
+    }
+
+    let pools = unit_pools(pipe);
+    for (k, pool_pre) in pools.iter().enumerate() {
+        let order = sorted_slots(pool_pre);
+        let pool = match k {
+            0 => &mut pipe.unit_free_cint,
+            1 => &mut pipe.unit_free_sfp,
+            _ => &mut pipe.unit_free_cfp,
+        };
+        for (pos, &slot) in order.iter().enumerate() {
+            if let UnitPost::Busy(rel) = fp.units_post[k][pos] {
+                pool[slot] = base + rel;
+            }
+        }
+    }
+
+    pipe.iq_ring.clear();
+    for &rel in &fp.iq_post {
+        pipe.iq_ring.push_back((base as i64 + rel) as u64);
+    }
+
+    let s = &fp.scal_post;
+    pipe.fetch_pos = match fp.fetch_post {
+        FetchPost::Rel(rel) => (base as i64 + rel) as u64,
+        FetchPost::Advance(adv) => pipe.fetch_pos + adv,
+    };
+    pipe.fetch_in_cycle = s.fetch_in_cycle;
+    pipe.issued_in_cycle = s.issued_in_cycle;
+    pipe.last_fetch_line = s.last_fetch_line;
+    pipe.redirect_at = s.redirect_at.map(|(rel, c)| ((base as i64 + rel) as u64, c));
+    pipe.max_completion = base + s.max_completion;
+    pipe.last_issue = base + s.last_issue;
+
+    for (d, delta) in pipe.stats.insts.iter_mut().zip(&fp.insts_delta) {
+        *d += delta;
+    }
+    for i in 0..2 {
+        pipe.stats.branches[i] += fp.branches_delta[i];
+        pipe.stats.mispredicts[i] += fp.mispredicts_delta[i];
+    }
+    for &(comp, cause, cycles) in &fp.bubbles {
+        pipe.stats.add_bubble(comp, cause, cycles);
+    }
+
+    for w in &fp.pred {
+        let p = &mut pipe.pred[w.copy];
+        p.set_history(w.post_history);
+        for &(i, _, post) in &w.pht {
+            p.set_pht_entry(i, post);
+        }
+        for &(i, _, (tag, target)) in &w.btb {
+            p.set_btb_entry(i, tag, target);
+        }
+        p.add_counter_deltas(w.branches_delta, w.mispredicts_delta);
+    }
+
+    pipe.mem.apply(&fp.mem);
+}

@@ -1,0 +1,218 @@
+//! Property tests for the block-timing memo (DESIGN.md §16): random
+//! block footprints driven through random eviction / SMC / generation
+//! interleavings must leave the pipeline in exactly the state the
+//! per-instruction oracle produces, and a deliberately stale memo must
+//! be caught by the precondition check rather than silently applied.
+//!
+//! Driven by a seeded deterministic generator (no crates.io access, so
+//! `proptest` is replaced by case loops over a `SmallRng`), mirroring
+//! `timing_properties.rs`.
+
+use std::sync::Arc;
+
+use darco_host::stream::{int_reg, DynInst};
+use darco_host::{BlockId, BranchKind, Component, ExecClass};
+use darco_timing::{BlockMemo, Pipeline, TimingConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One random host instruction. Addresses come from a small pool of
+/// cache sets so blocks and background traffic genuinely collide, and
+/// branch pcs from a small pool so predictor state is genuinely shared.
+fn random_inst(rng: &mut SmallRng, pc: u64) -> DynInst {
+    let class = match rng.gen_range(0u32..8) {
+        0..=2 => ExecClass::SimpleInt,
+        3 => ExecClass::ComplexInt,
+        4 => ExecClass::SimpleFp,
+        5 => ExecClass::Load,
+        6 => ExecClass::Store,
+        _ => ExecClass::Branch,
+    };
+    let mut d = DynInst::plain(pc, class, Component::AppCode)
+        .with_srcs(int_reg(rng.gen_range(1u8..8)), int_reg(rng.gen_range(1u8..8)))
+        .with_dst(int_reg(rng.gen_range(1u8..8)));
+    match class {
+        ExecClass::Load | ExecClass::Store => {
+            let addr = 0x8000 + u64::from(rng.gen_range(0u32..64)) * 64;
+            d = d.with_mem(addr, 4, class == ExecClass::Store);
+        }
+        ExecClass::Branch => {
+            d = d.with_branch(
+                BranchKind::CondDirect,
+                pc + u64::from(rng.gen_range(1u32..16)) * 4,
+                rng.gen_bool(0.5),
+            );
+        }
+        _ => {}
+    }
+    d
+}
+
+/// A random translated block: a handful of instructions at a per-block
+/// pc base, shared as an `Arc` exactly like the engine's macro-events.
+fn random_block(rng: &mut SmallRng, idx: u32) -> Arc<[DynInst]> {
+    let base = 0x10_0000 + u64::from(idx) * 0x1000;
+    let n = rng.gen_range(3usize..16);
+    let v: Vec<DynInst> = (0..n).map(|i| random_inst(rng, base + i as u64 * 4)).collect();
+    v.into()
+}
+
+/// Retires `insts` one by one — the per-access oracle the memo's
+/// bulk-apply must be indistinguishable from.
+fn expand(pipe: &mut Pipeline, insts: &[DynInst]) {
+    for d in insts {
+        pipe.retire(d);
+    }
+}
+
+/// Exact pipeline-state fingerprint: `Stats` carries every counter and
+/// the f64 cycle/bubble accumulators, and `Debug` on f64 is
+/// shortest-roundtrip, so equal strings mean bitwise-equal state.
+fn fingerprint(pipe: &Pipeline) -> String {
+    format!("{:?}", pipe.snapshot())
+}
+
+/// Random blocks replayed through the memo, interleaved with random
+/// background traffic, explicit invalidations (the eviction path),
+/// generation bumps (retranslation) and stream re-records (SMC): the
+/// memoized pipeline must stay bitwise-equal to the per-access oracle
+/// after every single step, whichever of the hit / miss / re-record
+/// paths each step takes.
+#[test]
+fn memo_is_transparent_under_random_interleavings() {
+    let mut rng = SmallRng::seed_from_u64(0x16_0001);
+    let mut total = darco_timing::MemoStats::default();
+    for _ in 0..24 {
+        let mut gens = [0u32; 4];
+        let mut blocks: Vec<Arc<[DynInst]>> = (0..4).map(|i| random_block(&mut rng, i)).collect();
+        let mut memo = BlockMemo::new();
+        let mut fast = Pipeline::new(TimingConfig::default());
+        let mut oracle = Pipeline::new(TimingConfig::default());
+        for _ in 0..rng.gen_range(40usize..120) {
+            let i = rng.gen_range(0usize..4);
+            match rng.gen_range(0u32..10) {
+                // Replay: the common case. Several in a row so the
+                // steady-state hit path is actually reached.
+                0..=5 => {
+                    for _ in 0..rng.gen_range(1usize..4) {
+                        let id = BlockId { idx: i as u32, gen: gens[i] };
+                        memo.replay_or_record(&mut fast, id, &blocks[i]);
+                        expand(&mut oracle, &blocks[i]);
+                    }
+                }
+                // Background traffic perturbing caches / predictor /
+                // register timestamps underneath recorded footprints.
+                6..=7 => {
+                    for k in 0..rng.gen_range(1usize..8) {
+                        let d = random_inst(&mut rng, 0x20_0000 + k as u64 * 4);
+                        fast.retire(&d);
+                        oracle.retire(&d);
+                    }
+                }
+                // Eviction: the sink drops the memo, timing unchanged.
+                8 => memo.invalidate(i as u32),
+                // Retranslation (gen bump) or SMC (new stream): the
+                // handle the engine presents changes identity.
+                _ => {
+                    gens[i] += 1;
+                    if rng.gen_bool(0.5) {
+                        blocks[i] = random_block(&mut rng, i as u32);
+                    }
+                }
+            }
+            assert_eq!(
+                fingerprint(&fast),
+                fingerprint(&oracle),
+                "memoized pipeline diverged from the per-access oracle"
+            );
+        }
+        total.merge(&memo.stats());
+    }
+    // The schedule must actually exercise every path, or the equality
+    // above proves nothing about the one it skipped.
+    assert!(total.hits > 0, "no replay ever passed the precondition");
+    assert!(total.records > 0, "no block was ever recorded");
+    assert!(total.precondition_misses > 0, "no perturbation was ever caught");
+    assert!(total.invalidations > 0, "no memo was ever invalidated");
+    assert_eq!(total.insts_replayed > 0, total.hits > 0);
+}
+
+/// Mutation test: make a recorded memo stale on purpose — evict the
+/// exact L1D line its load touched via conflicting traffic — and prove
+/// the precondition check catches it (a miss and a re-record, never a
+/// hit) while the pipeline still matches the oracle bit for bit.
+#[test]
+fn stale_memo_is_caught_not_applied() {
+    let cfg = TimingConfig::default();
+    // One load at a known address, plus enough filler for a realistic
+    // footprint.
+    let target = 0x4_0000u64;
+    let block: Arc<[DynInst]> = vec![
+        DynInst::plain(0x100, ExecClass::Load, Component::AppCode)
+            .with_dst(int_reg(2))
+            .with_mem(target, 4, false),
+        DynInst::plain(0x104, ExecClass::SimpleInt, Component::AppCode)
+            .with_srcs(int_reg(2), u8::MAX)
+            .with_dst(int_reg(3)),
+    ]
+    .into();
+    let id = BlockId { idx: 7, gen: 0 };
+    let mut memo = BlockMemo::new();
+    let mut fast = Pipeline::new(cfg.clone());
+    let mut oracle = Pipeline::new(cfg.clone());
+
+    // Warm up to steady state: early replays legitimately re-record
+    // while the state the block touches is still settling — cache and
+    // TLB fill, IQ-ring occupancy growth, and the cold-miss completion
+    // timestamp slowly ageing out relative to the advancing issue
+    // clock. A tight two-instruction loop needs on the order of the
+    // memory latency in iterations before its footprint repeats.
+    let mut warm = 0;
+    while memo.stats().hits == 0 {
+        assert!(warm < 512, "block never reached a steady-state hit");
+        memo.replay_or_record(&mut fast, id, &block);
+        expand(&mut oracle, &block);
+        warm += 1;
+    }
+    assert_eq!(fingerprint(&fast), fingerprint(&oracle));
+
+    // Evict the touched line: `ways` distinct tags into its L1D set
+    // (set stride = sets * block), each from its own pc so the stride
+    // prefetcher cannot pull the victim back in.
+    let stride = u64::from(cfg.l1d.sets() * cfg.l1d.block);
+    for k in 1..=u64::from(cfg.l1d.ways) {
+        let d = DynInst::plain(0x900 + k * 4, ExecClass::Load, Component::AppCode)
+            .with_dst(int_reg(4))
+            .with_mem(target + k * stride, 4, false);
+        fast.retire(&d);
+        oracle.retire(&d);
+    }
+
+    // The memo is now stale: its footprint says the load hits L1D, the
+    // cache says otherwise. Applying it would corrupt the cycle count —
+    // the precondition check must reject it instead.
+    let before = memo.stats();
+    memo.replay_or_record(&mut fast, id, &block);
+    expand(&mut oracle, &block);
+    let after = memo.stats();
+    assert_eq!(after.hits, before.hits, "stale memo was applied as a hit");
+    assert_eq!(
+        after.precondition_misses,
+        before.precondition_misses + 1,
+        "staleness must be detected by the precondition check"
+    );
+    assert_eq!(after.records, before.records + 1, "a miss re-records the footprint");
+    assert_eq!(fingerprint(&fast), fingerprint(&oracle));
+
+    // And the memo recovers: the stale-miss re-record itself refills
+    // the evicted line, so one more settling replay may re-record
+    // before the footprint hits again.
+    let mut rewarm = 0;
+    while memo.stats().hits == after.hits {
+        assert!(rewarm < 512, "memo never recovered after staleness");
+        memo.replay_or_record(&mut fast, id, &block);
+        expand(&mut oracle, &block);
+        rewarm += 1;
+    }
+    assert_eq!(fingerprint(&fast), fingerprint(&oracle));
+}

@@ -26,6 +26,12 @@ use std::collections::HashSet;
 /// Runs dead-flag elimination over `block`; returns how many flag
 /// definitions were deleted.
 pub fn run(block: &mut IrBlock) -> u32 {
+    // A region with no materialized flag definition has nothing this
+    // pass could ever delete — skip the backward liveness fixpoint
+    // outright (common for pure-FP and address-arithmetic regions).
+    if !block.ops.iter().any(|o| matches!(o.inst, IrInst::FlagsArith { .. })) {
+        return 0;
+    }
     let dead = liveness::dead_flag_defs(block);
     if dead.is_empty() {
         return 0;

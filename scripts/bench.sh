@@ -7,11 +7,16 @@
 # deadflags/rangesimp passes on vs off, dead flag defs killed,
 # per-pass wall time, the `code_cache` block: flush vs fifo under a
 # constrained capacity — installs, flushes, evictions, unchains,
-# retranslations, occupancy and dead-space ratio, and the
-# `translation` block: synchronous vs background-pool wall seconds,
-# job/stall/discard counters and worker utilization, with the two
-# serialized reports asserted byte-identical) from repeated timed runs
-# of the same configuration.
+# retranslations, occupancy and dead-space ratio, the `translation`
+# block: synchronous vs background-pool wall seconds, job/stall/discard
+# counters and worker utilization, and the `block_memo` block:
+# steady-state block timing memoization on vs off with engine and
+# timing-side memo counters — each speed switch's two serialized
+# reports asserted byte-identical) from repeated timed runs of the same
+# configuration.
+#
+# Every report is also appended as a timestamped copy under
+# bench_history/, so regressions can be traced across commits.
 #
 #   scripts/bench.sh [--scale S] [--reps N]
 #   scripts/bench.sh --smoke       # CI: bench_report only, tiny scale,
@@ -19,6 +24,14 @@
 set -eu
 
 cd "$(dirname "$0")/.."
+
+# Appends the freshly written report to the local bench history as a
+# timestamped copy (bench_history/ is append-only evidence; the current
+# report stays at BENCH_report.json).
+archive_report() {
+    mkdir -p bench_history
+    cp BENCH_report.json "bench_history/BENCH_report.$(date -u +%Y%m%dT%H%M%SZ).json"
+}
 
 if [ "${1:-}" = "--smoke" ]; then
     shift
@@ -34,12 +47,20 @@ assert r["guest_mips"] > 0, f"guest_mips {r['guest_mips']} must be positive"
 t = r["translation"]
 assert t["workers"] >= 1, "pool must have spawned workers"
 assert t["sync_wall_seconds"] > 0 and t["pool_wall_seconds"] > 0
+assert t["comparison"] in ("overlap", "channel-overhead-only")
+m = r["block_memo"]
+assert m["macro_events"] > 0, "steady-state blocks must emit macro-events"
+assert m["memo_hits"] > 0, f"memo_hits {m['memo_hits']} must be positive"
+assert m["insts_replayed"] > 0, "replayed footprints must cover instructions"
 print(
     f"bench smoke OK: {r['guest_mips']:.2f} guest MIPS, "
-    f"translation {t['workers']} worker(s), "
-    f"sync {t['sync_wall_seconds']:.3f}s vs pool {t['pool_wall_seconds']:.3f}s"
+    f"translation {t['workers']} worker(s) [{t['comparison']}], "
+    f"sync {t['sync_wall_seconds']:.3f}s vs pool {t['pool_wall_seconds']:.3f}s, "
+    f"block memo {m['memo_hits']} hits / {m['memo_records']} records "
+    f"({m['insts_replayed']} insts replayed)"
 )
 EOF
+    archive_report
     exit 0
 fi
 
@@ -54,3 +75,4 @@ cargo bench -p darco-bench --bench timing_throughput
 
 echo "== bench_report -> BENCH_report.json"
 cargo run --release -p darco-bench --bin bench_report -- BENCH_report.json "$@"
+archive_report
