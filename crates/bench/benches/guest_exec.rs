@@ -1,0 +1,144 @@
+//! Functional-emulation throughput: guest MIPS through the guest-layer
+//! fast path (DESIGN.md §17) versus the decode-per-step byte oracle.
+//!
+//! Two workloads, each run to `Halt` both ways:
+//!
+//! * `guest_exec/{fast,oracle}_mixed_loop` — a hand-built counted loop
+//!   mixing ALU, narrow/wide memory, flag-producing and branching
+//!   instructions, hot enough that the micro-op cache and lazy-flag
+//!   elision dominate. This isolates exactly the code the fast path
+//!   replaced: `decode` + `exec_decoded` per step.
+//! * `guest_exec/{fast,oracle}_quicktest` — the generated quicktest
+//!   workload (what `bench_report` measures), with realistic mode and
+//!   instruction mixes.
+//!
+//! Plus the interpreter inside the full TOL engine:
+//!
+//! * `guest_interp/{fast,oracle}_engine` — the whole TOL (null sink,
+//!   promotion disabled so every instruction goes through the
+//!   interpreter) with `guest_fast_path` on vs off.
+//!
+//! Architectural equality of the two paths is asserted before timing;
+//! throughput is guest instructions per iteration. Results land in
+//! EXPERIMENTS.md.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use darco_guest::asm::Asm;
+use darco_guest::{
+    exec, AluOp, Cond, CpuState, ExecCtx, Gpr, GuestMem, Inst, MemRef, MemWidth, Scale, ShiftOp,
+};
+use darco_tol::{Tol, TolConfig};
+use darco_workloads::{generate, suites};
+
+const SCALE: f64 = 0.05;
+
+/// A counted loop mixing ALU, memory and branch work: every iteration
+/// defines flags several times (only the loop branch consumes them),
+/// loads and stores at width 1/2/4, and takes a conditional skip.
+fn mixed_loop() -> (GuestMem, CpuState) {
+    let mut a = Asm::new(0x1000);
+    let slot = MemRef { base: None, index: Some(Gpr::Esi), scale: Scale::S4, disp: 0x4_0000 };
+    let byte_slot = MemRef { base: None, index: Some(Gpr::Esi), scale: Scale::S1, disp: 0x5_0000 };
+    a.push(Inst::MovRI { dst: Gpr::Ecx, imm: 40_000 });
+    a.push(Inst::MovRI { dst: Gpr::Esi, imm: 0 });
+    let top = a.fresh_label();
+    a.bind(top);
+    a.push(Inst::AluRI { op: AluOp::Add, dst: Gpr::Eax, imm: 7 });
+    a.push(Inst::Load { dst: Gpr::Edx, addr: slot });
+    a.push(Inst::AluRR { op: AluOp::Xor, dst: Gpr::Eax, src: Gpr::Edx });
+    a.push(Inst::Shift { op: ShiftOp::Shl, dst: Gpr::Edx, amount: 3 });
+    a.push(Inst::StoreN { addr: byte_slot, src: Gpr::Eax, width: MemWidth::B1 });
+    a.push(Inst::AluMR { op: AluOp::Add, addr: slot, src: Gpr::Eax });
+    a.push(Inst::CmpRI { a: Gpr::Eax, imm: 0 });
+    let skip = a.fresh_label();
+    a.push_jcc(Cond::L, skip);
+    a.push(Inst::Not { dst: Gpr::Ebx });
+    a.bind(skip);
+    a.push(Inst::AluRI { op: AluOp::And, dst: Gpr::Esi, imm: 0xFF });
+    a.push(Inst::AluRI { op: AluOp::Sub, dst: Gpr::Ecx, imm: 1 });
+    a.push_jcc(Cond::Ne, top);
+    a.push(Inst::Halt);
+    let p = a.assemble();
+    let mut mem = GuestMem::new();
+    mem.write_bytes(p.base, &p.bytes);
+    let mut cpu = CpuState::at(p.base);
+    cpu.set_gpr(Gpr::Esp, 0x9_0000);
+    (mem, cpu)
+}
+
+/// Runs to `Halt` through the decode-per-step byte oracle.
+fn run_oracle(mem: &GuestMem, cpu: &CpuState) -> (CpuState, u64) {
+    let mut mem = mem.clone();
+    mem.set_fast_path(false);
+    let mut cpu = cpu.clone();
+    let mut n = 0u64;
+    while !cpu.halted {
+        exec::step(&mut cpu, &mut mem).expect("oracle decode");
+        n += 1;
+    }
+    (cpu, n)
+}
+
+/// Runs to `Halt` through the micro-op fast path, forcing lazy flags at
+/// the end so the final state is comparable.
+fn run_fast(mem: &GuestMem, cpu: &CpuState) -> (CpuState, u64) {
+    let mut mem = mem.clone();
+    let mut cpu = cpu.clone();
+    let mut ctx = ExecCtx::new();
+    let mut n = 0u64;
+    while !cpu.halted {
+        ctx.step(&mut cpu, &mut mem).expect("fast decode");
+        n += 1;
+    }
+    ctx.force_flags(&mut cpu);
+    (cpu, n)
+}
+
+/// The whole TOL engine, promotion disabled (interpreter only).
+fn tol_interp_run(mem: &GuestMem, cpu: &CpuState, fast: bool) -> u64 {
+    let mut mem = mem.clone();
+    let cfg =
+        TolConfig { im_bb_threshold: u32::MAX, guest_fast_path: fast, ..TolConfig::default() };
+    let mut tol = Tol::new(cfg, cpu.eip);
+    tol.set_state(cpu);
+    let mut sink = darco_host::NullSink;
+    tol.run(&mut mem, &mut sink, u64::MAX).expect("tol run")
+}
+
+fn bench(c: &mut Criterion) {
+    let (mem, cpu) = mixed_loop();
+    let (oracle_cpu, insts) = run_oracle(&mem, &cpu);
+    let (fast_cpu, fast_insts) = run_fast(&mem, &cpu);
+    assert!(oracle_cpu.arch_eq(&fast_cpu), "paths must halt in the same state");
+    assert_eq!(insts, fast_insts, "paths must retire identically");
+
+    let mut g = c.benchmark_group("guest_exec");
+    g.throughput(Throughput::Elements(insts));
+    g.bench_function("fast_mixed_loop", |b| b.iter(|| black_box(run_fast(&mem, &cpu))));
+    g.bench_function("oracle_mixed_loop", |b| b.iter(|| black_box(run_oracle(&mem, &cpu))));
+
+    let w = generate(&suites::quicktest_profile(), SCALE);
+    let (q_oracle, q_insts) = run_oracle(&w.mem, &w.initial);
+    let (q_fast, q_fast_insts) = run_fast(&w.mem, &w.initial);
+    assert!(q_oracle.arch_eq(&q_fast), "quicktest paths must agree");
+    assert_eq!(q_insts, q_fast_insts);
+    g.throughput(Throughput::Elements(q_insts));
+    g.bench_function("fast_quicktest", |b| b.iter(|| black_box(run_fast(&w.mem, &w.initial))));
+    g.bench_function("oracle_quicktest", |b| b.iter(|| black_box(run_oracle(&w.mem, &w.initial))));
+    g.finish();
+
+    let engine_insts = tol_interp_run(&mem, &cpu, true);
+    assert_eq!(engine_insts, tol_interp_run(&mem, &cpu, false), "engine paths must agree");
+    let mut g = c.benchmark_group("guest_interp");
+    g.throughput(Throughput::Elements(engine_insts));
+    g.bench_function("fast_engine", |b| b.iter(|| black_box(tol_interp_run(&mem, &cpu, true))));
+    g.bench_function("oracle_engine", |b| b.iter(|| black_box(tol_interp_run(&mem, &cpu, false))));
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

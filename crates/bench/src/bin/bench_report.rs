@@ -44,7 +44,14 @@
 //!   with the memo on (shipping) vs off (the per-instruction oracle),
 //!   engine-side macro-event counters and timing-side memo hit/record
 //!   counters — with the two serialized reports asserted
-//!   byte-identical in the same run.
+//!   byte-identical in the same run,
+//! * `guest_exec`            — the guest-layer fast path (DESIGN.md
+//!   §17): raw functional-emulation MIPS with the pre-decoded micro-op
+//!   buffers, lazy flags and width-native memory access on vs the
+//!   decode-per-step byte oracle (final architectural state and guest
+//!   memory asserted identical), engagement counters, plus full-system
+//!   wall seconds both ways with the two serialized reports asserted
+//!   byte-identical.
 
 use darco_bench::replay::{record_stream, replay_backend, replay_sink};
 use darco_core::{Report, System, SystemConfig, TimingBackendKind};
@@ -74,6 +81,14 @@ struct BackendWall {
 
 #[derive(Serialize)]
 struct TimingBlock {
+    /// What the threaded/fanout backend wall numbers (and by extension
+    /// `sink_speedup_3p` read against them) measure on this host:
+    /// `"overlap"` on a multi-core machine, or
+    /// `"channel-overhead-only"` when only one CPU is available — the
+    /// spawned timing workers cannot run alongside the producer there,
+    /// so their walls carry the broadcast-channel cost with none of the
+    /// overlap benefit and must not be read as a regression.
+    comparison: &'static str,
     /// Events in the replayed stream.
     replay_events: u64,
     /// `TimingSink::consume` events/sec, shipping memory model.
@@ -354,6 +369,147 @@ fn block_memo_block(scale: f64, reps: usize) -> BlockMemoBlock {
 }
 
 #[derive(Serialize)]
+struct GuestExecBlock {
+    /// Guest instructions retired to `Halt` (identical on both paths by
+    /// construction — asserted).
+    guest_insts: u64,
+    /// Best wall seconds of the raw functional-emulation loop through
+    /// the decode-per-step byte oracle (`exec::step`, width-native
+    /// memory access off).
+    oracle_wall_seconds: f64,
+    /// Best wall seconds through the micro-op fast path (`ExecCtx` on
+    /// fast-path memory).
+    fast_wall_seconds: f64,
+    /// Guest MIPS, byte oracle.
+    oracle_mips: f64,
+    /// Guest MIPS, fast path.
+    fast_mips: f64,
+    /// `oracle_wall_seconds / fast_wall_seconds`.
+    speedup: f64,
+    /// Steps served from cached micro-op buffers.
+    uop_hits: u64,
+    /// Blocks pre-decoded.
+    blocks_built: u64,
+    /// Cached blocks dropped after a generation-stamp mismatch (SMC).
+    invalidations: u64,
+    /// Lazy flag definitions recorded.
+    flag_defs: u64,
+    /// Definitions actually materialized (the gap is the win).
+    flag_forces: u64,
+    /// Full-system wall seconds with `guest_fast_path` off / on — the
+    /// end-to-end view, where translated execution dilutes the
+    /// interpreter-side gain.
+    system_oracle_wall_seconds: f64,
+    system_fast_wall_seconds: f64,
+    /// `system_oracle_wall_seconds / system_fast_wall_seconds`.
+    system_speedup: f64,
+}
+
+/// Raw functional-emulation run to `Halt` on the byte oracle.
+fn run_guest_oracle(w: &darco_workloads::Workload) -> (darco_guest::CpuState, u64) {
+    let mut mem = w.mem.clone();
+    mem.set_fast_path(false);
+    let mut cpu = w.initial.clone();
+    let mut n = 0u64;
+    while !cpu.halted {
+        darco_guest::exec::step(&mut cpu, &mut mem).expect("oracle decode");
+        n += 1;
+        assert!(n < 2_000_000_000, "oracle runaway");
+    }
+    (cpu, n)
+}
+
+/// Raw functional-emulation run to `Halt` through the micro-op fast
+/// path; lazy flags are forced at the end so the state is comparable.
+fn run_guest_fast(
+    w: &darco_workloads::Workload,
+) -> (darco_guest::CpuState, darco_guest::GuestMem, darco_guest::FastStats) {
+    let mut mem = w.mem.clone();
+    let mut cpu = w.initial.clone();
+    let mut ctx = darco_guest::ExecCtx::new();
+    let mut n = 0u64;
+    while !cpu.halted {
+        ctx.step(&mut cpu, &mut mem).expect("fast decode");
+        n += 1;
+        assert!(n < 2_000_000_000, "fast runaway");
+    }
+    ctx.force_flags(&mut cpu);
+    (cpu, mem, ctx.stats)
+}
+
+/// One full-system run with the guest fast path switched.
+fn run_system_guest(scale: f64, fast: bool) -> (Report, f64) {
+    let mut cfg = SystemConfig {
+        cosim: false,
+        app_only_pipeline: true,
+        tol_only_pipeline: true,
+        ..SystemConfig::default()
+    };
+    cfg.tol.guest_fast_path = fast;
+    let w = generate(&suites::quicktest_profile(), scale);
+    let mut sys = System::new(w, cfg);
+    let t0 = std::time::Instant::now();
+    let report = sys.run_to_completion();
+    (report, t0.elapsed().as_secs_f64())
+}
+
+fn guest_exec_block(scale: f64, reps: usize) -> GuestExecBlock {
+    let w = generate(&suites::quicktest_profile(), scale);
+
+    // Correctness pin before the timed runs: identical final register
+    // state (flags forced) and identical guest memory.
+    let (oracle_cpu, guest_insts) = run_guest_oracle(&w);
+    let (fast_cpu, fast_mem, stats) = run_guest_fast(&w);
+    assert!(
+        oracle_cpu.arch_eq(&fast_cpu),
+        "guest fast path diverged from the byte oracle:\noracle: {oracle_cpu}\nfast:   {fast_cpu}"
+    );
+    let mut oracle_mem = w.mem.clone();
+    oracle_mem.set_fast_path(false);
+    let mut cpu = w.initial.clone();
+    while !cpu.halted {
+        darco_guest::exec::step(&mut cpu, &mut oracle_mem).expect("oracle decode");
+    }
+    assert_eq!(oracle_mem.first_difference(&fast_mem), None, "guest fast path diverged in memory");
+    assert!(stats.uop_hits > 0, "fast path never engaged on the bench workload");
+
+    let oracle_wall = best_of(reps, || run_guest_oracle(&w));
+    let fast_wall = best_of(reps, || run_guest_fast(&w));
+
+    let (fast_report, first_fast) = run_system_guest(scale, true);
+    let mut system_fast = first_fast;
+    for _ in 1..reps.max(1) {
+        system_fast = system_fast.min(run_system_guest(scale, true).1);
+    }
+    let (oracle_report, first_oracle) = run_system_guest(scale, false);
+    let mut system_oracle = first_oracle;
+    for _ in 1..reps.max(1) {
+        system_oracle = system_oracle.min(run_system_guest(scale, false).1);
+    }
+    // The tentpole guarantee: the fast path changes wall-clock only.
+    let fast_json = serde_json::to_string(&fast_report).expect("serialize");
+    let oracle_json = serde_json::to_string(&oracle_report).expect("serialize");
+    assert_eq!(fast_json, oracle_json, "guest fast path changed the serialized report");
+
+    GuestExecBlock {
+        guest_insts,
+        oracle_wall_seconds: oracle_wall,
+        fast_wall_seconds: fast_wall,
+        oracle_mips: guest_insts as f64 / oracle_wall / 1e6,
+        fast_mips: guest_insts as f64 / fast_wall / 1e6,
+        speedup: oracle_wall / fast_wall,
+        uop_hits: stats.uop_hits,
+        blocks_built: stats.blocks_built,
+        invalidations: stats.invalidations,
+        flag_defs: stats.flag_defs,
+        flag_forces: stats.flag_forces,
+        system_oracle_wall_seconds: system_oracle,
+        system_fast_wall_seconds: system_fast,
+        system_speedup: system_oracle / system_fast,
+    }
+}
+
+#[derive(Serialize)]
 struct BenchReport {
     benchmark: String,
     scale: f64,
@@ -370,6 +526,7 @@ struct BenchReport {
     code_cache: CodeCacheBlock,
     translation: TranslationBlock,
     block_memo: BlockMemoBlock,
+    guest_exec: GuestExecBlock,
 }
 
 fn run_once(scale: f64) -> (Report, f64) {
@@ -398,7 +555,7 @@ fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
     best
 }
 
-fn timing_block(reps: usize) -> TimingBlock {
+fn timing_block(reps: usize, cpus: usize) -> TimingBlock {
     let batches = record_stream();
     let events: u64 = batches.iter().map(|b| b.len() as u64).sum();
     let rate = |secs: f64| events as f64 / secs;
@@ -408,6 +565,7 @@ fn timing_block(reps: usize) -> TimingBlock {
     let fast_3p = best_of(reps, || replay_sink(&batches, 3, true));
     let oracle_3p = best_of(reps, || replay_sink(&batches, 3, false));
     TimingBlock {
+        comparison: if cpus <= 1 { "channel-overhead-only" } else { "overlap" },
         replay_events: events,
         sink_events_per_sec: SinkRates {
             one_pipeline: rate(fast_1p),
@@ -609,7 +767,7 @@ fn main() {
             sbm: share(dyn_dist[2]),
         },
         host,
-        timing: timing_block(reps),
+        timing: timing_block(reps, cpus),
         analysis: analysis_block(scale, reps),
         code_cache: code_cache_block(scale, reps),
         translation: translation_block(
@@ -619,6 +777,7 @@ fn main() {
             cpus,
         ),
         block_memo: block_memo_block(scale, reps),
+        guest_exec: guest_exec_block(scale, reps),
     };
     let json = serde_json::to_string_pretty(&summary).expect("serialize report");
     std::fs::write(&out, &json).unwrap_or_else(|e| {

@@ -35,6 +35,13 @@
 //!                               off expands every block through the
 //!                               per-instruction oracle — reports are
 //!                               byte-identical either way
+//!          --guest-fast-path on|off
+//!                               guest-layer fast path: pre-decoded
+//!                               micro-op buffers with lazy flag
+//!                               materialization plus width-native
+//!                               memory access (default on); off runs
+//!                               the decode-per-step byte oracle —
+//!                               reports are byte-identical either way
 //!          --translate-workers N
 //!                               background translation pool size: the
 //!                               Rust-side BBM/SBM compile work overlaps
@@ -86,7 +93,7 @@ fn usage() {
         "darco <list|run|run-set|verify|analyze|trace|disasm|timeline|export-profile> [benchmark ...] \
          [--profile FILE] [--scale S] [--cache-policy flush|fifo] [--cosim] \
          [--timing-backend auto|inline|threaded|fanout] [--threaded-timing] [--block-memo on|off] \
-         [--translate-workers N] [--jobs N] [--n N] [--json]"
+         [--guest-fast-path on|off] [--translate-workers N] [--jobs N] [--n N] [--json]"
     );
 }
 
@@ -100,6 +107,8 @@ struct Opts {
     translate_workers: Option<usize>,
     /// `None` keeps both configs' default (on).
     block_memo: Option<bool>,
+    /// `None` keeps [`TolConfig`]'s default (on).
+    guest_fast_path: Option<bool>,
     n: usize,
     json: bool,
 }
@@ -113,6 +122,9 @@ impl Opts {
         }
         if let Some(on) = self.block_memo {
             tol.block_memo = on;
+        }
+        if let Some(on) = self.guest_fast_path {
+            tol.guest_fast_path = on;
         }
     }
 
@@ -156,6 +168,7 @@ fn parse(rest: &[String]) -> Opts {
     let mut cache_policy = CachePolicy::Flush;
     let mut translate_workers = None;
     let mut block_memo = None;
+    let mut guest_fast_path = None;
     let mut n = 20;
     let mut json = false;
     let mut it = rest.iter();
@@ -197,6 +210,10 @@ fn parse(rest: &[String]) -> Opts {
                 let v = it.next().unwrap_or_else(|| bail("--block-memo needs on|off"));
                 block_memo = Some(parse_on_off("--block-memo", v));
             }
+            "--guest-fast-path" => {
+                let v = it.next().unwrap_or_else(|| bail("--guest-fast-path needs on|off"));
+                guest_fast_path = Some(parse_on_off("--guest-fast-path", v));
+            }
             "--json" => json = true,
             "--n" => {
                 n = it
@@ -224,6 +241,7 @@ fn parse(rest: &[String]) -> Opts {
         cache_policy,
         translate_workers,
         block_memo,
+        guest_fast_path,
         n,
         json,
     }
@@ -290,6 +308,7 @@ fn run_set(rest: &[String]) {
     let mut cache_policy = CachePolicy::Flush;
     let mut translate_workers: Option<usize> = None;
     let mut block_memo: Option<bool> = None;
+    let mut guest_fast_path: Option<bool> = None;
     let mut json = false;
     let mut it = rest.iter();
     while let Some(a) = it.next() {
@@ -331,6 +350,10 @@ fn run_set(rest: &[String]) {
                 let v = it.next().unwrap_or_else(|| bail("--block-memo needs on|off"));
                 block_memo = Some(parse_on_off("--block-memo", v));
             }
+            "--guest-fast-path" => {
+                let v = it.next().unwrap_or_else(|| bail("--guest-fast-path needs on|off"));
+                guest_fast_path = Some(parse_on_off("--guest-fast-path", v));
+            }
             "--json" => json = true,
             name if !name.starts_with('-') => names.push(name.to_owned()),
             other => bail(&format!("unknown flag {other}")),
@@ -361,6 +384,9 @@ fn run_set(rest: &[String]) {
     if let Some(on) = block_memo {
         cfg.tol.block_memo = on;
         cfg.timing.block_memo = on;
+    }
+    if let Some(on) = guest_fast_path {
+        cfg.tol.guest_fast_path = on;
     }
     eprintln!("running {} benchmark(s) at scale {scale} on {jobs} thread(s) ...", profiles.len());
     let t0 = std::time::Instant::now();

@@ -7,6 +7,7 @@
 //! just retired and compares architectural state — the co-simulation
 //! debugging technique the paper inherits from Transmeta (ref. \[15\]).
 
+use darco_guest::uops::ExecCtx;
 use darco_guest::{exec, CpuState, DecodeError, GuestMem};
 use std::fmt;
 
@@ -42,13 +43,28 @@ pub struct StateChecker {
     mem: GuestMem,
     retired: u64,
     checks: u64,
+    /// Micro-op fast path for the authoritative side
+    /// (`--guest-fast-path`); `None` runs the byte-equality oracle.
+    /// Lazy flags are forced before every comparison, so the observable
+    /// states are bit-identical either way.
+    fast: Option<ExecCtx>,
 }
 
 impl StateChecker {
     /// Creates the authoritative side from the initial program state and
-    /// a *private copy* of guest memory.
+    /// a *private copy* of guest memory (oracle execution path; see
+    /// [`StateChecker::set_fast_path`]).
     pub fn new(initial: CpuState, mem: GuestMem) -> StateChecker {
-        StateChecker { cpu: initial, mem, retired: 0, checks: 0 }
+        StateChecker { cpu: initial, mem, retired: 0, checks: 0, fast: None }
+    }
+
+    /// Switches the authoritative emulator between the guest layer's
+    /// micro-op fast path and the decode-per-step oracle. Also gates
+    /// the private memory copy's width-native access path, keeping the
+    /// whole authoritative side on one setting.
+    pub fn set_fast_path(&mut self, on: bool) {
+        self.mem.set_fast_path(on);
+        self.fast = on.then(ExecCtx::new);
     }
 
     /// Advances the authoritative emulator by `n` guest instructions.
@@ -61,18 +77,29 @@ impl StateChecker {
             if self.cpu.halted {
                 break;
             }
-            exec::step(&mut self.cpu, &mut self.mem)?;
+            match self.fast.as_mut() {
+                Some(ctx) => {
+                    ctx.step(&mut self.cpu, &mut self.mem)?;
+                }
+                None => {
+                    exec::step(&mut self.cpu, &mut self.mem)?;
+                }
+            }
             self.retired += 1;
         }
         Ok(())
     }
 
-    /// Compares the emulated state against the authoritative one.
+    /// Compares the emulated state against the authoritative one,
+    /// materializing any lazy flag definition first.
     ///
     /// # Errors
     ///
     /// Returns the full [`Divergence`] on mismatch.
     pub fn check(&mut self, emulated: &CpuState) -> Result<(), Box<Divergence>> {
+        if let Some(ctx) = self.fast.as_mut() {
+            ctx.force_flags(&mut self.cpu);
+        }
         self.checks += 1;
         if self.cpu.arch_eq(emulated) {
             Ok(())
@@ -100,7 +127,9 @@ impl StateChecker {
         }
     }
 
-    /// Authoritative architectural state.
+    /// Authoritative architectural state. Flags are guaranteed current
+    /// after a [`StateChecker::check`]; between advances on the fast
+    /// path a lazy definition may still be pending.
     pub fn state(&self) -> &CpuState {
         &self.cpu
     }
@@ -168,5 +197,24 @@ mod tests {
         chk.advance(100).unwrap();
         assert!(chk.state().halted);
         assert_eq!(chk.retired(), 3);
+    }
+
+    #[test]
+    fn fast_path_checker_matches_oracle() {
+        let (mem, initial) = program();
+        let mut oracle = StateChecker::new(initial.clone(), mem.clone());
+        let mut fast = StateChecker::new(initial, mem);
+        fast.set_fast_path(true);
+        oracle.advance(100).unwrap();
+        fast.advance(100).unwrap();
+        // check() against the oracle's state forces fast's lazy flags
+        // and must pass bit-exactly (the last AluRI defines flags).
+        fast.check(oracle.state()).unwrap();
+        assert_eq!(fast.retired(), oracle.retired());
+        fast.check_memory(&mem_of(&oracle)).unwrap();
+    }
+
+    fn mem_of(c: &StateChecker) -> GuestMem {
+        c.mem.clone()
     }
 }

@@ -137,11 +137,20 @@ impl System {
     pub fn new(w: Workload, cfg: SystemConfig) -> System {
         let mut tol = Tol::new(cfg.tol.clone(), w.entry);
         tol.set_state(&w.initial);
-        let checker = cfg.cosim.then(|| StateChecker::new(w.initial.clone(), w.mem.clone()));
+        // One switch gates the whole guest layer: the interpreter's
+        // micro-op path (inside Tol), the emulated memory's width-native
+        // access path, and the checker's authoritative side.
+        let mut emu_mem = w.mem;
+        emu_mem.set_fast_path(cfg.tol.guest_fast_path);
+        let checker = cfg.cosim.then(|| {
+            let mut chk = StateChecker::new(w.initial.clone(), emu_mem.clone());
+            chk.set_fast_path(cfg.tol.guest_fast_path);
+            chk
+        });
         System {
             name: w.name,
             tol,
-            emu_mem: w.mem,
+            emu_mem,
             checker,
             static_insts: w.static_insts,
             memo_stats: darco_timing::MemoStats::default(),

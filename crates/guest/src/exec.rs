@@ -169,7 +169,8 @@ fn total_div(a: i32, b: i32) -> i32 {
 /// state is left unchanged in that case.
 pub fn step(cpu: &mut CpuState, mem: &mut GuestMem) -> Result<StepInfo, DecodeError> {
     debug_assert!(!cpu.halted, "step() after halt");
-    let window = mem.window(cpu.eip, MAX_INST_LEN);
+    let mut window = [0u8; MAX_INST_LEN];
+    mem.read_bytes(cpu.eip, &mut window);
     let (inst, len) = decode(&window)?;
     Ok(exec_decoded(cpu, mem, inst, len))
 }

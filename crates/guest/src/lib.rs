@@ -44,12 +44,14 @@ pub mod exec;
 pub mod inst;
 pub mod mem;
 pub mod state;
+pub mod uops;
 
 pub use decode::{decode, disassemble, DecodeError};
 pub use encode::encode;
 pub use inst::{AluOp, Cond, FpOp, FpReg, Gpr, Inst, MemRef, MemWidth, Scale, ShiftOp};
 pub use mem::GuestMem;
 pub use state::{CpuState, Flags};
+pub use uops::{ExecCtx, FastStats, LazyFlags};
 
 /// Broad class of a guest instruction, used for instruction-mix statistics
 /// and by the TOL cost models.

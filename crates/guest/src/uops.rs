@@ -1,0 +1,1553 @@
+//! Pre-decoded execution micro-ops and lazy flag materialization.
+//!
+//! This is the gated fast path through the functional guest layer.
+//! [`crate::exec::step`] — decode-then-`match` on [`Inst`] every step —
+//! remains the always-available byte-equality oracle; [`ExecCtx::step`]
+//! produces bit-identical architectural state, memory contents and
+//! [`StepInfo`] streams while doing strictly less work per step:
+//!
+//! * **Micro-op buffers.** Straight-line runs of instructions are decoded
+//!   once into per-block [`ExecOp`] buffers: operand registers resolved to
+//!   raw indices, effective-address recipes precomputed, and a fn-pointer
+//!   handler selected per op, executed by a tight dispatch loop. Blocks
+//!   are cached direct-mapped by entry pc and invalidated by the same
+//!   per-page write-generation stamps the interpreter's decode cache uses
+//!   ([`GuestMem::page_gen`]): a block is valid while the stamps of its
+//!   first and last byte's pages match the values seen at build time
+//!   (block spans are < 4 KiB, so at most one page boundary is crossed).
+//! * **Lazy EFLAGS.** Flag-writing arithmetic records `{op kind,
+//!   operands}` in a [`LazyFlags`] side slot instead of computing the five
+//!   flag bits; they are materialized into `cpu.flags` only when a
+//!   consumer demands them — a conditional branch, a checker snapshot, or
+//!   a `StepBoundary` state capture. Most definitions are overwritten
+//!   before any consumer looks (the analysis layer measures ~5.6 dead
+//!   flag definitions per translation region), so most materializations
+//!   are elided entirely.
+//!
+//! # Self-modifying code
+//!
+//! The oracle re-decodes from guest memory on every step, so a store that
+//! rewrites an instruction is visible at the very next step. The fast
+//! path preserves this: every step revalidates the current block against
+//! the global write-generation counter (one integer compare when nothing
+//! was written; two page-stamp lookups after any store anywhere), and a
+//! stale block is discarded and rebuilt from current bytes before the
+//! next op executes.
+
+use crate::decode::{decode, DecodeError};
+use crate::exec::{cond_holds, AccessList, Control, MemAccess, StepInfo, MAX_INST_LEN};
+use crate::inst::{Gpr, Inst, MemRef};
+use crate::mem::GuestMem;
+use crate::state::{CpuState, Flags};
+use crate::GuestClass;
+
+/// Entries in the direct-mapped micro-op block cache.
+pub const UOP_CACHE_ENTRIES: usize = 512;
+
+/// Maximum ops per block. Bounds the span to `48 * MAX_INST_LEN = 576`
+/// bytes — below the 4 KiB page size, so a block crosses at most one
+/// page boundary and the first/last-byte stamp check in
+/// `span_gen` covers every byte of the block.
+pub const UOP_BLOCK_CAP: usize = 48;
+
+/// Write-generation stamp covering `len` bytes at `pc`: the max of the
+/// first and last byte's page stamps. Only valid for spans that cross at
+/// most one page boundary (guaranteed by [`UOP_BLOCK_CAP`]). Mirrors the
+/// interpreter decode cache's validation in `darco-tol`.
+#[inline]
+fn span_gen(mem: &GuestMem, pc: u32, len: u32) -> u64 {
+    let first = mem.page_gen(pc);
+    let last = mem.page_gen(pc.wrapping_add(len.saturating_sub(1)));
+    first.max(last)
+}
+
+/// A pending (not yet materialized) flag definition. Each variant holds
+/// just enough to reproduce, bit for bit, the [`Flags`] value the oracle
+/// would have computed eagerly at the defining instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LazyFlags {
+    /// `cpu.flags` is current; nothing pending.
+    #[default]
+    Current,
+    /// `Flags::add(a, b)`.
+    Add(u32, u32),
+    /// `Flags::sub(a, b)` (also `Cmp` and `Neg`, the latter as
+    /// `Sub(0, v)` whose borrow-out is exactly `v != 0`).
+    Sub(u32, u32),
+    /// `Flags::logic(r)` — result flags with `cf`/`of` cleared.
+    Logic(u32),
+    /// `Flags::from_result(r)` — `Idiv`.
+    Result(u32),
+    /// Non-zero-amount shift: result flags, carry from the shifted-out
+    /// bit, `of` cleared.
+    ShiftCf {
+        /// Shift result.
+        result: u32,
+        /// Last bit shifted out.
+        cf: bool,
+    },
+    /// `Imul`: result flags with `cf = of = overflow`.
+    MulOv {
+        /// Truncated product.
+        result: u32,
+        /// Whether the wide product overflowed 32 bits.
+        ov: bool,
+    },
+}
+
+impl LazyFlags {
+    /// Whether a definition is pending (i.e. `cpu.flags` is stale).
+    #[inline]
+    pub fn is_pending(&self) -> bool {
+        *self != LazyFlags::Current
+    }
+
+    /// Materializes the pending definition into `cpu.flags` (bit-exact
+    /// with the eager oracle) and marks the slot current.
+    #[inline]
+    pub fn force(&mut self, cpu: &mut CpuState) {
+        let f = match *self {
+            LazyFlags::Current => return,
+            LazyFlags::Add(a, b) => Flags::add(a, b),
+            LazyFlags::Sub(a, b) => Flags::sub(a, b),
+            LazyFlags::Logic(r) => Flags::logic(r),
+            LazyFlags::Result(r) => Flags::from_result(r),
+            LazyFlags::ShiftCf { result, cf } => {
+                let mut f = Flags::from_result(result);
+                f.cf = cf;
+                f.of = false;
+                f
+            }
+            LazyFlags::MulOv { result, ov } => {
+                let mut f = Flags::from_result(result);
+                f.cf = ov;
+                f.of = ov;
+                f
+            }
+        };
+        cpu.flags = f;
+        *self = LazyFlags::Current;
+    }
+}
+
+/// No-register sentinel in an [`AddrRecipe`].
+const NO_REG: u8 = 0xFF;
+
+/// Precomputed effective-address recipe: `disp + base + (index << shift)`
+/// with wrapping arithmetic, registers resolved to raw indices
+/// (`NO_REG` = absent).
+#[derive(Debug, Clone, Copy)]
+struct AddrRecipe {
+    base: u8,
+    index: u8,
+    shift: u8,
+    disp: u32,
+}
+
+impl AddrRecipe {
+    fn from_ref(m: &MemRef) -> AddrRecipe {
+        AddrRecipe {
+            base: m.base.map_or(NO_REG, |r| r.index() as u8),
+            index: m.index.map_or(NO_REG, |r| r.index() as u8),
+            shift: m.scale as u8,
+            disp: m.disp as u32,
+        }
+    }
+
+    #[inline]
+    fn ea(&self, cpu: &CpuState) -> u32 {
+        let mut a = self.disp;
+        if self.base != NO_REG {
+            a = a.wrapping_add(cpu.gprs[self.base as usize]);
+        }
+        if self.index != NO_REG {
+            a = a.wrapping_add(cpu.gprs[self.index as usize].wrapping_shl(self.shift as u32));
+        }
+        a
+    }
+}
+
+type Handler =
+    fn(&ExecOp, &mut CpuState, &mut GuestMem, &mut LazyFlags, u32, &mut AccessList) -> Control;
+
+/// One pre-decoded instruction: resolved operands, address recipe,
+/// dispatch handler, and the static metadata every per-step consumer
+/// needs (length, emission shape, block-end/indirect/flag bits).
+#[derive(Debug, Clone, Copy)]
+pub struct ExecOp {
+    handler: Handler,
+    /// The decoded instruction (carried for [`StepInfo`]).
+    pub inst: Inst,
+    /// Encoded length in bytes.
+    pub len: u8,
+    /// Byte offset of this op from its block's entry pc.
+    off: u16,
+    /// Precomputed interpreter emission shape (see
+    /// [`emission_shape`]); consumed by the software layer so the hot
+    /// loop never re-derives it.
+    pub shape: u16,
+    /// `inst.writes_flags()`.
+    pub wf: bool,
+    /// `inst.reads_flags()`.
+    pub rf: bool,
+    /// Ends a basic block.
+    block_end: bool,
+    /// Primary register index (destination, or source for stores).
+    a: u8,
+    /// Secondary register index.
+    b: u8,
+    /// Small discriminant: `AluOp` / `ShiftOp` / `FpOp` / `Cond` as u8,
+    /// or a [`MemWidth`] byte count.
+    sub: u8,
+    /// Immediate (shift amount for `Shift`).
+    imm: u32,
+    /// Direct branch target.
+    target: u32,
+    addr: AddrRecipe,
+}
+
+/// A cached run of pre-decoded ops starting at `entry`.
+#[derive(Debug, Clone)]
+struct UopBlock {
+    entry: u32,
+    /// Total encoded bytes covered by `ops`.
+    span: u32,
+    /// [`span_gen`] over the block bytes at build time.
+    gen: u64,
+    /// Global write-generation last seen while this block validated;
+    /// lets the per-step check short-circuit to one integer compare
+    /// when nothing has been written since.
+    wg: u64,
+    ops: Vec<ExecOp>,
+}
+
+impl UopBlock {
+    /// Cheap per-step validation: identical write-generation means
+    /// nothing anywhere was written; otherwise re-check the page stamps
+    /// (detects self-modifying stores to this block's pages).
+    #[inline]
+    fn valid(&mut self, mem: &GuestMem) -> bool {
+        let wg = mem.write_gen();
+        if self.wg == wg {
+            return true;
+        }
+        if span_gen(mem, self.entry, self.span) == self.gen {
+            self.wg = wg;
+            return true;
+        }
+        false
+    }
+}
+
+/// Engagement and elision counters for the fast path.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FastStats {
+    /// Ops executed from a cached block (entry hits + continuations).
+    pub uop_hits: u64,
+    /// Blocks decoded and compiled into micro-ops.
+    pub blocks_built: u64,
+    /// Cached blocks discarded after a generation-stamp mismatch
+    /// (self-modifying code).
+    pub invalidations: u64,
+    /// Flag-writing instructions executed (lazy definitions recorded).
+    pub flag_defs: u64,
+    /// Pending definitions actually materialized; `flag_defs -
+    /// flag_forces` definitions were dead and never computed.
+    pub flag_forces: u64,
+}
+
+/// Execution context for the fast path: the micro-op block cache, an
+/// intra-block cursor, the lazy-flags slot, and counters.
+///
+/// Drop-in alternative to [`crate::exec::step`]: [`ExecCtx::step`]
+/// produces identical [`StepInfo`] values and identical architectural
+/// state — except that `cpu.flags` may be stale while a [`LazyFlags`]
+/// definition is pending. Every consumer of flags must call
+/// [`ExecCtx::force_flags`] first (conditional branches inside
+/// [`ExecCtx::step`] do this automatically).
+#[derive(Debug, Clone)]
+pub struct ExecCtx {
+    blocks: Box<[Option<UopBlock>]>,
+    /// Continuation cursor: `(slot, op index)` of the next sequential op
+    /// when the previous step fell through inside a block.
+    cur: Option<(usize, usize)>,
+    /// The pending flag definition, if any.
+    pub lazy: LazyFlags,
+    /// Engagement counters.
+    pub stats: FastStats,
+}
+
+impl Default for ExecCtx {
+    fn default() -> ExecCtx {
+        ExecCtx::new()
+    }
+}
+
+impl ExecCtx {
+    /// Creates an empty context.
+    pub fn new() -> ExecCtx {
+        ExecCtx {
+            blocks: std::iter::repeat_with(|| None).take(UOP_CACHE_ENTRIES).collect(),
+            cur: None,
+            lazy: LazyFlags::Current,
+            stats: FastStats::default(),
+        }
+    }
+
+    /// Materializes any pending flag definition into `cpu.flags`.
+    /// Consumers of architectural flags (checker snapshots, state
+    /// capture at `StepBoundary`) must call this before reading.
+    #[inline]
+    pub fn force_flags(&mut self, cpu: &mut CpuState) {
+        if self.lazy.is_pending() {
+            self.stats.flag_forces += 1;
+            self.lazy.force(cpu);
+        }
+    }
+
+    /// Discards any pending flag definition *without* materializing it.
+    /// For error paths that throw away the CPU state the definition
+    /// refers to.
+    pub fn discard_pending(&mut self) {
+        self.lazy = LazyFlags::Current;
+        self.cur = None;
+    }
+
+    /// Executes the instruction at `cpu.eip`. Semantically identical to
+    /// [`crate::exec::step`] modulo lazy flags (see type docs).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] if the bytes at `eip` do not decode;
+    /// the CPU state is left unchanged (though flags pending from
+    /// *earlier* steps stay pending — callers that discard the state on
+    /// error should call [`ExecCtx::discard_pending`]).
+    pub fn step(
+        &mut self,
+        cpu: &mut CpuState,
+        mem: &mut GuestMem,
+    ) -> Result<StepInfo, DecodeError> {
+        self.step_shaped(cpu, mem).map(|(info, _)| info)
+    }
+
+    /// [`ExecCtx::step`] returning the op's precomputed emission shape
+    /// alongside, for the software-layer interpreter.
+    pub fn step_shaped(
+        &mut self,
+        cpu: &mut CpuState,
+        mem: &mut GuestMem,
+    ) -> Result<(StepInfo, u16), DecodeError> {
+        debug_assert!(!cpu.halted, "step() after halt");
+        let pc = cpu.eip;
+
+        // Intra-block continuation: the common case in straight-line
+        // code. One pc compare plus the write-generation check.
+        if let Some((slot, idx)) = self.cur {
+            if let Some(b) = self.blocks[slot].as_mut() {
+                if idx < b.ops.len() && b.entry.wrapping_add(b.ops[idx].off as u32) == pc {
+                    if b.valid(mem) {
+                        self.stats.uop_hits += 1;
+                        return Ok(self.run_at(slot, idx, cpu, mem));
+                    }
+                    self.stats.invalidations += 1;
+                    self.blocks[slot] = None;
+                }
+            }
+        }
+
+        // Block-entry lookup.
+        let slot = pc as usize & (UOP_CACHE_ENTRIES - 1);
+        let hit = match self.blocks[slot].as_mut() {
+            Some(b) if b.entry == pc => {
+                if b.valid(mem) {
+                    true
+                } else {
+                    self.stats.invalidations += 1;
+                    self.blocks[slot] = None;
+                    false
+                }
+            }
+            _ => false,
+        };
+        if hit {
+            self.stats.uop_hits += 1;
+            return Ok(self.run_at(slot, 0, cpu, mem));
+        }
+
+        let block = build_block(pc, mem)?;
+        self.stats.blocks_built += 1;
+        self.blocks[slot] = Some(block);
+        Ok(self.run_at(slot, 0, cpu, mem))
+    }
+
+    /// Executes op `idx` of the (validated) block in `slot`.
+    fn run_at(
+        &mut self,
+        slot: usize,
+        idx: usize,
+        cpu: &mut CpuState,
+        mem: &mut GuestMem,
+    ) -> (StepInfo, u16) {
+        let (op, n_ops) = {
+            let b = self.blocks[slot].as_ref().expect("validated block");
+            (b.ops[idx], b.ops.len())
+        };
+        if op.wf {
+            self.stats.flag_defs += 1;
+        }
+        if op.rf {
+            // The handler will force; count it here where the counters
+            // live (only conditional branches read flags).
+            if self.lazy.is_pending() {
+                self.stats.flag_forces += 1;
+            }
+        }
+        let next = cpu.eip.wrapping_add(op.len as u32);
+        let mut accesses = AccessList::default();
+        let control = (op.handler)(&op, cpu, mem, &mut self.lazy, next, &mut accesses);
+        cpu.eip = match control {
+            Control::Next => next,
+            Control::Jump { target, .. } => target,
+            Control::Halt => cpu.eip,
+        };
+        self.cur =
+            if control == Control::Next && idx + 1 < n_ops { Some((slot, idx + 1)) } else { None };
+        (StepInfo { inst: op.inst, len: op.len as usize, control, accesses }, op.shape)
+    }
+}
+
+/// Decodes a run of instructions starting at `pc` into a micro-op
+/// block. The block ends at the first block-ending instruction, at
+/// [`UOP_BLOCK_CAP`] ops, or just before a pc that fails to decode (the
+/// error then surfaces when execution actually reaches it, exactly as
+/// the per-step oracle would report it).
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] only if the *first* instruction fails to
+/// decode.
+fn build_block(pc: u32, mem: &GuestMem) -> Result<UopBlock, DecodeError> {
+    let mut ops = Vec::with_capacity(8);
+    let mut p = pc;
+    loop {
+        let mut window = [0u8; MAX_INST_LEN];
+        mem.read_bytes(p, &mut window);
+        let (inst, len) = match decode(&window) {
+            Ok(d) => d,
+            Err(e) if ops.is_empty() => return Err(e),
+            Err(_) => break,
+        };
+        let op = compile_op(inst, len, p.wrapping_sub(pc) as u16);
+        let end = op.block_end;
+        ops.push(op);
+        p = p.wrapping_add(len as u32);
+        if end || ops.len() >= UOP_BLOCK_CAP {
+            break;
+        }
+    }
+    let span = p.wrapping_sub(pc);
+    Ok(UopBlock { entry: pc, span, gen: span_gen(mem, pc, span), wg: mem.write_gen(), ops })
+}
+
+/// Mirrors `darco-tol`'s interpreter emission shape key, computed from
+/// the instruction statically (access pattern and jump presence are
+/// fully determined by the variant). The software layer debug-asserts
+/// the two formulas agree on every step.
+pub fn emission_shape(inst: &Inst) -> u16 {
+    let opcode = match inst.class() {
+        GuestClass::Int => 0u32,
+        GuestClass::IntComplex => 1,
+        GuestClass::Fp => 2,
+        GuestClass::FpComplex => 3,
+        GuestClass::Load => 4,
+        GuestClass::Store => 5,
+        GuestClass::Branch => 6,
+        GuestClass::Call => 7,
+        GuestClass::Ret => 8,
+        GuestClass::IndirectBranch => 9,
+        GuestClass::Other => 10,
+    };
+    let wf = u32::from(inst.writes_flags());
+    // Access pattern in base 3, slot-ordered: none=0, load=1, store=2.
+    use Inst::*;
+    let acc: u32 = match inst {
+        Load { .. }
+        | LoadZx { .. }
+        | LoadSx { .. }
+        | AluRM { .. }
+        | Pop { .. }
+        | JmpMem { .. }
+        | Ret
+        | FLoad { .. } => 1,
+        Store { .. }
+        | StoreI { .. }
+        | StoreN { .. }
+        | Push { .. }
+        | Call { .. }
+        | CallInd { .. }
+        | FStore { .. } => 2,
+        AluMR { .. } => 1 + 2 * 3,
+        _ => 0,
+    };
+    let jump = u32::from(matches!(
+        inst,
+        Jcc { .. }
+            | Jmp { .. }
+            | JmpInd { .. }
+            | JmpMem { .. }
+            | Call { .. }
+            | CallInd { .. }
+            | Ret
+    ));
+    (((opcode * 2 + wf) * 9 + acc) * 2 + jump) as u16
+}
+
+/// Resolves one decoded instruction into an [`ExecOp`].
+fn compile_op(inst: Inst, len: usize, off: u16) -> ExecOp {
+    let mut op = ExecOp {
+        handler: h_nop,
+        inst,
+        len: len as u8,
+        off,
+        shape: emission_shape(&inst),
+        wf: inst.writes_flags(),
+        rf: inst.reads_flags(),
+        block_end: inst.is_block_end(),
+        a: 0,
+        b: 0,
+        sub: 0,
+        imm: 0,
+        target: 0,
+        addr: AddrRecipe { base: NO_REG, index: NO_REG, shift: 0, disp: 0 },
+    };
+    use Inst::*;
+    match inst {
+        Nop | Syscall => op.handler = h_nop,
+        Halt => op.handler = h_halt,
+        MovRR { dst, src } => {
+            op.handler = h_mov_rr;
+            op.a = dst.index() as u8;
+            op.b = src.index() as u8;
+        }
+        MovRI { dst, imm } => {
+            op.handler = h_mov_ri;
+            op.a = dst.index() as u8;
+            op.imm = imm as u32;
+        }
+        Load { dst, addr } => {
+            op.handler = h_load;
+            op.a = dst.index() as u8;
+            op.addr = AddrRecipe::from_ref(&addr);
+        }
+        Store { addr, src } => {
+            op.handler = h_store;
+            op.a = src.index() as u8;
+            op.addr = AddrRecipe::from_ref(&addr);
+        }
+        StoreI { addr, imm } => {
+            op.handler = h_store_i;
+            op.imm = imm as u32;
+            op.addr = AddrRecipe::from_ref(&addr);
+        }
+        LoadZx { dst, addr, width } => {
+            op.handler = h_load_zx;
+            op.a = dst.index() as u8;
+            op.sub = width.bytes();
+            op.addr = AddrRecipe::from_ref(&addr);
+        }
+        LoadSx { dst, addr, width } => {
+            op.handler = h_load_sx;
+            op.a = dst.index() as u8;
+            op.sub = width.bytes();
+            op.addr = AddrRecipe::from_ref(&addr);
+        }
+        StoreN { addr, src, width } => {
+            op.handler = h_store_n;
+            op.a = src.index() as u8;
+            op.sub = width.bytes();
+            op.addr = AddrRecipe::from_ref(&addr);
+        }
+        Lea { dst, addr } => {
+            op.handler = h_lea;
+            op.a = dst.index() as u8;
+            op.addr = AddrRecipe::from_ref(&addr);
+        }
+        AluRR { op: o, dst, src } => {
+            op.handler = h_alu_rr;
+            op.sub = o as u8;
+            op.a = dst.index() as u8;
+            op.b = src.index() as u8;
+        }
+        AluRI { op: o, dst, imm } => {
+            op.handler = h_alu_ri;
+            op.sub = o as u8;
+            op.a = dst.index() as u8;
+            op.imm = imm as u32;
+        }
+        AluRM { op: o, dst, addr } => {
+            op.handler = h_alu_rm;
+            op.sub = o as u8;
+            op.a = dst.index() as u8;
+            op.addr = AddrRecipe::from_ref(&addr);
+        }
+        AluMR { op: o, addr, src } => {
+            op.handler = h_alu_mr;
+            op.sub = o as u8;
+            op.a = src.index() as u8;
+            op.addr = AddrRecipe::from_ref(&addr);
+        }
+        CmpRR { a, b } => {
+            op.handler = h_cmp_rr;
+            op.a = a.index() as u8;
+            op.b = b.index() as u8;
+        }
+        CmpRI { a, imm } => {
+            op.handler = h_cmp_ri;
+            op.a = a.index() as u8;
+            op.imm = imm as u32;
+        }
+        TestRR { a, b } => {
+            op.handler = h_test_rr;
+            op.a = a.index() as u8;
+            op.b = b.index() as u8;
+        }
+        Shift { op: o, dst, amount } => {
+            op.handler = h_shift;
+            op.sub = o as u8;
+            op.a = dst.index() as u8;
+            op.imm = amount as u32;
+        }
+        ShiftCl { op: o, dst } => {
+            op.handler = h_shift_cl;
+            op.sub = o as u8;
+            op.a = dst.index() as u8;
+        }
+        Imul { dst, src } => {
+            op.handler = h_imul;
+            op.a = dst.index() as u8;
+            op.b = src.index() as u8;
+        }
+        Idiv { dst, src } => {
+            op.handler = h_idiv;
+            op.a = dst.index() as u8;
+            op.b = src.index() as u8;
+        }
+        Neg { dst } => {
+            op.handler = h_neg;
+            op.a = dst.index() as u8;
+        }
+        Not { dst } => {
+            op.handler = h_not;
+            op.a = dst.index() as u8;
+        }
+        Push { src } => {
+            op.handler = h_push;
+            op.a = src.index() as u8;
+        }
+        Pop { dst } => {
+            op.handler = h_pop;
+            op.a = dst.index() as u8;
+        }
+        Jcc { cond, target } => {
+            op.handler = h_jcc;
+            op.sub = cond as u8;
+            op.target = target;
+        }
+        Jmp { target } => {
+            op.handler = h_jmp;
+            op.target = target;
+        }
+        JmpInd { reg } => {
+            op.handler = h_jmp_ind;
+            op.a = reg.index() as u8;
+        }
+        JmpMem { addr } => {
+            op.handler = h_jmp_mem;
+            op.addr = AddrRecipe::from_ref(&addr);
+        }
+        Call { target } => {
+            op.handler = h_call;
+            op.target = target;
+        }
+        CallInd { reg } => {
+            op.handler = h_call_ind;
+            op.a = reg.index() as u8;
+        }
+        Ret => op.handler = h_ret,
+        FMovRR { dst, src } => {
+            op.handler = h_fmov_rr;
+            op.a = dst.index() as u8;
+            op.b = src.index() as u8;
+        }
+        FLoad { dst, addr } => {
+            op.handler = h_fload;
+            op.a = dst.index() as u8;
+            op.addr = AddrRecipe::from_ref(&addr);
+        }
+        FStore { addr, src } => {
+            op.handler = h_fstore;
+            op.a = src.index() as u8;
+            op.addr = AddrRecipe::from_ref(&addr);
+        }
+        FArith { op: o, dst, src } => {
+            op.handler = h_farith;
+            op.sub = o as u8;
+            op.a = dst.index() as u8;
+            op.b = src.index() as u8;
+        }
+        CvtIF { dst, src } => {
+            op.handler = h_cvt_if;
+            op.a = dst.index() as u8;
+            op.b = src.index() as u8;
+        }
+        CvtFI { dst, src } => {
+            op.handler = h_cvt_fi;
+            op.a = dst.index() as u8;
+            op.b = src.index() as u8;
+        }
+    }
+    op
+}
+
+// ---------------------------------------------------------------------
+// Handlers. Each mirrors the corresponding arm of
+// `crate::exec::exec_decoded` exactly, with eager flag computation
+// replaced by a `LazyFlags` record.
+// ---------------------------------------------------------------------
+
+/// ALU with lazy flags; `sub` is the `AluOp` discriminant.
+#[inline]
+fn alu_lazy(sub: u8, a: u32, b: u32, lazy: &mut LazyFlags) -> u32 {
+    match sub {
+        0 => {
+            *lazy = LazyFlags::Add(a, b);
+            a.wrapping_add(b)
+        }
+        1 => {
+            *lazy = LazyFlags::Sub(a, b);
+            a.wrapping_sub(b)
+        }
+        2 => {
+            let r = a & b;
+            *lazy = LazyFlags::Logic(r);
+            r
+        }
+        3 => {
+            let r = a | b;
+            *lazy = LazyFlags::Logic(r);
+            r
+        }
+        _ => {
+            let r = a ^ b;
+            *lazy = LazyFlags::Logic(r);
+            r
+        }
+    }
+}
+
+/// Non-zero-amount shift with lazy flags; `sub` is the `ShiftOp`
+/// discriminant.
+#[inline]
+fn shift_lazy(sub: u8, v: u32, amt: u32, lazy: &mut LazyFlags) -> u32 {
+    debug_assert!(amt != 0 && amt < 32);
+    let (r, cf) = match sub {
+        0 => (v << amt, (v >> (32 - amt)) & 1 != 0),
+        1 => (v >> amt, (v >> (amt - 1)) & 1 != 0),
+        _ => (((v as i32) >> amt) as u32, ((v as i32) >> (amt - 1)) & 1 != 0),
+    };
+    *lazy = LazyFlags::ShiftCf { result: r, cf };
+    r
+}
+
+const ESP: usize = Gpr::Esp as usize;
+const ECX: usize = Gpr::Ecx as usize;
+
+fn h_nop(
+    _op: &ExecOp,
+    _cpu: &mut CpuState,
+    _mem: &mut GuestMem,
+    _lz: &mut LazyFlags,
+    _next: u32,
+    _acc: &mut AccessList,
+) -> Control {
+    Control::Next
+}
+
+fn h_halt(
+    _op: &ExecOp,
+    cpu: &mut CpuState,
+    _mem: &mut GuestMem,
+    _lz: &mut LazyFlags,
+    _next: u32,
+    _acc: &mut AccessList,
+) -> Control {
+    cpu.halted = true;
+    Control::Halt
+}
+
+fn h_mov_rr(
+    op: &ExecOp,
+    cpu: &mut CpuState,
+    _mem: &mut GuestMem,
+    _lz: &mut LazyFlags,
+    _next: u32,
+    _acc: &mut AccessList,
+) -> Control {
+    cpu.gprs[op.a as usize] = cpu.gprs[op.b as usize];
+    Control::Next
+}
+
+fn h_mov_ri(
+    op: &ExecOp,
+    cpu: &mut CpuState,
+    _mem: &mut GuestMem,
+    _lz: &mut LazyFlags,
+    _next: u32,
+    _acc: &mut AccessList,
+) -> Control {
+    cpu.gprs[op.a as usize] = op.imm;
+    Control::Next
+}
+
+fn h_load(
+    op: &ExecOp,
+    cpu: &mut CpuState,
+    mem: &mut GuestMem,
+    _lz: &mut LazyFlags,
+    _next: u32,
+    acc: &mut AccessList,
+) -> Control {
+    let a = op.addr.ea(cpu);
+    acc.push(MemAccess { addr: a, size: 4, is_store: false });
+    cpu.gprs[op.a as usize] = mem.read_u32(a);
+    Control::Next
+}
+
+fn h_store(
+    op: &ExecOp,
+    cpu: &mut CpuState,
+    mem: &mut GuestMem,
+    _lz: &mut LazyFlags,
+    _next: u32,
+    acc: &mut AccessList,
+) -> Control {
+    let a = op.addr.ea(cpu);
+    acc.push(MemAccess { addr: a, size: 4, is_store: true });
+    mem.write_u32(a, cpu.gprs[op.a as usize]);
+    Control::Next
+}
+
+fn h_store_i(
+    op: &ExecOp,
+    cpu: &mut CpuState,
+    mem: &mut GuestMem,
+    _lz: &mut LazyFlags,
+    _next: u32,
+    acc: &mut AccessList,
+) -> Control {
+    let a = op.addr.ea(cpu);
+    acc.push(MemAccess { addr: a, size: 4, is_store: true });
+    mem.write_u32(a, op.imm);
+    Control::Next
+}
+
+fn h_load_zx(
+    op: &ExecOp,
+    cpu: &mut CpuState,
+    mem: &mut GuestMem,
+    _lz: &mut LazyFlags,
+    _next: u32,
+    acc: &mut AccessList,
+) -> Control {
+    let a = op.addr.ea(cpu);
+    acc.push(MemAccess { addr: a, size: op.sub, is_store: false });
+    cpu.gprs[op.a as usize] =
+        if op.sub == 1 { mem.read_u8(a) as u32 } else { mem.read_u16(a) as u32 };
+    Control::Next
+}
+
+fn h_load_sx(
+    op: &ExecOp,
+    cpu: &mut CpuState,
+    mem: &mut GuestMem,
+    _lz: &mut LazyFlags,
+    _next: u32,
+    acc: &mut AccessList,
+) -> Control {
+    let a = op.addr.ea(cpu);
+    acc.push(MemAccess { addr: a, size: op.sub, is_store: false });
+    cpu.gprs[op.a as usize] = if op.sub == 1 {
+        mem.read_u8(a) as i8 as i32 as u32
+    } else {
+        mem.read_u16(a) as i16 as i32 as u32
+    };
+    Control::Next
+}
+
+fn h_store_n(
+    op: &ExecOp,
+    cpu: &mut CpuState,
+    mem: &mut GuestMem,
+    _lz: &mut LazyFlags,
+    _next: u32,
+    acc: &mut AccessList,
+) -> Control {
+    let a = op.addr.ea(cpu);
+    acc.push(MemAccess { addr: a, size: op.sub, is_store: true });
+    let v = cpu.gprs[op.a as usize];
+    if op.sub == 1 {
+        mem.write_u8(a, v as u8);
+    } else {
+        mem.write_u16(a, v as u16);
+    }
+    Control::Next
+}
+
+fn h_lea(
+    op: &ExecOp,
+    cpu: &mut CpuState,
+    _mem: &mut GuestMem,
+    _lz: &mut LazyFlags,
+    _next: u32,
+    _acc: &mut AccessList,
+) -> Control {
+    cpu.gprs[op.a as usize] = op.addr.ea(cpu);
+    Control::Next
+}
+
+fn h_alu_rr(
+    op: &ExecOp,
+    cpu: &mut CpuState,
+    _mem: &mut GuestMem,
+    lz: &mut LazyFlags,
+    _next: u32,
+    _acc: &mut AccessList,
+) -> Control {
+    cpu.gprs[op.a as usize] =
+        alu_lazy(op.sub, cpu.gprs[op.a as usize], cpu.gprs[op.b as usize], lz);
+    Control::Next
+}
+
+fn h_alu_ri(
+    op: &ExecOp,
+    cpu: &mut CpuState,
+    _mem: &mut GuestMem,
+    lz: &mut LazyFlags,
+    _next: u32,
+    _acc: &mut AccessList,
+) -> Control {
+    cpu.gprs[op.a as usize] = alu_lazy(op.sub, cpu.gprs[op.a as usize], op.imm, lz);
+    Control::Next
+}
+
+fn h_alu_rm(
+    op: &ExecOp,
+    cpu: &mut CpuState,
+    mem: &mut GuestMem,
+    lz: &mut LazyFlags,
+    _next: u32,
+    acc: &mut AccessList,
+) -> Control {
+    let a = op.addr.ea(cpu);
+    acc.push(MemAccess { addr: a, size: 4, is_store: false });
+    cpu.gprs[op.a as usize] = alu_lazy(op.sub, cpu.gprs[op.a as usize], mem.read_u32(a), lz);
+    Control::Next
+}
+
+fn h_alu_mr(
+    op: &ExecOp,
+    cpu: &mut CpuState,
+    mem: &mut GuestMem,
+    lz: &mut LazyFlags,
+    _next: u32,
+    acc: &mut AccessList,
+) -> Control {
+    let a = op.addr.ea(cpu);
+    acc.push(MemAccess { addr: a, size: 4, is_store: false });
+    acc.push(MemAccess { addr: a, size: 4, is_store: true });
+    let r = alu_lazy(op.sub, mem.read_u32(a), cpu.gprs[op.a as usize], lz);
+    mem.write_u32(a, r);
+    Control::Next
+}
+
+fn h_cmp_rr(
+    op: &ExecOp,
+    cpu: &mut CpuState,
+    _mem: &mut GuestMem,
+    lz: &mut LazyFlags,
+    _next: u32,
+    _acc: &mut AccessList,
+) -> Control {
+    *lz = LazyFlags::Sub(cpu.gprs[op.a as usize], cpu.gprs[op.b as usize]);
+    Control::Next
+}
+
+fn h_cmp_ri(
+    op: &ExecOp,
+    cpu: &mut CpuState,
+    _mem: &mut GuestMem,
+    lz: &mut LazyFlags,
+    _next: u32,
+    _acc: &mut AccessList,
+) -> Control {
+    *lz = LazyFlags::Sub(cpu.gprs[op.a as usize], op.imm);
+    Control::Next
+}
+
+fn h_test_rr(
+    op: &ExecOp,
+    cpu: &mut CpuState,
+    _mem: &mut GuestMem,
+    lz: &mut LazyFlags,
+    _next: u32,
+    _acc: &mut AccessList,
+) -> Control {
+    *lz = LazyFlags::Logic(cpu.gprs[op.a as usize] & cpu.gprs[op.b as usize]);
+    Control::Next
+}
+
+fn h_shift(
+    op: &ExecOp,
+    cpu: &mut CpuState,
+    _mem: &mut GuestMem,
+    lz: &mut LazyFlags,
+    _next: u32,
+    _acc: &mut AccessList,
+) -> Control {
+    // Zero shift amount leaves the value *and* the pending flag
+    // definition untouched (the oracle preserves flags here).
+    let amt = op.imm & 31;
+    if amt != 0 {
+        cpu.gprs[op.a as usize] = shift_lazy(op.sub, cpu.gprs[op.a as usize], amt, lz);
+    }
+    Control::Next
+}
+
+fn h_shift_cl(
+    op: &ExecOp,
+    cpu: &mut CpuState,
+    _mem: &mut GuestMem,
+    lz: &mut LazyFlags,
+    _next: u32,
+    _acc: &mut AccessList,
+) -> Control {
+    let amt = cpu.gprs[ECX] & 31;
+    if amt != 0 {
+        cpu.gprs[op.a as usize] = shift_lazy(op.sub, cpu.gprs[op.a as usize], amt, lz);
+    } else {
+        // CL form always (re)defines flags, even at amount zero.
+        *lz = LazyFlags::Logic(cpu.gprs[op.a as usize]);
+    }
+    Control::Next
+}
+
+fn h_imul(
+    op: &ExecOp,
+    cpu: &mut CpuState,
+    _mem: &mut GuestMem,
+    lz: &mut LazyFlags,
+    _next: u32,
+    _acc: &mut AccessList,
+) -> Control {
+    let a = cpu.gprs[op.a as usize] as i32 as i64;
+    let b = cpu.gprs[op.b as usize] as i32 as i64;
+    let wide = a * b;
+    let r = wide as i32;
+    let ov = wide != r as i64;
+    cpu.gprs[op.a as usize] = r as u32;
+    *lz = LazyFlags::MulOv { result: r as u32, ov };
+    Control::Next
+}
+
+fn h_idiv(
+    op: &ExecOp,
+    cpu: &mut CpuState,
+    _mem: &mut GuestMem,
+    lz: &mut LazyFlags,
+    _next: u32,
+    _acc: &mut AccessList,
+) -> Control {
+    let a = cpu.gprs[op.a as usize] as i32;
+    let b = cpu.gprs[op.b as usize] as i32;
+    let r = if b == 0 { 0 } else { a.wrapping_div(b) };
+    cpu.gprs[op.a as usize] = r as u32;
+    *lz = LazyFlags::Result(r as u32);
+    Control::Next
+}
+
+fn h_neg(
+    op: &ExecOp,
+    cpu: &mut CpuState,
+    _mem: &mut GuestMem,
+    lz: &mut LazyFlags,
+    _next: u32,
+    _acc: &mut AccessList,
+) -> Control {
+    // `Flags::sub(0, v)` has borrow-out exactly when `v != 0`, which is
+    // the oracle's explicit `cf = v != 0` fixup — `Sub(0, v)` encodes
+    // the whole thing.
+    let v = cpu.gprs[op.a as usize];
+    cpu.gprs[op.a as usize] = 0u32.wrapping_sub(v);
+    *lz = LazyFlags::Sub(0, v);
+    Control::Next
+}
+
+fn h_not(
+    op: &ExecOp,
+    cpu: &mut CpuState,
+    _mem: &mut GuestMem,
+    _lz: &mut LazyFlags,
+    _next: u32,
+    _acc: &mut AccessList,
+) -> Control {
+    cpu.gprs[op.a as usize] = !cpu.gprs[op.a as usize];
+    Control::Next
+}
+
+fn h_push(
+    op: &ExecOp,
+    cpu: &mut CpuState,
+    mem: &mut GuestMem,
+    _lz: &mut LazyFlags,
+    _next: u32,
+    acc: &mut AccessList,
+) -> Control {
+    let sp = cpu.gprs[ESP].wrapping_sub(4);
+    cpu.gprs[ESP] = sp;
+    acc.push(MemAccess { addr: sp, size: 4, is_store: true });
+    mem.write_u32(sp, cpu.gprs[op.a as usize]);
+    Control::Next
+}
+
+fn h_pop(
+    op: &ExecOp,
+    cpu: &mut CpuState,
+    mem: &mut GuestMem,
+    _lz: &mut LazyFlags,
+    _next: u32,
+    acc: &mut AccessList,
+) -> Control {
+    let sp = cpu.gprs[ESP];
+    acc.push(MemAccess { addr: sp, size: 4, is_store: false });
+    let v = mem.read_u32(sp);
+    cpu.gprs[ESP] = sp.wrapping_add(4);
+    cpu.gprs[op.a as usize] = v;
+    Control::Next
+}
+
+fn h_jcc(
+    op: &ExecOp,
+    cpu: &mut CpuState,
+    _mem: &mut GuestMem,
+    lz: &mut LazyFlags,
+    next: u32,
+    _acc: &mut AccessList,
+) -> Control {
+    lz.force(cpu);
+    let cond = match op.inst {
+        Inst::Jcc { cond, .. } => cond,
+        _ => unreachable!("h_jcc compiled from a non-Jcc instruction"),
+    };
+    if cond_holds(cond, cpu.flags) {
+        Control::Jump { target: op.target, taken: true }
+    } else {
+        Control::Jump { target: next, taken: false }
+    }
+}
+
+fn h_jmp(
+    op: &ExecOp,
+    _cpu: &mut CpuState,
+    _mem: &mut GuestMem,
+    _lz: &mut LazyFlags,
+    _next: u32,
+    _acc: &mut AccessList,
+) -> Control {
+    Control::Jump { target: op.target, taken: true }
+}
+
+fn h_jmp_ind(
+    op: &ExecOp,
+    cpu: &mut CpuState,
+    _mem: &mut GuestMem,
+    _lz: &mut LazyFlags,
+    _next: u32,
+    _acc: &mut AccessList,
+) -> Control {
+    Control::Jump { target: cpu.gprs[op.a as usize], taken: true }
+}
+
+fn h_jmp_mem(
+    op: &ExecOp,
+    cpu: &mut CpuState,
+    mem: &mut GuestMem,
+    _lz: &mut LazyFlags,
+    _next: u32,
+    acc: &mut AccessList,
+) -> Control {
+    let a = op.addr.ea(cpu);
+    acc.push(MemAccess { addr: a, size: 4, is_store: false });
+    Control::Jump { target: mem.read_u32(a), taken: true }
+}
+
+fn h_call(
+    op: &ExecOp,
+    cpu: &mut CpuState,
+    mem: &mut GuestMem,
+    _lz: &mut LazyFlags,
+    next: u32,
+    acc: &mut AccessList,
+) -> Control {
+    let sp = cpu.gprs[ESP].wrapping_sub(4);
+    cpu.gprs[ESP] = sp;
+    acc.push(MemAccess { addr: sp, size: 4, is_store: true });
+    mem.write_u32(sp, next);
+    Control::Jump { target: op.target, taken: true }
+}
+
+fn h_call_ind(
+    op: &ExecOp,
+    cpu: &mut CpuState,
+    mem: &mut GuestMem,
+    _lz: &mut LazyFlags,
+    next: u32,
+    acc: &mut AccessList,
+) -> Control {
+    let target = cpu.gprs[op.a as usize];
+    let sp = cpu.gprs[ESP].wrapping_sub(4);
+    cpu.gprs[ESP] = sp;
+    acc.push(MemAccess { addr: sp, size: 4, is_store: true });
+    mem.write_u32(sp, next);
+    Control::Jump { target, taken: true }
+}
+
+fn h_ret(
+    _op: &ExecOp,
+    cpu: &mut CpuState,
+    mem: &mut GuestMem,
+    _lz: &mut LazyFlags,
+    _next: u32,
+    acc: &mut AccessList,
+) -> Control {
+    let sp = cpu.gprs[ESP];
+    acc.push(MemAccess { addr: sp, size: 4, is_store: false });
+    let target = mem.read_u32(sp);
+    cpu.gprs[ESP] = sp.wrapping_add(4);
+    Control::Jump { target, taken: true }
+}
+
+fn h_fmov_rr(
+    op: &ExecOp,
+    cpu: &mut CpuState,
+    _mem: &mut GuestMem,
+    _lz: &mut LazyFlags,
+    _next: u32,
+    _acc: &mut AccessList,
+) -> Control {
+    cpu.fprs[op.a as usize] = cpu.fprs[op.b as usize];
+    Control::Next
+}
+
+fn h_fload(
+    op: &ExecOp,
+    cpu: &mut CpuState,
+    mem: &mut GuestMem,
+    _lz: &mut LazyFlags,
+    _next: u32,
+    acc: &mut AccessList,
+) -> Control {
+    let a = op.addr.ea(cpu);
+    acc.push(MemAccess { addr: a, size: 8, is_store: false });
+    cpu.fprs[op.a as usize] = mem.read_f64(a);
+    Control::Next
+}
+
+fn h_fstore(
+    op: &ExecOp,
+    cpu: &mut CpuState,
+    mem: &mut GuestMem,
+    _lz: &mut LazyFlags,
+    _next: u32,
+    acc: &mut AccessList,
+) -> Control {
+    let a = op.addr.ea(cpu);
+    acc.push(MemAccess { addr: a, size: 8, is_store: true });
+    mem.write_f64(a, cpu.fprs[op.a as usize]);
+    Control::Next
+}
+
+fn h_farith(
+    op: &ExecOp,
+    cpu: &mut CpuState,
+    _mem: &mut GuestMem,
+    _lz: &mut LazyFlags,
+    _next: u32,
+    _acc: &mut AccessList,
+) -> Control {
+    let a = cpu.fprs[op.a as usize];
+    let b = cpu.fprs[op.b as usize];
+    cpu.fprs[op.a as usize] = match op.sub {
+        0 => a + b,
+        1 => a - b,
+        2 => a * b,
+        _ => a / b,
+    };
+    Control::Next
+}
+
+fn h_cvt_if(
+    op: &ExecOp,
+    cpu: &mut CpuState,
+    _mem: &mut GuestMem,
+    _lz: &mut LazyFlags,
+    _next: u32,
+    _acc: &mut AccessList,
+) -> Control {
+    cpu.fprs[op.a as usize] = cpu.gprs[op.b as usize] as i32 as f64;
+    Control::Next
+}
+
+fn h_cvt_fi(
+    op: &ExecOp,
+    cpu: &mut CpuState,
+    _mem: &mut GuestMem,
+    _lz: &mut LazyFlags,
+    _next: u32,
+    _acc: &mut AccessList,
+) -> Control {
+    let v = cpu.fprs[op.b as usize];
+    let r = if v.is_nan() { 0 } else { v.clamp(i32::MIN as f64, i32::MAX as f64) as i32 };
+    cpu.gprs[op.a as usize] = r as u32;
+    Control::Next
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+    use crate::exec;
+    use crate::inst::{AluOp, Cond, FpOp, FpReg, MemRef, Scale, ShiftOp};
+
+    /// Runs a program to halt under both paths, forcing flags at every
+    /// step, and asserts identical StepInfo streams, architectural
+    /// state and memory.
+    fn assert_paths_agree(base: u32, bytes: &[u8], extra_mem: &[(u32, u32)], max_steps: usize) {
+        let mut mem_o = GuestMem::new();
+        mem_o.set_fast_path(false);
+        mem_o.write_bytes(base, bytes);
+        let mut mem_f = GuestMem::new();
+        mem_f.write_bytes(base, bytes);
+        for &(a, v) in extra_mem {
+            mem_o.write_u32(a, v);
+            mem_f.write_u32(a, v);
+        }
+        let mut cpu_o = CpuState::at(base);
+        cpu_o.set_gpr(Gpr::Esp, 0x8_0000);
+        let mut cpu_f = cpu_o.clone();
+        let mut ctx = ExecCtx::new();
+        for step_no in 0..max_steps {
+            if cpu_o.halted {
+                break;
+            }
+            let io = exec::step(&mut cpu_o, &mut mem_o);
+            let fo = ctx.step(&mut cpu_f, &mut mem_f);
+            match (io, fo) {
+                (Ok(io), Ok(fo)) => {
+                    assert_eq!(io, fo, "StepInfo diverged at step {step_no}");
+                }
+                (Err(a), Err(b)) => {
+                    assert_eq!(a, b, "decode errors diverged at step {step_no}");
+                    break;
+                }
+                (a, b) => panic!("one path errored at step {step_no}: {a:?} vs {b:?}"),
+            }
+            ctx.force_flags(&mut cpu_f);
+            assert!(cpu_o.arch_eq(&cpu_f), "state diverged at step {step_no}");
+            assert_eq!(mem_o.first_difference(&mem_f), None, "memory diverged at step {step_no}");
+        }
+        assert_eq!(cpu_o.halted, cpu_f.halted);
+    }
+
+    fn assemble(base: u32, insts: &[Inst]) -> Vec<u8> {
+        let mut a = Asm::new(base);
+        for i in insts {
+            a.push(*i);
+        }
+        a.push(Inst::Halt);
+        a.assemble().bytes
+    }
+
+    #[test]
+    fn mixed_program_matches_oracle() {
+        let base = 0x1000;
+        let prog = assemble(
+            base,
+            &[
+                Inst::MovRI { dst: Gpr::Eax, imm: 7 },
+                Inst::MovRI { dst: Gpr::Ebx, imm: 5 },
+                Inst::Imul { dst: Gpr::Eax, src: Gpr::Ebx },
+                Inst::AluRI { op: AluOp::Sub, dst: Gpr::Eax, imm: 35 },
+                Inst::MovRI { dst: Gpr::Esi, imm: 0x4000 },
+                Inst::StoreI { addr: MemRef::base(Gpr::Esi, 0), imm: 10 },
+                Inst::AluMR { op: AluOp::Add, addr: MemRef::base(Gpr::Esi, 0), src: Gpr::Ebx },
+                Inst::Load { dst: Gpr::Edx, addr: MemRef::base(Gpr::Esi, 0) },
+                Inst::Push { src: Gpr::Edx },
+                Inst::Pop { dst: Gpr::Edi },
+                Inst::Neg { dst: Gpr::Edi },
+                Inst::Not { dst: Gpr::Edi },
+                Inst::Shift { op: ShiftOp::Shl, dst: Gpr::Ebx, amount: 3 },
+                Inst::Shift { op: ShiftOp::Sar, dst: Gpr::Ebx, amount: 1 },
+                Inst::MovRI { dst: Gpr::Ecx, imm: 0 },
+                Inst::ShiftCl { op: ShiftOp::Shr, dst: Gpr::Ebx },
+                Inst::CvtIF { dst: FpReg(0), src: Gpr::Ebx },
+                Inst::FArith { op: FpOp::Mul, dst: FpReg(0), src: FpReg(0) },
+                Inst::FStore { addr: MemRef::base(Gpr::Esi, 8), src: FpReg(0) },
+                Inst::FLoad { dst: FpReg(1), addr: MemRef::base(Gpr::Esi, 8) },
+                Inst::CvtFI { dst: Gpr::Eax, src: FpReg(1) },
+            ],
+        );
+        assert_paths_agree(base, &prog, &[], 1000);
+    }
+
+    #[test]
+    fn loop_with_conditional_branches_matches_oracle() {
+        let base = 0x2000;
+        let mut a = Asm::new(base);
+        let top = a.fresh_label();
+        a.push(Inst::MovRI { dst: Gpr::Eax, imm: 0 });
+        a.push(Inst::MovRI { dst: Gpr::Ebx, imm: 0 });
+        a.bind(top);
+        a.push(Inst::AluRI { op: AluOp::Add, dst: Gpr::Eax, imm: 1 });
+        a.push(Inst::AluRR { op: AluOp::Add, dst: Gpr::Ebx, src: Gpr::Eax });
+        a.push(Inst::CmpRI { a: Gpr::Eax, imm: 50 });
+        a.push_jcc(Cond::Ne, top);
+        a.push(Inst::Halt);
+        let prog = a.assemble();
+        assert_paths_agree(base, &prog.bytes, &[], 10_000);
+    }
+
+    #[test]
+    fn call_ret_and_indirect_jumps_match_oracle() {
+        let base = 0x3000;
+        let table = 0x9000u32;
+        let mut a = Asm::new(base);
+        let func = a.fresh_label();
+        let done = a.fresh_label();
+        a.push(Inst::MovRI { dst: Gpr::Eax, imm: 41 });
+        a.push_call(func);
+        a.push(Inst::MovRI { dst: Gpr::Ecx, imm: 0 });
+        a.push(Inst::JmpMem {
+            addr: MemRef {
+                base: None,
+                index: Some(Gpr::Ecx),
+                scale: Scale::S4,
+                disp: table as i32,
+            },
+        });
+        a.bind(func);
+        a.push(Inst::AluRI { op: AluOp::Add, dst: Gpr::Eax, imm: 1 });
+        a.push(Inst::Ret);
+        a.bind(done);
+        a.push(Inst::Halt);
+        let prog = a.assemble();
+        let entry0 = prog.label_addr(done);
+        assert_paths_agree(base, &prog.bytes, &[(table, entry0)], 1000);
+    }
+
+    /// A store that rewrites an instruction inside a cached block must
+    /// invalidate the block and be visible at the very next step.
+    #[test]
+    fn smc_invalidates_cached_block() {
+        let base = 0x4000;
+        // eax = 1; store rewrites the *following* MovRI's immediate
+        // field; the rewritten value must be observed.
+        let mut a = Asm::new(base);
+        a.push(Inst::MovRI { dst: Gpr::Eax, imm: 1 });
+        // Run once to learn the layout: we need the pc of the final MovRI.
+        a.push(Inst::Nop);
+        a.push(Inst::MovRI { dst: Gpr::Ebx, imm: 0x11 });
+        a.push(Inst::Halt);
+        let prog = a.assemble();
+
+        // Pass 1: warm the uop cache with the original bytes.
+        let mut mem = GuestMem::new();
+        mem.write_bytes(base, &prog.bytes);
+        let mut ctx = ExecCtx::new();
+        let mut cpu = CpuState::at(base);
+        while !cpu.halted {
+            ctx.step(&mut cpu, &mut mem).unwrap();
+        }
+        assert_eq!(cpu.gpr(Gpr::Ebx), 0x11);
+        assert!(ctx.stats.blocks_built > 0);
+
+        // Pass 2: patch the MovRI immediate in guest memory, then
+        // re-run from the entry. The cached block must be invalidated.
+        let mut tmp = Vec::new();
+        let pre = crate::encode::encode(&Inst::MovRI { dst: Gpr::Eax, imm: 1 }, &mut tmp)
+            + crate::encode::encode(&Inst::Nop, &mut tmp);
+        let movri_pc = base + pre as u32;
+        // MovRI (short form) is opcode + reg byte + imm8: patch the imm.
+        mem.write_u8(movri_pc + 2, 0x22);
+        let built_before = ctx.stats.blocks_built;
+        let mut cpu = CpuState::at(base);
+        while !cpu.halted {
+            ctx.step(&mut cpu, &mut mem).unwrap();
+        }
+        assert_eq!(cpu.gpr(Gpr::Ebx), 0x22, "stale micro-op block served after SMC");
+        assert!(ctx.stats.invalidations > 0, "no invalidation recorded");
+        assert!(ctx.stats.blocks_built > built_before, "block was not rebuilt");
+    }
+
+    /// Dead flag definitions must be elided: only consumers force.
+    #[test]
+    fn lazy_flags_elide_dead_definitions() {
+        let base = 0x5000;
+        let prog = assemble(
+            base,
+            &[
+                // Four flag defs, no consumer in between.
+                Inst::AluRI { op: AluOp::Add, dst: Gpr::Eax, imm: 1 },
+                Inst::AluRI { op: AluOp::Add, dst: Gpr::Eax, imm: 2 },
+                Inst::AluRI { op: AluOp::Add, dst: Gpr::Eax, imm: 3 },
+                Inst::CmpRI { a: Gpr::Eax, imm: 6 },
+            ],
+        );
+        let mut mem = GuestMem::new();
+        mem.write_bytes(base, &prog);
+        let mut ctx = ExecCtx::new();
+        let mut cpu = CpuState::at(base);
+        while !cpu.halted {
+            ctx.step(&mut cpu, &mut mem).unwrap();
+        }
+        assert_eq!(ctx.stats.flag_defs, 4);
+        assert_eq!(ctx.stats.flag_forces, 0, "no consumer ran, nothing should materialize");
+        // The final CmpRI is still pending; forcing it must yield ZF.
+        ctx.force_flags(&mut cpu);
+        assert_eq!(ctx.stats.flag_forces, 1);
+        assert!(cpu.flags.zf);
+    }
+
+    /// Zero-amount immediate shifts preserve a pending definition.
+    #[test]
+    fn zero_shift_preserves_pending_flags() {
+        let base = 0x6000;
+        let prog = assemble(
+            base,
+            &[
+                Inst::MovRI { dst: Gpr::Eax, imm: 5 },
+                Inst::CmpRI { a: Gpr::Eax, imm: 5 },
+                Inst::Shift { op: ShiftOp::Shl, dst: Gpr::Eax, amount: 0 },
+            ],
+        );
+        let mut mem = GuestMem::new();
+        mem.write_bytes(base, &prog);
+        let mut ctx = ExecCtx::new();
+        let mut cpu = CpuState::at(base);
+        while !cpu.halted {
+            ctx.step(&mut cpu, &mut mem).unwrap();
+        }
+        ctx.force_flags(&mut cpu);
+        assert!(cpu.flags.zf, "zero shift must not clobber the pending compare");
+        assert_eq!(cpu.gpr(Gpr::Eax), 5);
+    }
+}

@@ -122,6 +122,25 @@ pub struct TolConfig {
     /// [`MEMO_STEADY`]: crate::engine::Tol::MEMO_STEADY
     #[serde(default = "default_block_memo")]
     pub block_memo: bool,
+    /// Guest-layer fast path: pre-decoded micro-op buffers with lazy
+    /// flag materialization in the interpreter ([`ExecCtx`]), plus the
+    /// width-native [`GuestMem`] access path with its L0 page-pointer
+    /// cache. The byte-wise decode-per-step path stays reachable as the
+    /// always-available oracle (`false`); architectural state, memory
+    /// and every serialized report are byte-identical either way.
+    /// Purely a simulator-speed switch (DESIGN.md §17).
+    ///
+    /// [`ExecCtx`]: darco_guest::uops::ExecCtx
+    /// [`GuestMem`]: darco_guest::GuestMem
+    #[serde(default = "default_guest_fast_path")]
+    pub guest_fast_path: bool,
+}
+
+/// Serde default for [`TolConfig::guest_fast_path`] (profiles written
+/// before the fast path existed deserialize with it enabled).
+#[allow(dead_code)] // consumed via the serde attribute with real serde
+fn default_guest_fast_path() -> bool {
+    true
 }
 
 /// Serde default for [`TolConfig::block_memo`] (profiles written before
@@ -166,6 +185,7 @@ impl Default for TolConfig {
             interp_decode_cache: true,
             translate_workers: default_translate_workers(),
             block_memo: true,
+            guest_fast_path: true,
         }
     }
 }

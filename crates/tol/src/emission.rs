@@ -387,6 +387,38 @@ impl Emitter {
     /// direct path runs) and replayed with only the per-step fields
     /// patched; otherwise the sequence is rebuilt from scratch.
     pub fn interp_step(&mut self, ev: &mut EventBuffer<'_>, guest_pc: u32, info: &StepInfo) {
+        self.interp_step_keyed(ev, guest_pc, info, None);
+    }
+
+    /// [`Emitter::interp_step`] with the emission shape precomputed by
+    /// the caller — the guest layer's micro-op buffers carry
+    /// [`darco_guest::uops::emission_shape`] per op, so the fast
+    /// interpreter loop skips re-deriving `shape_key` every step. The
+    /// emitted stream is identical; debug builds assert the static key
+    /// matches the dynamic one.
+    pub fn interp_step_shaped(
+        &mut self,
+        ev: &mut EventBuffer<'_>,
+        guest_pc: u32,
+        info: &StepInfo,
+        shape: u16,
+    ) {
+        debug_assert_eq!(
+            shape as usize,
+            shape_key(info),
+            "static emission shape diverged from the dynamic key for {:?}",
+            info.inst
+        );
+        self.interp_step_keyed(ev, guest_pc, info, Some(shape as usize));
+    }
+
+    fn interp_step_keyed(
+        &mut self,
+        ev: &mut EventBuffer<'_>,
+        guest_pc: u32,
+        info: &StepInfo,
+        key: Option<usize>,
+    ) {
         let comp = Component::TolIm;
         if !self.interp_templates {
             let mut c = Cur::new(TOL_CODE_BASE + code::INTERP, comp, ev);
@@ -394,7 +426,7 @@ impl Emitter {
             self.track(comp, c);
             return;
         }
-        let key = shape_key(info);
+        let key = key.unwrap_or_else(|| shape_key(info));
         if self.interp_tpl[key].is_none() {
             let mut insts = Vec::new();
             let mut marks = InterpMarks::default();

@@ -200,6 +200,10 @@ pub struct Tol {
     ev_storage: Vec<HostEvent>,
     /// The interpreter's decoded-instruction cache.
     dcache: interp::DecodeCache,
+    /// The guest layer's micro-op execution context (pre-decoded block
+    /// buffers + lazy flags), used by the interpreter when
+    /// [`TolConfig::guest_fast_path`] is on.
+    fastctx: darco_guest::uops::ExecCtx,
     /// Accumulated per-pass deltas across every optimized block.
     pass_deltas: Vec<crate::verify::PassDelta>,
     /// Wall-clock nanoseconds per pass, keyed like `pass_deltas`. Kept
@@ -253,6 +257,7 @@ impl Tol {
             spec_targets: std::collections::HashMap::new(),
             ev_storage: Vec::new(),
             dcache: interp::DecodeCache::new(),
+            fastctx: darco_guest::uops::ExecCtx::new(),
             pass_deltas: Vec::new(),
             pass_nanos: Vec::new(),
             analysis_ns: 0,
@@ -462,14 +467,30 @@ impl Tol {
         ev: &mut EventBuffer<'_>,
     ) -> Result<u64, DecodeError> {
         let mut cpu = self.emulated_state();
+        debug_assert!(
+            !self.fastctx.lazy.is_pending(),
+            "pending lazy flags across interpret_bb entries"
+        );
         let mut n = 0u64;
+        let fast = self.cfg.guest_fast_path;
         loop {
             let gpc = cpu.eip;
             self.prof.mark_static([gpc], StaticMode::Im);
-            let info = if self.cfg.interp_decode_cache {
-                interp::step_cached(&mut cpu, mem, &mut self.em, &mut self.dcache, ev)?
+            let r = if fast {
+                interp::step_fast(&mut cpu, mem, &mut self.em, &mut self.fastctx, ev)
+            } else if self.cfg.interp_decode_cache {
+                interp::step_cached(&mut cpu, mem, &mut self.em, &mut self.dcache, ev)
             } else {
-                interp::step(&mut cpu, mem, &mut self.em, ev)?
+                interp::step(&mut cpu, mem, &mut self.em, ev)
+            };
+            let info = match r {
+                Ok(info) => info,
+                Err(e) => {
+                    // The local `cpu` (which any pending lazy definition
+                    // refers to) is discarded with the error.
+                    self.fastctx.discard_pending();
+                    return Err(e);
+                }
             };
             n += 1;
             if info.inst.is_indirect() {
@@ -479,12 +500,22 @@ impl Tol {
                 break;
             }
         }
+        // Materialize any pending flag definition before the state
+        // becomes visible to `StepBoundary` consumers via `store_cpu`.
+        self.fastctx.force_flags(&mut cpu);
         self.prof.count_dynamic(StaticMode::Im, n);
         self.counters.guest_insts += n;
         self.guest_pc = cpu.eip;
         self.halted = cpu.halted;
         self.store_cpu(&cpu);
         Ok(n)
+    }
+
+    /// Engagement counters of the guest-layer fast path (micro-op
+    /// cache hits, lazy-flag elisions); zeros when
+    /// [`TolConfig::guest_fast_path`] is off.
+    pub fn fast_stats(&self) -> darco_guest::uops::FastStats {
+        self.fastctx.stats
     }
 
     /// Lifecycle fallout of an install or SMC check: emits the

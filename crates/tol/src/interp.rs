@@ -15,6 +15,7 @@
 
 use crate::emission::Emitter;
 use darco_guest::exec::{self, StepInfo, MAX_INST_LEN};
+use darco_guest::uops::ExecCtx;
 use darco_guest::{decode, CpuState, DecodeError, GuestMem, Inst};
 use darco_host::events::EventBuffer;
 
@@ -132,6 +133,32 @@ pub fn step_cached(
     Ok(info)
 }
 
+/// [`step`] through the guest layer's pre-decoded micro-op buffers with
+/// lazy flag materialization (`--guest-fast-path`, DESIGN.md §17).
+/// Functionally and stream-identical to [`step`] — the op carries its
+/// precomputed emission shape, so the cost stream is emitted through
+/// [`Emitter::interp_step_shaped`] without re-deriving the shape key.
+///
+/// `cpu.flags` may be stale after this returns (a lazy definition
+/// pending in `ctx`); the engine forces materialization before any
+/// consumer reads architectural flags (`store_cpu` at block end).
+///
+/// # Errors
+///
+/// Propagates decode failures from the guest instruction stream.
+pub fn step_fast(
+    cpu: &mut CpuState,
+    mem: &mut GuestMem,
+    em: &mut Emitter,
+    ctx: &mut ExecCtx,
+    ev: &mut EventBuffer<'_>,
+) -> Result<StepInfo, DecodeError> {
+    let pc = cpu.eip;
+    let (info, shape) = ctx.step_shaped(cpu, mem)?;
+    em.interp_step_shaped(ev, pc, &info, shape);
+    Ok(info)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -220,6 +247,50 @@ mod tests {
         assert!(cpu_u.arch_eq(&cpu_c));
         assert_eq!(n_u, n_c, "cost stream must be identical");
         assert!(hits > 100, "loop body must hit the decode cache, got {hits}");
+    }
+
+    #[test]
+    fn fast_interpretation_matches_uncached() {
+        // Same loop as the decode-cache test, driven through the micro-op
+        // fast path. State and cost stream must be identical; the
+        // debug_assert inside interp_step_shaped additionally pins the
+        // static emission shape against the dynamic key on every step.
+        let mut a = Asm::new(0x1000);
+        a.push(Inst::MovRI { dst: Gpr::Ecx, imm: 50 });
+        let top = a.here();
+        a.push(Inst::AluRI { op: darco_guest::AluOp::Add, dst: Gpr::Eax, imm: 3 });
+        a.push(Inst::AluRI { op: darco_guest::AluOp::Sub, dst: Gpr::Ecx, imm: 1 });
+        a.push(Inst::Jcc { cond: darco_guest::Cond::Ne, target: top });
+        a.push(Inst::Halt);
+        let p = a.assemble();
+
+        let run = |fast: bool| -> (CpuState, u64, u64) {
+            let mut mem = GuestMem::new();
+            mem.set_fast_path(fast);
+            mem.write_bytes(p.base, &p.bytes);
+            let mut cpu = CpuState::at(p.base);
+            let mut em = Emitter::new();
+            let mut n = 0u64;
+            let mut sink = darco_host::events::RetireSink(|_: &darco_host::DynInst| n += 1);
+            let mut ev = EventBuffer::new(64, &mut sink);
+            let mut ctx = ExecCtx::new();
+            while !cpu.halted {
+                if fast {
+                    step_fast(&mut cpu, &mut mem, &mut em, &mut ctx, &mut ev).unwrap();
+                } else {
+                    step(&mut cpu, &mut mem, &mut em, &mut ev).unwrap();
+                }
+            }
+            ev.flush();
+            ctx.force_flags(&mut cpu);
+            (cpu, n, ctx.stats.uop_hits)
+        };
+
+        let (cpu_u, n_u, _) = run(false);
+        let (cpu_f, n_f, hits) = run(true);
+        assert!(cpu_u.arch_eq(&cpu_f));
+        assert_eq!(n_u, n_f, "cost stream must be identical");
+        assert!(hits > 100, "loop body must hit the micro-op cache, got {hits}");
     }
 
     #[test]

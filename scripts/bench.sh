@@ -9,11 +9,13 @@
 # constrained capacity — installs, flushes, evictions, unchains,
 # retranslations, occupancy and dead-space ratio, the `translation`
 # block: synchronous vs background-pool wall seconds, job/stall/discard
-# counters and worker utilization, and the `block_memo` block:
+# counters and worker utilization, the `block_memo` block:
 # steady-state block timing memoization on vs off with engine and
-# timing-side memo counters — each speed switch's two serialized
-# reports asserted byte-identical) from repeated timed runs of the same
-# configuration.
+# timing-side memo counters, and the `guest_exec` block: raw
+# functional-emulation MIPS through the guest-layer fast path vs the
+# decode-per-step byte oracle with micro-op/lazy-flag engagement
+# counters — each speed switch's two serialized reports asserted
+# byte-identical) from repeated timed runs of the same configuration.
 #
 # Every report is also appended as a timestamped copy under
 # bench_history/, so regressions can be traced across commits.
@@ -52,12 +54,22 @@ m = r["block_memo"]
 assert m["macro_events"] > 0, "steady-state blocks must emit macro-events"
 assert m["memo_hits"] > 0, f"memo_hits {m['memo_hits']} must be positive"
 assert m["insts_replayed"] > 0, "replayed footprints must cover instructions"
+g = r["guest_exec"]
+assert g["guest_insts"] > 0, "guest_exec must retire instructions"
+assert g["speedup"] > 0, "guest_exec speedup must be recorded"
+assert g["uop_hits"] > 0, "fast path must execute from cached micro-op buffers"
+assert g["blocks_built"] > 0, "fast path must pre-decode blocks"
+assert g["flag_forces"] < g["flag_defs"], \
+    f"lazy flags must elide materializations ({g['flag_forces']}/{g['flag_defs']})"
+assert r["timing"]["comparison"] in ("overlap", "channel-overhead-only")
 print(
     f"bench smoke OK: {r['guest_mips']:.2f} guest MIPS, "
     f"translation {t['workers']} worker(s) [{t['comparison']}], "
     f"sync {t['sync_wall_seconds']:.3f}s vs pool {t['pool_wall_seconds']:.3f}s, "
     f"block memo {m['memo_hits']} hits / {m['memo_records']} records "
-    f"({m['insts_replayed']} insts replayed)"
+    f"({m['insts_replayed']} insts replayed), "
+    f"guest exec {g['fast_mips']:.2f} vs {g['oracle_mips']:.2f} MIPS "
+    f"({g['speedup']:.2f}x, {g['uop_hits']} uop hits)"
 )
 EOF
     archive_report
@@ -72,6 +84,9 @@ cargo bench -p darco-bench --bench retire_throughput
 
 echo "== cargo bench --bench timing_throughput (timing-layer replay)"
 cargo bench -p darco-bench --bench timing_throughput
+
+echo "== cargo bench --bench guest_exec (functional-emulation fast path)"
+cargo bench -p darco-bench --bench guest_exec
 
 echo "== bench_report -> BENCH_report.json"
 cargo run --release -p darco-bench --bin bench_report -- BENCH_report.json "$@"

@@ -28,6 +28,13 @@ if [ "${1:-}" = "--tsan" ]; then
     RUSTFLAGS="-Zsanitizer=thread" \
         cargo +nightly test -Zbuild-std --target "$host" \
         --test event_stream -- threaded fanout
+    # The guest crate carries the interior-mutable L0 page cache
+    # (Cell-based, Send-not-Sync by design); run its unit tests under
+    # the sanitizer too so a future Sync impl can't slip a race in.
+    echo "== tsan: darco-guest unit tests on $host"
+    RUSTFLAGS="-Zsanitizer=thread" \
+        cargo +nightly test -Zbuild-std --target "$host" \
+        -p darco-guest
     echo "tsan checks passed"
     exit 0
 fi

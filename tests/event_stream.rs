@@ -126,6 +126,36 @@ fn run_memo(
     sys.run_to_completion()
 }
 
+/// Like [`run_with`], but with the guest-layer fast path (DESIGN.md
+/// §17) switched: pre-decoded micro-op buffers with lazy flag
+/// materialization plus the width-native memory access path, versus the
+/// decode-per-step byte-oracle interpreter. The switch spans the engine
+/// and the cosim checker's private authoritative emulator.
+fn run_guest_fast(
+    profile_idx: usize,
+    scale: f64,
+    backend: TimingBackendKind,
+    cosim: bool,
+    event_batch: usize,
+    fast: bool,
+) -> Report {
+    let profiles = suites::all_profiles();
+    let mut cfg = SystemConfig {
+        cosim,
+        app_only_pipeline: true,
+        tol_only_pipeline: true,
+        window_guest_insts: 20_000,
+        timing_backend: backend,
+        ..SystemConfig::default()
+    };
+    if event_batch > 0 {
+        cfg.tol.event_batch = event_batch;
+    }
+    cfg.tol.guest_fast_path = fast;
+    let mut sys = System::new(generate(&profiles[profile_idx], scale), cfg);
+    sys.run_to_completion()
+}
+
 /// Serializes a value (for a whole [`Report`]: timing stats, filtered
 /// pipelines, timeline windows, TOL summary, trace statistics) so any
 /// divergence anywhere fails the comparison.
@@ -324,6 +354,88 @@ fn block_memo_actually_engages() {
     assert!(engine.insts_suppressed > 0);
     assert!(timing.hits > 0, "replay must score hits on a loopy workload");
     assert!(timing.insts_replayed > 0);
+}
+
+#[test]
+fn guest_fast_path_is_bit_identical_across_backends_and_batches() {
+    // The acceptance matrix for the guest-layer fast path: against the
+    // decode-per-step byte oracle, every timing backend at
+    // per-instruction delivery (batch 1), a mid batch and the
+    // default-sized 4096 batch produces a byte-identical report with
+    // the micro-op buffers and lazy flags on.
+    for &batch in &[1usize, 64, 4096] {
+        let oracle = run_guest_fast(0, 0.04, TimingBackendKind::Inline, false, batch, false);
+        for &backend in &BACKENDS {
+            let fast = run_guest_fast(0, 0.04, backend, false, batch, true);
+            assert_eq!(
+                fingerprint(&oracle),
+                fingerprint(&fast),
+                "guest fast path diverged on backend {backend:?} at event_batch {batch}"
+            );
+        }
+    }
+}
+
+#[test]
+fn guest_fast_path_is_bit_identical_across_profiles() {
+    // Cross-profile sweep (different instruction mixes stress different
+    // micro-op handlers and flag producers/consumers).
+    for idx in 0..3 {
+        let fast = run_guest_fast(idx, 0.05, TimingBackendKind::Inline, false, 0, true);
+        let oracle = run_guest_fast(idx, 0.05, TimingBackendKind::Inline, false, 0, false);
+        assert!(fast.timing.total_cycles > 0);
+        assert_eq!(
+            fingerprint(&fast),
+            fingerprint(&oracle),
+            "profile {} diverged between micro-op and byte-oracle guest paths",
+            fast.name
+        );
+    }
+}
+
+#[test]
+fn guest_fast_path_threaded_and_fanout_with_cosim() {
+    // The cosim checker runs its own ExecCtx on its private memory copy,
+    // so this exercises two independent fast paths against one oracle
+    // run, under both thread-spawning backends. Named
+    // "threaded"/"fanout" so the ThreadSanitizer gate picks it up.
+    let oracle = run_guest_fast(0, 0.03, TimingBackendKind::Inline, true, 0, false);
+    for backend in [TimingBackendKind::Threaded, TimingBackendKind::Fanout] {
+        let fast = run_guest_fast(0, 0.03, backend, true, 0, true);
+        assert!(fast.cosim_checks > 0, "checker must run as a sink");
+        assert_eq!(fast.cosim_checks, oracle.cosim_checks);
+        assert_eq!(
+            fingerprint(&oracle),
+            fingerprint(&fast),
+            "guest fast path diverged under cosim on backend {backend:?}"
+        );
+    }
+}
+
+#[test]
+fn guest_fast_path_actually_engages() {
+    // Guard that the equalities above are not vacuous: under the
+    // default (fast-path-on) configuration the interpreter must hit the
+    // pre-decoded micro-op buffers and elide flag materializations.
+    let profiles = suites::all_profiles();
+    let cfg = SystemConfig {
+        cosim: false,
+        app_only_pipeline: true,
+        tol_only_pipeline: true,
+        window_guest_insts: 20_000,
+        ..SystemConfig::default()
+    };
+    let mut sys = System::new(generate(&profiles[0], 0.05), cfg);
+    sys.run_to_completion();
+    let stats = sys.tol().fast_stats();
+    assert!(stats.uop_hits > 0, "interpreter must execute from cached micro-op buffers");
+    assert!(stats.blocks_built > 0);
+    assert!(
+        stats.flag_forces < stats.flag_defs,
+        "lazy flags must elide some materializations ({} forces / {} defs)",
+        stats.flag_forces,
+        stats.flag_defs
+    );
 }
 
 #[test]

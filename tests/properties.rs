@@ -282,6 +282,170 @@ fn retirement_templates_match_rederivation_oracle() {
     }
 }
 
+/// The guest-layer fast path (pre-decoded micro-op buffers, lazy flag
+/// materialization, width-native memory access) against the
+/// decode-per-step byte oracle, compared at *every step*: full
+/// architectural state including every EFLAGS bit. The running fast
+/// context keeps its lazy state — flags are forced on a probe clone so
+/// the comparison cannot mask an elision bug by materializing early.
+#[test]
+fn guest_fast_path_matches_oracle_per_step() {
+    use darco::guest::ExecCtx;
+    for case in 0u64..16 {
+        let mut rng = SmallRng::seed_from_u64(0xDA_0009 + case);
+        let len = rng.gen_range(4usize..40);
+        let body: Vec<Inst> = (0..len).map(|_| any_inst(&mut rng)).collect();
+        let iters = rng.gen_range(3i32..20);
+        let (mem, cpu) = build_program(&body, iters);
+
+        let mut oracle_mem = mem.clone();
+        oracle_mem.set_fast_path(false);
+        let mut oracle_cpu = cpu.clone();
+        let mut fast_mem = mem;
+        let mut fast_cpu = cpu;
+        let mut ctx = ExecCtx::new();
+
+        let mut steps = 0u64;
+        while !oracle_cpu.halted {
+            let o = exec::step(&mut oracle_cpu, &mut oracle_mem).expect("oracle decode");
+            let f = ctx.step(&mut fast_cpu, &mut fast_mem).expect("fast decode");
+            assert_eq!(o, f, "case {case} step {steps}: StepInfo mismatch");
+            let mut probe_cpu = fast_cpu.clone();
+            let mut probe_ctx = ctx.clone();
+            probe_ctx.force_flags(&mut probe_cpu);
+            assert!(
+                oracle_cpu.arch_eq(&probe_cpu),
+                "case {case} step {steps}: state mismatch\noracle: {oracle_cpu}\nfast:   {probe_cpu}"
+            );
+            steps += 1;
+            assert!(steps < 10_000_000, "runaway");
+        }
+        assert!(fast_cpu.halted, "case {case}: fast path must halt with the oracle");
+        assert_eq!(
+            oracle_mem.first_difference(&fast_mem),
+            None,
+            "case {case}: guest memory diverged"
+        );
+        assert!(ctx.stats.uop_hits > 0, "case {case}: micro-op cache never engaged");
+    }
+}
+
+/// Self-modifying code invalidates *both* generation-stamped caches —
+/// the interpreter decode cache and the pre-decoded micro-op buffers:
+/// a program that patches an immediate byte inside its own loop body
+/// every iteration must converge to the reference result under the
+/// plain interpreter, the decode-cache path and the fast path alike.
+#[test]
+fn smc_invalidates_decode_cache_and_uop_buffers() {
+    use darco::guest::ExecCtx;
+    for case in 0u64..8 {
+        let mut rng = SmallRng::seed_from_u64(0xDA_000A + case);
+        let iters = rng.gen_range(8i32..40);
+        // seed + iters stays below 128 so the patched byte always
+        // decodes as the same positive imm8 the accumulator expects.
+        let seed_imm = rng.gen_range(1i32..80);
+
+        // base:      MovRI Ebp, iters         ; loop counter
+        // top:       MovRI Edx, seed_imm      ; patch target
+        //            AluRR Add Eax, Edx       ; accumulate the patched imm
+        //            LoadZx Ecx, [patch], B1  ; read the imm byte,
+        //            AluRI Add Ecx, 1         ; bump it,
+        //            StoreN [patch], Ecx, B1  ; write it back (SMC)
+        //            AluRI Sub Ebp, 1
+        //            Jcc Ne top
+        //            Halt
+        // The short MovRI encoding places the imm8 at offset +2, so the
+        // store rewrites a byte inside an already-cached block; both
+        // caches must observe the new generation stamp next iteration.
+        let base = 0x1000u32;
+        let head = darco::guest::encode::encode_to_vec(&Inst::MovRI { dst: Gpr::Ebp, imm: iters });
+        let patch = MemRef {
+            base: None,
+            index: None,
+            scale: Scale::from_bits(0),
+            disp: (base + head.len() as u32 + 2) as i32,
+        };
+        let mut a = Asm::new(base);
+        let top = a.fresh_label();
+        a.push(Inst::MovRI { dst: Gpr::Ebp, imm: iters });
+        a.bind(top);
+        a.push(Inst::MovRI { dst: Gpr::Edx, imm: seed_imm });
+        a.push(Inst::AluRR { op: AluOp::Add, dst: Gpr::Eax, src: Gpr::Edx });
+        a.push(Inst::LoadZx { dst: Gpr::Ecx, addr: patch, width: MemWidth::B1 });
+        a.push(Inst::AluRI { op: AluOp::Add, dst: Gpr::Ecx, imm: 1 });
+        a.push(Inst::StoreN { addr: patch, src: Gpr::Ecx, width: MemWidth::B1 });
+        a.push(Inst::AluRI { op: AluOp::Sub, dst: Gpr::Ebp, imm: 1 });
+        a.push_jcc(Cond::Ne, top);
+        a.push(Inst::Halt);
+        let p = a.assemble();
+        let mut mem = GuestMem::new();
+        mem.write_bytes(p.base, &p.bytes);
+        let mut cpu = CpuState::at(p.base);
+        cpu.set_gpr(Gpr::Esp, 0x9_0000);
+
+        // The accumulator must see a *different* imm every iteration:
+        // seed, seed+1, ... — only true if caches revalidate.
+        let expect: i64 = (0..iters as i64).map(|i| seed_imm as i64 + i).sum();
+
+        let (ref_cpu, ref_n) = run_reference(&mem, &cpu);
+        assert_eq!(
+            ref_cpu.gpr(Gpr::Eax) as i32 as i64,
+            expect,
+            "case {case}: reference must accumulate the patched immediates"
+        );
+
+        // Micro-op fast path, stepped directly so invalidations are
+        // observable.
+        {
+            let mut m = mem.clone();
+            let mut c = cpu.clone();
+            let mut ctx = ExecCtx::new();
+            let mut n = 0u64;
+            while !c.halted {
+                ctx.step(&mut c, &mut m).expect("fast decode");
+                n += 1;
+                assert!(n < 10_000_000, "runaway");
+            }
+            ctx.force_flags(&mut c);
+            assert_eq!(n, ref_n, "case {case}: fast-path instruction count");
+            assert!(ref_cpu.arch_eq(&c), "case {case}: fast path missed the patch");
+            assert!(
+                ctx.stats.invalidations > 0,
+                "case {case}: SMC must invalidate cached micro-op blocks"
+            );
+        }
+
+        // Full TOL, decode cache on / fast path off, then fast path on:
+        // both must land on the reference state.
+        for (label, cfg) in [
+            (
+                "decode-cache",
+                TolConfig {
+                    interp_decode_cache: true,
+                    guest_fast_path: false,
+                    im_bb_threshold: u32::MAX,
+                    ..TolConfig::default()
+                },
+            ),
+            (
+                "fast-path",
+                TolConfig {
+                    guest_fast_path: true,
+                    im_bb_threshold: u32::MAX,
+                    ..TolConfig::default()
+                },
+            ),
+        ] {
+            let (emu_cpu, emu_n) = run_tol(&mem, &cpu, cfg);
+            assert_eq!(emu_n, ref_n, "case {case}: {label} instruction count");
+            assert!(
+                ref_cpu.arch_eq(&emu_cpu),
+                "case {case}: {label} missed the patch\nref: {ref_cpu}\nemu: {emu_cpu}"
+            );
+        }
+    }
+}
+
 /// Decoder round-trip on random straight-line instructions.
 #[test]
 fn encode_decode_roundtrip() {
